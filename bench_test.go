@@ -1,0 +1,55 @@
+// Package tsue's top-level benchmarks regenerate every table and figure of
+// the paper's evaluation at a reduced scale (one bench per artifact). Run
+// the full-scale versions with cmd/tsuebench.
+package tsue
+
+import (
+	"io"
+	"testing"
+
+	"tsue/internal/harness"
+)
+
+// benchScale keeps the whole suite tractable under `go test -bench=.`.
+func benchScale() harness.Scale {
+	return harness.Scale{
+		Ops:       800,
+		FileMB:    12,
+		Clients:   []int{16},
+		RSConfigs: [][2]int{{6, 4}},
+	}
+}
+
+func runExp(b *testing.B, fn func(io.Writer, harness.Scale) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := fn(io.Discard, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5: SSD update throughput across engines.
+func BenchmarkFig5(b *testing.B) { runExp(b, harness.Fig5) }
+
+// BenchmarkFig6a regenerates Fig. 6a: recycle-overhead IOPS timeline.
+func BenchmarkFig6a(b *testing.B) { runExp(b, harness.Fig6a) }
+
+// BenchmarkFig6b regenerates Fig. 6b: memory usage vs log-unit quota.
+func BenchmarkFig6b(b *testing.B) { runExp(b, harness.Fig6b) }
+
+// BenchmarkFig7 regenerates Fig. 7: the O1..O5 contribution breakdown.
+func BenchmarkFig7(b *testing.B) { runExp(b, harness.Fig7) }
+
+// BenchmarkTable1 regenerates Table 1: storage workload, network traffic,
+// and SSD wear per engine.
+func BenchmarkTable1(b *testing.B) { runExp(b, harness.Table1) }
+
+// BenchmarkTable2 regenerates Table 2: per-layer log residency times.
+func BenchmarkTable2(b *testing.B) { runExp(b, harness.Table2) }
+
+// BenchmarkFig8a regenerates Fig. 8a: HDD update throughput per MSR volume.
+func BenchmarkFig8a(b *testing.B) { runExp(b, harness.Fig8a) }
+
+// BenchmarkFig8b regenerates Fig. 8b: HDD recovery bandwidth per MSR volume.
+func BenchmarkFig8b(b *testing.B) { runExp(b, harness.Fig8b) }

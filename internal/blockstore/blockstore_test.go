@@ -1,0 +1,141 @@
+package blockstore
+
+import (
+	"bytes"
+	"testing"
+
+	"tsue/internal/device"
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+func withStore(t *testing.T, fn func(p *sim.Proc, s *Store)) device.Stats {
+	t.Helper()
+	e := sim.NewEnv()
+	d := device.New(e, "d", device.SSD, device.SSDParams())
+	s := New(d, 4096)
+	e.Go("t", func(p *sim.Proc) { fn(p, s) })
+	e.Run(0)
+	e.Close()
+	return d.Stats()
+}
+
+var blk = wire.BlockID{Ino: 1, Stripe: 2, Index: 3}
+
+func TestPutReadRange(t *testing.T) {
+	withStore(t, func(p *sim.Proc, s *Store) {
+		data := make([]byte, 4096)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if err := s.Put(p, blk, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.ReadRange(p, blk, 100, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data[100:150]) {
+			t.Fatal("range mismatch")
+		}
+	})
+}
+
+func TestPutWrongSize(t *testing.T) {
+	withStore(t, func(p *sim.Proc, s *Store) {
+		if err := s.Put(p, blk, make([]byte, 100)); err == nil {
+			t.Fatal("wrong-size Put accepted")
+		}
+	})
+}
+
+func TestWriteRangeOverwriteAccounting(t *testing.T) {
+	st := withStore(t, func(p *sim.Proc, s *Store) {
+		if err := s.Put(p, blk, make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteRange(p, blk, 10, []byte{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := s.ReadRange(p, blk, 10, 3)
+		if !bytes.Equal(got, []byte{1, 2, 3}) {
+			t.Fatal("write range lost")
+		}
+	})
+	if st.OverwriteOps != 1 {
+		t.Fatalf("overwrites=%d want 1", st.OverwriteOps)
+	}
+}
+
+func TestRePutCountsOverwrite(t *testing.T) {
+	st := withStore(t, func(p *sim.Proc, s *Store) {
+		s.Put(p, blk, make([]byte, 4096))
+		s.Put(p, blk, make([]byte, 4096))
+	})
+	if st.OverwriteOps != 1 {
+		t.Fatalf("overwrites=%d want 1 (second Put)", st.OverwriteOps)
+	}
+}
+
+func TestReadMissingBlock(t *testing.T) {
+	withStore(t, func(p *sim.Proc, s *Store) {
+		if _, err := s.ReadRange(p, blk, 0, 1); err == nil {
+			t.Fatal("read of missing block succeeded")
+		}
+		if err := s.WriteRange(p, blk, 0, []byte{1}); err == nil {
+			t.Fatal("write of missing block succeeded")
+		}
+	})
+}
+
+func TestRangeBounds(t *testing.T) {
+	withStore(t, func(p *sim.Proc, s *Store) {
+		s.Put(p, blk, make([]byte, 4096))
+		if _, err := s.ReadRange(p, blk, 4000, 200); err == nil {
+			t.Fatal("out-of-range read accepted")
+		}
+		if err := s.WriteRange(p, blk, 4000, make([]byte, 200)); err == nil {
+			t.Fatal("out-of-range write accepted")
+		}
+		if _, err := s.ReadRange(p, blk, -1, 2); err == nil {
+			t.Fatal("negative offset accepted")
+		}
+	})
+}
+
+func TestBlocksSortedAndDelete(t *testing.T) {
+	withStore(t, func(p *sim.Proc, s *Store) {
+		b1 := wire.BlockID{Ino: 2, Stripe: 0, Index: 0}
+		b2 := wire.BlockID{Ino: 1, Stripe: 3, Index: 1}
+		b3 := wire.BlockID{Ino: 1, Stripe: 3, Index: 0}
+		for _, b := range []wire.BlockID{b1, b2, b3} {
+			s.Put(p, b, make([]byte, 4096))
+		}
+		got := s.Blocks()
+		if len(got) != 3 || got[0] != b3 || got[1] != b2 || got[2] != b1 {
+			t.Fatalf("order %v", got)
+		}
+		s.Delete(b2)
+		if s.Has(b2) || s.Len() != 2 {
+			t.Fatal("delete failed")
+		}
+		s.DeleteAll()
+		if s.Len() != 0 {
+			t.Fatal("delete all failed")
+		}
+	})
+}
+
+func TestPeekNoDeviceCharge(t *testing.T) {
+	st := withStore(t, func(p *sim.Proc, s *Store) {
+		s.Put(p, blk, make([]byte, 4096))
+		before := s.Device().Stats().ReadOps
+		if _, ok := s.Peek(blk); !ok {
+			t.Fatal("peek missed")
+		}
+		if s.Device().Stats().ReadOps != before {
+			t.Fatal("Peek charged the device")
+		}
+	})
+	_ = st
+}

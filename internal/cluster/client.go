@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// Client is the ECFS access layer: it encodes full stripes on the normal
+// write path, routes small updates to the owning data OSD, and assembles
+// reads (§4: the CLIENT handles the data encoding process).
+type Client struct {
+	c  *Cluster
+	id wire.NodeID
+}
+
+// ID returns the client's node ID.
+func (cl *Client) ID() wire.NodeID { return cl.id }
+
+// Create registers a file of the given byte size with the MDS and returns
+// its inode. Size is rounded up to whole stripes.
+func (cl *Client) Create(p *sim.Proc, name string, size int64) (uint64, error) {
+	sw := cl.c.StripeWidth()
+	stripes := uint32((size + sw - 1) / sw)
+	if stripes == 0 {
+		stripes = 1
+	}
+	resp, err := cl.c.Fabric.Call(p, cl.id, mdsID, &wire.CreateFile{Name: name, Stripes: stripes})
+	if err != nil {
+		return 0, err
+	}
+	cr, ok := resp.(*wire.CreateResp)
+	if !ok {
+		return 0, fmt.Errorf("client: unexpected create response %T", resp)
+	}
+	if cr.Err != "" {
+		return 0, fmt.Errorf("client: create: %s", cr.Err)
+	}
+	return cr.Ino, nil
+}
+
+// WriteFile writes the whole file content via the normal (encoding) write
+// path: per stripe, K data blocks are encoded into M parity blocks and all
+// K+M are stored in parallel. data is zero-padded to a stripe boundary.
+func (cl *Client) WriteFile(p *sim.Proc, ino uint64, data []byte) error {
+	cfg := cl.c.Cfg
+	sw := cl.c.StripeWidth()
+	nstripes := (int64(len(data)) + sw - 1) / sw
+	for s := int64(0); s < nstripes; s++ {
+		shards := make([][]byte, cfg.K+cfg.M)
+		for i := 0; i < cfg.K; i++ {
+			shards[i] = make([]byte, cfg.BlockSize)
+			off := s*sw + int64(i)*cfg.BlockSize
+			if off < int64(len(data)) {
+				copy(shards[i], data[off:min64(int64(len(data)), off+cfg.BlockSize)])
+			}
+		}
+		for i := 0; i < cfg.M; i++ {
+			shards[cfg.K+i] = make([]byte, cfg.BlockSize)
+		}
+		if err := cl.c.Code.Encode(shards[:cfg.K], shards[cfg.K:]); err != nil {
+			return err
+		}
+		sid := wire.StripeID{Ino: ino, Stripe: uint32(s)}
+		osds := cl.c.Placement(sid)
+		var firstErr error
+		wg := sim.NewWaitGroup(cl.c.Env)
+		wg.Add(len(shards))
+		for i := range shards {
+			i := i
+			cl.c.Env.Go("put", func(hp *sim.Proc) {
+				defer wg.Done()
+				blk := wire.BlockID{Ino: ino, Stripe: uint32(s), Index: uint16(i)}
+				resp, err := cl.c.Fabric.Call(hp, cl.id, osds[i], &wire.PutBlock{Blk: blk, Data: shards[i]})
+				if err == nil {
+					if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+						err = fmt.Errorf("%s", a.Err)
+					}
+				}
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("put %v: %w", blk, err)
+				}
+			})
+		}
+		wg.Wait(p)
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	return nil
+}
+
+// Update applies a partial write at a file offset through the update path,
+// splitting on block boundaries.
+func (cl *Client) Update(p *sim.Proc, ino uint64, off int64, data []byte) error {
+	for len(data) > 0 {
+		blk, boff := cl.c.Locate(ino, off)
+		n := cl.c.Cfg.BlockSize - boff
+		if n > int64(len(data)) {
+			n = int64(len(data))
+		}
+		osds := cl.c.Placement(blk.StripeID())
+		resp, err := cl.c.Fabric.Call(p, cl.id, osds[blk.Index], &wire.Update{Blk: blk, Off: boff, Data: data[:n]})
+		if err != nil {
+			return fmt.Errorf("update %v: %w", blk, err)
+		}
+		if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+			return fmt.Errorf("update %v: %s", blk, a.Err)
+		}
+		off += n
+		data = data[n:]
+	}
+	return nil
+}
+
+// Read returns [off, off+size) of the file, assembling across blocks.
+func (cl *Client) Read(p *sim.Proc, ino uint64, off, size int64) ([]byte, error) {
+	out := make([]byte, 0, size)
+	for size > 0 {
+		blk, boff := cl.c.Locate(ino, off)
+		n := cl.c.Cfg.BlockSize - boff
+		if n > size {
+			n = size
+		}
+		osds := cl.c.Placement(blk.StripeID())
+		resp, err := cl.c.Fabric.Call(p, cl.id, osds[blk.Index], &wire.ReadBlock{Blk: blk, Off: boff, Size: int32(n)})
+		if err != nil {
+			return nil, fmt.Errorf("read %v: %w", blk, err)
+		}
+		rr, ok := resp.(*wire.ReadResp)
+		if !ok {
+			return nil, fmt.Errorf("read %v: unexpected response %T", blk, resp)
+		}
+		if rr.Err != "" {
+			return nil, fmt.Errorf("read %v: %s", blk, rr.Err)
+		}
+		out = append(out, rr.Data...)
+		off += n
+		size -= n
+	}
+	return out, nil
+}
+
+// Lookup queries the MDS for a stripe's placement (the cached fast path
+// computes it locally; this exercises the metadata protocol).
+func (cl *Client) Lookup(p *sim.Proc, ino uint64, stripe uint32) ([]wire.NodeID, error) {
+	resp, err := cl.c.Fabric.Call(p, cl.id, mdsID, &wire.Lookup{Ino: ino, Stripe: stripe})
+	if err != nil {
+		return nil, err
+	}
+	lr, ok := resp.(*wire.LookupResp)
+	if !ok {
+		return nil, fmt.Errorf("lookup: unexpected response %T", resp)
+	}
+	if lr.Err != "" {
+		return nil, fmt.Errorf("lookup: %s", lr.Err)
+	}
+	return lr.OSDs, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

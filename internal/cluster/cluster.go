@@ -1,0 +1,315 @@
+// Package cluster implements ECFS, the erasure-coded cluster file system the
+// TSUE paper builds and evaluates on (§4): a metadata server (MDS), object
+// storage servers (OSDs) and clients, glued by the RPC fabric. Clients
+// encode on the normal write path and route updates to the data block's OSD,
+// where the configured update engine (FO/PL/PLR/PARIX/CoRD/TSUE) takes over.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"tsue/internal/device"
+	"tsue/internal/netsim"
+	"tsue/internal/rs"
+	"tsue/internal/sim"
+	"tsue/internal/update"
+	"tsue/internal/wire"
+)
+
+// Config describes a cluster.
+type Config struct {
+	OSDs         int
+	K, M         int
+	MatrixKind   rs.MatrixKind
+	BlockSize    int64
+	DeviceKind   device.Kind
+	DeviceParams device.Params
+	NetParams    netsim.Params
+	Engine       string
+	EngineOpts   update.Options
+	// HeartbeatInterval > 0 starts OSD→MDS heartbeats.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout marks an OSD dead when its beat is older than this.
+	HeartbeatTimeout time.Duration
+}
+
+// DefaultConfig mirrors the paper's SSD testbed: 16 OSD nodes, RS(6,4)
+// available via K/M, 1 MiB blocks, 25 Gb/s network.
+func DefaultConfig() Config {
+	return Config{
+		OSDs:         16,
+		K:            6,
+		M:            4,
+		MatrixKind:   rs.Vandermonde,
+		BlockSize:    1 << 20,
+		DeviceKind:   device.SSD,
+		DeviceParams: device.SSDParams(),
+		NetParams:    netsim.Ethernet25G(),
+		Engine:       "tsue",
+		EngineOpts:   update.DefaultOptions(),
+	}
+}
+
+// Node ID layout: MDS = 0, OSDs = 1..OSDs, clients allocated above.
+const mdsID wire.NodeID = 0
+
+// Cluster owns all simulated nodes of one experiment.
+type Cluster struct {
+	Env    *sim.Env
+	Fabric *netsim.Fabric
+	Cfg    Config
+	Code   *rs.Code
+	MDS    *MDS
+	OSDs   []*OSD
+
+	nextClient wire.NodeID
+	// remap overrides block placement after recovery moved a block.
+	remap map[wire.BlockID]wire.NodeID
+	files map[uint64]*fileMeta
+}
+
+type fileMeta struct {
+	ino     uint64
+	name    string
+	stripes uint32
+}
+
+// New builds a cluster in a fresh simulation environment.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.OSDs < cfg.K+cfg.M {
+		return nil, fmt.Errorf("cluster: %d OSDs cannot host RS(%d,%d) stripes", cfg.OSDs, cfg.K, cfg.M)
+	}
+	code, err := rs.New(cfg.K, cfg.M, cfg.MatrixKind)
+	if err != nil {
+		return nil, err
+	}
+	env := sim.NewEnv()
+	c := &Cluster{
+		Env:        env,
+		Fabric:     netsim.New(env, cfg.NetParams),
+		Cfg:        cfg,
+		Code:       code,
+		remap:      make(map[wire.BlockID]wire.NodeID),
+		files:      make(map[uint64]*fileMeta),
+		nextClient: wire.NodeID(cfg.OSDs + 1),
+	}
+	c.MDS = newMDS(c)
+	c.Fabric.AddNode(mdsID, c.MDS.handle)
+	for i := 0; i < cfg.OSDs; i++ {
+		id := wire.NodeID(i + 1)
+		osd := newOSD(c, id)
+		c.OSDs = append(c.OSDs, osd)
+		c.Fabric.AddNode(id, osd.handle)
+	}
+	// Engines spawn background recyclers, so they are created after the
+	// fabric knows every node.
+	for _, osd := range c.OSDs {
+		eng, err := update.New(cfg.Engine, osd, cfg.EngineOpts)
+		if err != nil {
+			return nil, err
+		}
+		osd.engine = eng
+	}
+	if cfg.HeartbeatInterval > 0 {
+		for _, osd := range c.OSDs {
+			osd.startHeartbeat(cfg.HeartbeatInterval)
+		}
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// osdIDs returns the OSD node IDs in ring order.
+func (c *Cluster) osdIDs() []wire.NodeID {
+	out := make([]wire.NodeID, len(c.OSDs))
+	for i := range c.OSDs {
+		out[i] = c.OSDs[i].id
+	}
+	return out
+}
+
+// OSDByID returns the OSD with the given node ID.
+func (c *Cluster) OSDByID(id wire.NodeID) *OSD { return c.OSDs[int(id)-1] }
+
+// Placement returns the K+M OSD node IDs hosting a stripe, block i at
+// element i. Stripes rotate across OSDs for balance; recovery remaps take
+// precedence.
+func (c *Cluster) Placement(s wire.StripeID) []wire.NodeID {
+	n := len(c.OSDs)
+	base := int((s.Ino*1000003 + uint64(s.Stripe)*7919) % uint64(n))
+	out := make([]wire.NodeID, c.Cfg.K+c.Cfg.M)
+	for i := range out {
+		blk := wire.BlockID{Ino: s.Ino, Stripe: s.Stripe, Index: uint16(i)}
+		if over, ok := c.remap[blk]; ok {
+			out[i] = over
+			continue
+		}
+		out[i] = c.OSDs[(base+i)%n].id
+	}
+	return out
+}
+
+// StripeWidth returns bytes of file data per stripe.
+func (c *Cluster) StripeWidth() int64 { return int64(c.Cfg.K) * c.Cfg.BlockSize }
+
+// Locate maps a file offset to its data block and intra-block offset.
+func (c *Cluster) Locate(ino uint64, off int64) (wire.BlockID, int64) {
+	sw := c.StripeWidth()
+	stripe := uint32(off / sw)
+	rem := off % sw
+	idx := uint16(rem / c.Cfg.BlockSize)
+	return wire.BlockID{Ino: ino, Stripe: stripe, Index: idx}, rem % c.Cfg.BlockSize
+}
+
+// NewClient allocates a client node.
+func (c *Cluster) NewClient() *Client {
+	id := c.nextClient
+	c.nextClient++
+	c.Fabric.AddNode(id, nil)
+	return &Client{c: c, id: id}
+}
+
+// DrainAll repeatedly drains every live OSD until a full round reports
+// clean everywhere; recycling forwards work to peers, so one round is not
+// enough (DataLog→DeltaLog→ParityLog spans up to three nodes).
+func (c *Cluster) DrainAll(p *sim.Proc, via *Client) error {
+	for round := 0; round < 12; round++ {
+		dirty := false
+		var firstErr error
+		wg := sim.NewWaitGroup(c.Env)
+		for _, osd := range c.OSDs {
+			if c.Fabric.Down(osd.id) {
+				continue
+			}
+			if osd.engine.Dirty() {
+				dirty = true
+			}
+			osd := osd
+			wg.Add(1)
+			c.Env.Go("drain", func(hp *sim.Proc) {
+				defer wg.Done()
+				resp, err := c.Fabric.Call(hp, via.id, osd.id, &wire.Drain{})
+				if err == nil {
+					if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+						err = fmt.Errorf("%s", a.Err)
+					}
+				}
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("drain %d: %w", osd.id, err)
+				}
+			})
+		}
+		wg.Wait(p)
+		if firstErr != nil {
+			return firstErr
+		}
+		if !dirty {
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: drain did not converge")
+}
+
+// Scrub verifies every stripe: parity must equal the re-encoded data. It
+// inspects stores directly (no simulated cost) and should run after
+// DrainAll. It returns the number of stripes checked.
+func (c *Cluster) Scrub() (int, error) {
+	checked := 0
+	for ino, fm := range c.files {
+		for s := uint32(0); s < fm.stripes; s++ {
+			sid := wire.StripeID{Ino: ino, Stripe: s}
+			osds := c.Placement(sid)
+			data := make([][]byte, c.Cfg.K)
+			parity := make([][]byte, c.Cfg.M)
+			for i := 0; i < c.Cfg.K+c.Cfg.M; i++ {
+				blk := wire.BlockID{Ino: ino, Stripe: s, Index: uint16(i)}
+				host := c.OSDByID(osds[i])
+				buf, ok := host.store.Peek(blk)
+				if !ok {
+					return checked, fmt.Errorf("scrub: %v missing on node %d", blk, osds[i])
+				}
+				if i < c.Cfg.K {
+					data[i] = buf
+				} else {
+					parity[i-c.Cfg.K] = buf
+				}
+			}
+			ok, err := c.Code.Verify(data, parity)
+			if err != nil {
+				return checked, err
+			}
+			if !ok {
+				return checked, fmt.Errorf("scrub: stripe %v inconsistent", sid)
+			}
+			checked++
+		}
+	}
+	return checked, nil
+}
+
+// DeviceStats aggregates all OSD device counters.
+func (c *Cluster) DeviceStats() device.Stats {
+	var total device.Stats
+	for _, osd := range c.OSDs {
+		total.Add(osd.dev.Stats())
+	}
+	return total
+}
+
+// ResetStats zeroes device and network counters (e.g. after preload).
+func (c *Cluster) ResetStats() {
+	for _, osd := range c.OSDs {
+		osd.dev.ResetStats()
+	}
+	c.Fabric.ResetStats()
+}
+
+// MemBytes sums engine log memory across OSDs.
+func (c *Cluster) MemBytes() int64 {
+	var n int64
+	for _, osd := range c.OSDs {
+		n += osd.engine.MemBytes()
+	}
+	return n
+}
+
+// PeakMemBytes sums engine peak log memory across OSDs.
+func (c *Cluster) PeakMemBytes() int64 {
+	var n int64
+	for _, osd := range c.OSDs {
+		n += osd.engine.PeakMemBytes()
+	}
+	return n
+}
+
+// Residency merges per-layer residency stats across OSDs (TSUE only).
+func (c *Cluster) Residency() map[string]update.LayerStats {
+	out := make(map[string]update.LayerStats)
+	for _, osd := range c.OSDs {
+		rr, ok := osd.engine.(update.ResidencyReporter)
+		if !ok {
+			return nil
+		}
+		for layer, st := range rr.Residency() {
+			cur := out[layer]
+			cur.AppendN += st.AppendN
+			cur.AppendTime += st.AppendTime
+			cur.BufferN += st.BufferN
+			cur.BufferTime += st.BufferTime
+			cur.RecycleN += st.RecycleN
+			cur.RecycleTime += st.RecycleTime
+			cur.Units += st.Units
+			out[layer] = cur
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"time"
+
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// MDS is the metadata server: file namespace, stripe placement authority,
+// heartbeat tracking, and recovery orchestration (§4).
+type MDS struct {
+	c        *Cluster
+	nextIno  uint64
+	byName   map[string]uint64
+	lastBeat map[wire.NodeID]time.Duration
+}
+
+func newMDS(c *Cluster) *MDS {
+	return &MDS{
+		c:        c,
+		nextIno:  1,
+		byName:   make(map[string]uint64),
+		lastBeat: make(map[wire.NodeID]time.Duration),
+	}
+}
+
+func (m *MDS) handle(p *sim.Proc, from wire.NodeID, msg wire.Msg) wire.Msg {
+	switch v := msg.(type) {
+	case *wire.CreateFile:
+		if ino, ok := m.byName[v.Name]; ok {
+			return &wire.CreateResp{Ino: ino}
+		}
+		ino := m.nextIno
+		m.nextIno++
+		m.byName[v.Name] = ino
+		m.c.files[ino] = &fileMeta{ino: ino, name: v.Name, stripes: v.Stripes}
+		return &wire.CreateResp{Ino: ino}
+	case *wire.Lookup:
+		fm, ok := m.c.files[v.Ino]
+		if !ok || v.Stripe >= fm.stripes {
+			return &wire.LookupResp{Err: "no such stripe"}
+		}
+		return &wire.LookupResp{OSDs: m.c.Placement(wire.StripeID{Ino: v.Ino, Stripe: v.Stripe})}
+	case *wire.Heartbeat:
+		m.lastBeat[v.From] = p.Now()
+		return wire.OK
+	}
+	return &wire.Ack{Err: "mds: unhandled message " + msg.Type().String()}
+}
+
+// DeadOSDs returns OSDs whose last heartbeat is older than timeout at the
+// given time (requires heartbeats enabled).
+func (m *MDS) DeadOSDs(now, timeout time.Duration) []wire.NodeID {
+	var dead []wire.NodeID
+	for _, osd := range m.c.OSDs {
+		if now-m.lastBeat[osd.id] > timeout {
+			dead = append(dead, osd.id)
+		}
+	}
+	return dead
+}

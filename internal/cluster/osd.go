@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"tsue/internal/blockstore"
+	"tsue/internal/device"
+	"tsue/internal/rs"
+	"tsue/internal/sim"
+	"tsue/internal/update"
+	"tsue/internal/wire"
+)
+
+// OSD is one object storage server: a device, a block store, and the update
+// engine. It implements update.Host.
+type OSD struct {
+	c      *Cluster
+	id     wire.NodeID
+	dev    *device.Disk
+	store  *blockstore.Store
+	engine update.Engine
+}
+
+func newOSD(c *Cluster, id wire.NodeID) *OSD {
+	dev := device.New(c.Env, fmt.Sprintf("osd%d", id), c.Cfg.DeviceKind, c.Cfg.DeviceParams)
+	return &OSD{
+		c:     c,
+		id:    id,
+		dev:   dev,
+		store: blockstore.New(dev, c.Cfg.BlockSize),
+	}
+}
+
+// ---- update.Host ----
+
+// NodeID returns this OSD's node ID.
+func (o *OSD) NodeID() wire.NodeID { return o.id }
+
+// Env returns the simulation environment.
+func (o *OSD) Env() *sim.Env { return o.c.Env }
+
+// Store returns this OSD's block store.
+func (o *OSD) Store() *blockstore.Store { return o.store }
+
+// Code returns the cluster's RS code.
+func (o *OSD) Code() *rs.Code { return o.c.Code }
+
+// Placement returns the stripe's hosting OSDs.
+func (o *OSD) Placement(s wire.StripeID) []wire.NodeID { return o.c.Placement(s) }
+
+// Peers returns all OSD node IDs in ring order.
+func (o *OSD) Peers() []wire.NodeID { return o.c.osdIDs() }
+
+// Alive reports whether a peer is reachable.
+func (o *OSD) Alive(id wire.NodeID) bool { return !o.c.Fabric.Down(id) }
+
+// Call performs an RPC to a peer node.
+func (o *OSD) Call(p *sim.Proc, to wire.NodeID, req wire.Msg) (wire.Msg, error) {
+	return o.c.Fabric.Call(p, o.id, to, req)
+}
+
+// Engine exposes the OSD's update engine (harness and tests).
+func (o *OSD) Engine() update.Engine { return o.engine }
+
+// Device exposes the OSD's disk (harness and tests).
+func (o *OSD) Device() *device.Disk { return o.dev }
+
+// ---- RPC dispatch ----
+
+func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
+	switch v := m.(type) {
+	case *wire.PutBlock:
+		if err := o.store.Put(p, v.Blk, v.Data); err != nil {
+			return &wire.Ack{Err: err.Error()}
+		}
+		return wire.OK
+	case *wire.ReadBlock:
+		var buf []byte
+		var err error
+		if v.Raw {
+			buf, err = o.store.ReadRange(p, v.Blk, v.Off, int64(v.Size))
+		} else {
+			buf, err = o.engine.Read(p, v.Blk, v.Off, int64(v.Size))
+		}
+		if err != nil {
+			return &wire.ReadResp{Err: err.Error()}
+		}
+		return &wire.ReadResp{Data: buf}
+	case *wire.Update:
+		if err := o.engine.Update(p, v.Blk, v.Off, v.Data); err != nil {
+			return &wire.Ack{Err: err.Error()}
+		}
+		return wire.OK
+	case *wire.Drain:
+		if err := o.engine.Drain(p); err != nil {
+			return &wire.Ack{Err: err.Error()}
+		}
+		return wire.OK
+	case *wire.RecoverBlock:
+		if err := o.recoverBlock(p, v.Blk); err != nil {
+			return &wire.Ack{Err: err.Error()}
+		}
+		return wire.OK
+	default:
+		if resp, handled := o.engine.Handle(p, from, m); handled {
+			return resp
+		}
+		return &wire.Ack{Err: fmt.Sprintf("osd %d: unhandled message %v", o.id, m.Type())}
+	}
+}
+
+// recoverBlock reconstructs one lost block from K surviving peers and stores
+// it locally. Peer reads run in parallel — reconstruction bandwidth is bound
+// by the K fan-in plus the local streaming write (Fig. 8b).
+func (o *OSD) recoverBlock(p *sim.Proc, blk wire.BlockID) error {
+	cfg := o.c.Cfg
+	s := blk.StripeID()
+	osds := o.c.Placement(s)
+	// Choose K live sources, skipping the block being rebuilt.
+	type src struct {
+		idx  int
+		node wire.NodeID
+	}
+	var sources []src
+	for i := 0; i < cfg.K+cfg.M; i++ {
+		if uint16(i) == blk.Index || o.c.Fabric.Down(osds[i]) {
+			continue
+		}
+		sources = append(sources, src{idx: i, node: osds[i]})
+		if len(sources) == cfg.K {
+			break
+		}
+	}
+	if len(sources) < cfg.K {
+		return fmt.Errorf("recover %v: only %d surviving shards", blk, len(sources))
+	}
+	shards := make([][]byte, cfg.K+cfg.M)
+	var firstErr error
+	wg := sim.NewWaitGroup(o.c.Env)
+	wg.Add(len(sources))
+	for _, sc := range sources {
+		sc := sc
+		o.c.Env.Go("recover-read", func(hp *sim.Proc) {
+			defer wg.Done()
+			shardBlk := wire.BlockID{Ino: s.Ino, Stripe: s.Stripe, Index: uint16(sc.idx)}
+			resp, err := o.Call(hp, sc.node, &wire.ReadBlock{Blk: shardBlk, Size: int32(cfg.BlockSize), Raw: true})
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			rr, ok := resp.(*wire.ReadResp)
+			if !ok || rr.Err != "" {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("recover read %v: %v", shardBlk, resp)
+				}
+				return
+			}
+			shards[sc.idx] = rr.Data
+		})
+	}
+	wg.Wait(p)
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := o.c.Code.Reconstruct(shards); err != nil {
+		return err
+	}
+	return o.store.Put(p, blk, shards[blk.Index])
+}
+
+func (o *OSD) startHeartbeat(interval time.Duration) {
+	o.c.Env.Go(fmt.Sprintf("heartbeat@%d", o.id), func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			if o.c.Fabric.Down(o.id) {
+				return
+			}
+			// Best effort; the MDS judges liveness by beat age.
+			_, _ = o.Call(p, mdsID, &wire.Heartbeat{From: o.id})
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package device
+
+// ftl is a page-mapped, log-structured flash translation layer. Host writes
+// are translated into page programs appended to the open erase block;
+// overwriting a logical page invalidates its old physical page. When free
+// erase blocks run low, a greedy garbage collector relocates the live pages
+// of the most-invalid block and erases it. The FTL performs accounting only
+// — wear (program/erase counts, write amplification) is a measured output —
+// while I/O latency is charged by the Disk's latency model. Sub-page host
+// writes cost a full page program plus an internal page read (read-modify-
+// write), which is precisely why small random overwrites age NAND devices
+// (paper §2.3.4).
+type ftl struct {
+	pageSize   int64
+	blockPages int
+	nblocks    int
+	gcLow      int // GC when free blocks drop below this
+
+	// mapping: logical page number -> physical page id (block*blockPages+idx),
+	// -1 when unmapped.
+	mapping map[int64]int32
+	// owner: physical page id -> logical page (-1 = invalid/free)
+	owner []int64
+	valid []bool
+
+	freeBlocks []int32
+	openBlock  int32
+	openIdx    int
+	livePages  []int32 // per block live-page count
+
+	// bufs models the drive's DRAM write buffer, one slot per zone
+	// (stream): contiguous sub-page appends coalesce into a single page
+	// program instead of reprogramming the tail page per write. This is
+	// why sequential log appends age NAND far less than equal-volume
+	// random sub-page overwrites.
+	bufs map[int64]*pageBuf
+
+	erases    int64
+	nandWrite int64
+	nandRead  int64
+}
+
+type pageBuf struct {
+	lp  int64 // buffered logical page
+	end int64 // bytes of the page covered so far
+}
+
+type ftlResult struct {
+	nandWrite int64
+	nandRead  int64
+	erases    int64
+}
+
+func newFTL(pageSize int64, blockPages int, capacity int64, overProv float64) *ftl {
+	if pageSize <= 0 {
+		pageSize = 16 << 10
+	}
+	if blockPages <= 0 {
+		blockPages = 256
+	}
+	phys := int64(float64(capacity) * (1 + overProv))
+	nblocks := int(phys / (pageSize * int64(blockPages)))
+	if nblocks < 4 {
+		nblocks = 4
+	}
+	f := &ftl{
+		pageSize:   pageSize,
+		blockPages: blockPages,
+		nblocks:    nblocks,
+		gcLow:      2,
+		mapping:    make(map[int64]int32),
+		owner:      make([]int64, nblocks*blockPages),
+		valid:      make([]bool, nblocks*blockPages),
+		freeBlocks: make([]int32, 0, nblocks),
+		livePages:  make([]int32, nblocks),
+		bufs:       make(map[int64]*pageBuf),
+	}
+	for b := nblocks - 1; b >= 1; b-- {
+		f.freeBlocks = append(f.freeBlocks, int32(b))
+	}
+	f.openBlock = 0
+	return f
+}
+
+// hostWrite maps a host write of size bytes at logical offset off into page
+// programs and returns the wear accounting deltas. The zone parameter keys
+// the per-stream write buffer.
+func (f *ftl) hostWrite(zone int64, off, size int64) ftlResult {
+	var res ftlResult
+	first := off / f.pageSize
+	last := (off + size - 1) / f.pageSize
+	buf, ok := f.bufs[zone]
+	if !ok {
+		buf = &pageBuf{lp: -1}
+		f.bufs[zone] = buf
+	}
+	for lp := first; lp <= last; lp++ {
+		pageStart := lp * f.pageSize
+		wStart := off
+		if wStart < pageStart {
+			wStart = pageStart
+		}
+		wEnd := off + size
+		if wEnd > pageStart+f.pageSize {
+			wEnd = pageStart + f.pageSize
+		}
+		// Contiguous continuation of the stream's buffered tail page:
+		// absorbed by the drive's write buffer, no extra program (the page
+		// was charged in full when first touched).
+		if lp == buf.lp && wStart == pageStart+buf.end {
+			buf.end = wEnd - pageStart
+			continue
+		}
+		// Partial page program of a mapped page requires reading its
+		// current content (internal read-modify-write).
+		partial := wStart > pageStart || wEnd < pageStart+f.pageSize
+		if partial {
+			if _, mapped := f.mapping[lp]; mapped {
+				res.nandRead += f.pageSize
+			}
+		}
+		f.programPage(lp, &res)
+		buf.lp = lp
+		buf.end = wEnd - pageStart
+	}
+	f.nandWrite += res.nandWrite
+	f.nandRead += res.nandRead
+	f.erases += res.erases
+	return res
+}
+
+func (f *ftl) programPage(lp int64, res *ftlResult) {
+	// Invalidate previous mapping.
+	if old, ok := f.mapping[lp]; ok {
+		f.valid[old] = false
+		f.livePages[old/int32(f.blockPages)]--
+	}
+	pp := f.allocPage(res)
+	f.mapping[lp] = pp
+	f.owner[pp] = lp
+	f.valid[pp] = true
+	f.livePages[pp/int32(f.blockPages)]++
+	res.nandWrite += f.pageSize
+}
+
+func (f *ftl) allocPage(res *ftlResult) int32 {
+	if f.openIdx >= f.blockPages {
+		f.openNext(res)
+	}
+	pp := f.openBlock*int32(f.blockPages) + int32(f.openIdx)
+	f.openIdx++
+	return pp
+}
+
+func (f *ftl) openNext(res *ftlResult) {
+	for len(f.freeBlocks) <= f.gcLow {
+		f.gc(res)
+	}
+	n := len(f.freeBlocks) - 1
+	f.openBlock = f.freeBlocks[n]
+	f.freeBlocks = f.freeBlocks[:n]
+	f.openIdx = 0
+}
+
+// gc erases the block with the fewest live pages, relocating live pages into
+// the open block first.
+func (f *ftl) gc(res *ftlResult) {
+	victim := int32(-1)
+	best := int32(1 << 30)
+	for b := 0; b < f.nblocks; b++ {
+		if int32(b) == f.openBlock {
+			continue
+		}
+		inFree := false
+		for _, fb := range f.freeBlocks {
+			if fb == int32(b) {
+				inFree = true
+				break
+			}
+		}
+		if inFree {
+			continue
+		}
+		if f.livePages[b] < best {
+			best = f.livePages[b]
+			victim = int32(b)
+		}
+	}
+	if victim < 0 {
+		panic("ftl: no GC victim (all blocks free or open)")
+	}
+	// Relocate live pages. Relocation consumes pages in the open block; if
+	// the open block fills, recursion through allocPage->openNext is safe
+	// because we erased nothing yet but freeBlocks > 0 is guaranteed by the
+	// gcLow watermark (erase below adds one back each round).
+	base := victim * int32(f.blockPages)
+	for i := 0; i < f.blockPages; i++ {
+		pp := base + int32(i)
+		if !f.valid[pp] {
+			continue
+		}
+		lp := f.owner[pp]
+		res.nandRead += f.pageSize
+		f.valid[pp] = false
+		f.livePages[victim]--
+		// Re-program into open block.
+		npp := f.allocPage(res)
+		f.mapping[lp] = npp
+		f.owner[npp] = lp
+		f.valid[npp] = true
+		f.livePages[npp/int32(f.blockPages)]++
+		res.nandWrite += f.pageSize
+	}
+	// Erase victim.
+	f.livePages[victim] = 0
+	f.freeBlocks = append(f.freeBlocks, victim)
+	res.erases++
+}
+
+// liveBytes returns the number of currently mapped logical bytes.
+func (f *ftl) liveBytes() int64 { return int64(len(f.mapping)) * f.pageSize }

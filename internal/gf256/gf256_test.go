@@ -1,0 +1,224 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if Add(byte(a), byte(b)) != byte(a)^byte(b) {
+				t.Fatalf("Add(%d,%d) != xor", a, b)
+			}
+			if Sub(byte(a), byte(b)) != byte(a)^byte(b) {
+				t.Fatalf("Sub(%d,%d) != xor", a, b)
+			}
+		}
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if Mul(byte(a), 1) != byte(a) {
+			t.Fatalf("a*1 != a for %d", a)
+		}
+		if Mul(1, byte(a)) != byte(a) {
+			t.Fatalf("1*a != a for %d", a)
+		}
+		if Mul(byte(a), 0) != 0 || Mul(0, byte(a)) != 0 {
+			t.Fatalf("a*0 != 0 for %d", a)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			p := Mul(byte(a), byte(b))
+			if Div(p, byte(b)) != byte(a) {
+				t.Fatalf("Div(Mul(%d,%d),%d) != %d", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Mul(byte(a), Inv(byte(a))) != 1 {
+			t.Fatalf("a * Inv(a) != 1 for %d", a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(x,0) did not panic")
+		}
+	}()
+	Div(5, 0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Exp(Log(byte(a))) != byte(a) {
+			t.Fatalf("Exp(Log(%d)) != %d", a, a)
+		}
+	}
+}
+
+func TestExpPeriodic(t *testing.T) {
+	for n := 0; n < 255; n++ {
+		if Exp(n) != Exp(n+255) {
+			t.Fatalf("Exp not periodic at %d", n)
+		}
+	}
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		c := byte(rng.Intn(256))
+		src := make([]byte, n)
+		rng.Read(src)
+		dst := make([]byte, n)
+		MulSlice(c, dst, src)
+		for i := range src {
+			if dst[i] != Mul(c, src[i]) {
+				t.Fatalf("MulSlice mismatch at %d (c=%d)", i, c)
+			}
+		}
+	}
+}
+
+func TestMulXorSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		c := byte(rng.Intn(256))
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ Mul(c, src[i])
+		}
+		MulXorSlice(c, dst, src)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("MulXorSlice mismatch at %d (c=%d)", i, c)
+			}
+		}
+	}
+}
+
+func TestXorSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(100)
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		XorSlice(dst, src)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("XorSlice mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(3, make([]byte, 2), make([]byte, 3)) },
+		"MulXorSlice": func() { MulXorSlice(3, make([]byte, 2), make([]byte, 3)) },
+		"XorSlice":    func() { XorSlice(make([]byte, 2), make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMulSliceAliasing(t *testing.T) {
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	want := make([]byte, len(buf))
+	for i, b := range buf {
+		want[i] = Mul(7, b)
+	}
+	MulSlice(7, buf, buf)
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Fatalf("aliased MulSlice wrong at %d", i)
+		}
+	}
+}
+
+func BenchmarkMulXorSlice4K(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	rand.New(rand.NewSource(4)).Read(src)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulXorSlice(0x8e, dst, src)
+	}
+}
+
+func BenchmarkXorSlice4K(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorSlice(dst, src)
+	}
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"tsue/internal/trace"
+	"tsue/internal/update"
+)
+
+// TestShapeTSUEFastest checks the paper's headline shape at small scale:
+// TSUE has the highest update throughput of all six engines on the
+// Ten-Cloud trace under RS(6,4).
+func TestShapeTSUEFastest(t *testing.T) {
+	iops := map[string]float64{}
+	for _, eng := range update.Names() {
+		cfg := DefaultRunConfig()
+		cfg.Engine = eng
+		cfg.Ops = 2000
+		cfg.Clients = 16
+		cfg.FileBytes = 24 << 20
+		cfg.Trace = trace.TenCloud(cfg.FileBytes)
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		iops[eng] = r.IOPS
+		t.Logf("%-6s IOPS=%8.0f elapsed=%v stripes=%d", eng, r.IOPS, r.Elapsed, r.Stripes)
+	}
+	for _, eng := range update.Names() {
+		if eng != "tsue" && iops["tsue"] <= iops[eng] {
+			t.Errorf("tsue (%.0f) not faster than %s (%.0f)", iops["tsue"], eng, iops[eng])
+		}
+	}
+}
+
+// TestShapeAdvantageGrowsWithM: TSUE's edge over PL grows from M=2 to M=4
+// (paper: 1.5x -> 2.2x).
+func TestShapeAdvantageGrowsWithM(t *testing.T) {
+	adv := func(m int) float64 {
+		var tsue, pl float64
+		for _, eng := range []string{"tsue", "pl"} {
+			cfg := DefaultRunConfig()
+			cfg.Engine = eng
+			cfg.Ops = 2000
+			cfg.Clients = 16
+			cfg.K, cfg.M = 6, m
+			cfg.FileBytes = 24 << 20
+			cfg.Trace = trace.AliCloud(cfg.FileBytes)
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s M=%d: %v", eng, m, err)
+			}
+			if eng == "tsue" {
+				tsue = r.IOPS
+			} else {
+				pl = r.IOPS
+			}
+		}
+		fmt.Printf("M=%d tsue/pl=%.2f\n", m, tsue/pl)
+		return tsue / pl
+	}
+	a2 := adv(2)
+	a4 := adv(4)
+	if a4 <= a2 {
+		t.Errorf("advantage did not grow with M: M=2 %.2fx, M=4 %.2fx", a2, a4)
+	}
+	if a2 < 1.0 {
+		t.Errorf("tsue slower than pl at M=2: %.2fx", a2)
+	}
+}

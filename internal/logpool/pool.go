@@ -1,0 +1,327 @@
+package logpool
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tsue/internal/wire"
+)
+
+// UnitState is the lifecycle state of a log unit (paper Fig. 3).
+type UnitState int
+
+const (
+	// Empty: the unit accepts appends (at most one Empty unit — the active
+	// one at the queue tail — exists per pool).
+	Empty UnitState = iota
+	// Recyclable: sealed full; waiting for a recycle worker.
+	Recyclable
+	// Recycling: claimed by a recycle worker.
+	Recycling
+	// Recycled: fully merged into blocks; retained as a read cache until
+	// reused as the next active unit.
+	Recycled
+)
+
+func (s UnitState) String() string {
+	switch s {
+	case Empty:
+		return "EMPTY"
+	case Recyclable:
+		return "RECYCLABLE"
+	case Recycling:
+		return "RECYCLING"
+	case Recycled:
+		return "RECYCLED"
+	default:
+		return fmt.Sprintf("UnitState(%d)", int(s))
+	}
+}
+
+// Unit is one fixed-size log unit.
+type Unit struct {
+	Seq      uint64
+	State    UnitState
+	Appended int64 // raw appended bytes (fills the unit)
+	blocks   map[wire.BlockID]*BlockLog
+
+	// Timestamps maintained by the engine for Table 2 residency stats.
+	FirstAppend time.Duration
+	SealedAt    time.Duration
+	RecycledAt  time.Duration
+}
+
+func newUnit(seq uint64) *Unit {
+	return &Unit{Seq: seq, blocks: make(map[wire.BlockID]*BlockLog), FirstAppend: -1}
+}
+
+// Block returns the per-block log, creating it if absent.
+func (u *Unit) Block(blk wire.BlockID) *BlockLog {
+	b, ok := u.blocks[blk]
+	if !ok {
+		b = &BlockLog{}
+		u.blocks[blk] = b
+	}
+	return b
+}
+
+// Lookup returns the per-block log or nil.
+func (u *Unit) Lookup(blk wire.BlockID) *BlockLog { return u.blocks[blk] }
+
+// Blocks returns the block IDs present in the unit, in deterministic order.
+func (u *Unit) Blocks() []wire.BlockID {
+	out := make([]wire.BlockID, 0, len(u.blocks))
+	for id := range u.blocks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Ino != b.Ino {
+			return a.Ino < b.Ino
+		}
+		if a.Stripe != b.Stripe {
+			return a.Stripe < b.Stripe
+		}
+		return a.Index < b.Index
+	})
+	return out
+}
+
+// IndexedBytes returns post-merge bytes held by the unit (memory footprint).
+func (u *Unit) IndexedBytes() int64 {
+	var n int64
+	for _, b := range u.blocks {
+		n += b.Bytes()
+	}
+	return n
+}
+
+// wipe resets the unit for reuse as the new active unit.
+func (u *Unit) wipe(seq uint64) {
+	u.Seq = seq
+	u.State = Empty
+	u.Appended = 0
+	u.blocks = make(map[wire.BlockID]*BlockLog)
+	u.FirstAppend = -1
+	u.SealedAt = 0
+	u.RecycledAt = 0
+}
+
+// Stats aggregates pool counters.
+type Stats struct {
+	Appends      int64 // raw append operations
+	AppendBytes  int64
+	Seals        int64 // units sealed
+	Stalls       int64 // appends that found no usable active unit
+	MemBytes     int64 // current indexed bytes across retained units
+	PeakMemBytes int64
+}
+
+// Pool is a FIFO log pool. Units are ordered oldest→newest; the active unit
+// is the tail. The pool never exceeds MaxUnits allocated units; when the
+// active unit fills and no Recycled unit is available for reuse, appends
+// stall (the engine blocks until a recycle completes) — this is the
+// backpressure that makes very small unit quotas slow (paper Fig. 6).
+type Pool struct {
+	ID       int
+	Mode     MergeMode
+	UnitSize int64
+	MaxUnits int
+	// NoMerge disables the two-level index's locality merging (ablation
+	// baseline in the paper's Fig. 7 breakdown).
+	NoMerge bool
+
+	units   []*Unit
+	nextSeq uint64
+	stats   Stats
+}
+
+// NewPool creates a pool with one empty active unit.
+func NewPool(id int, mode MergeMode, unitSize int64, maxUnits int) *Pool {
+	if unitSize <= 0 {
+		panic("logpool: unit size must be positive")
+	}
+	if maxUnits < 2 {
+		panic("logpool: need at least 2 units (one active, one recycling)")
+	}
+	p := &Pool{ID: id, Mode: mode, UnitSize: unitSize, MaxUnits: maxUnits}
+	p.units = append(p.units, newUnit(p.nextSeq))
+	p.nextSeq++
+	return p
+}
+
+// Active returns the tail unit if it accepts appends, else nil.
+func (p *Pool) Active() *Unit {
+	tail := p.units[len(p.units)-1]
+	if tail.State == Empty {
+		return tail
+	}
+	return nil
+}
+
+// ensureActive rotates in a fresh active unit if the tail is sealed:
+// reusing the oldest Recycled unit, or allocating while under MaxUnits.
+// Returns nil when every unit is busy (stall).
+func (p *Pool) ensureActive() *Unit {
+	if u := p.Active(); u != nil {
+		return u
+	}
+	// Reuse the oldest unit if fully recycled.
+	if head := p.units[0]; head.State == Recycled {
+		p.units = append(p.units[1:], head)
+		head.wipe(p.nextSeq)
+		p.nextSeq++
+		return head
+	}
+	if len(p.units) < p.MaxUnits {
+		u := newUnit(p.nextSeq)
+		p.nextSeq++
+		p.units = append(p.units, u)
+		return u
+	}
+	return nil
+}
+
+// Append inserts one record at time now. It returns the unit that sealed as
+// a result (to be queued for recycling), and ok=false when the pool is
+// stalled (nothing was appended; retry after a unit recycles).
+func (p *Pool) Append(blk wire.BlockID, off int64, data []byte, now time.Duration) (sealed *Unit, ok bool) {
+	u := p.ensureActive()
+	if u == nil {
+		p.stats.Stalls++
+		return nil, false
+	}
+	if u.FirstAppend < 0 {
+		u.FirstAppend = now
+	}
+	bl := u.Block(blk)
+	bl.Raw = p.NoMerge
+	bl.Insert(off, data, p.Mode)
+	u.Appended += int64(len(data))
+	p.stats.Appends++
+	p.stats.AppendBytes += int64(len(data))
+	p.updateMem()
+	if u.Appended >= p.UnitSize {
+		u.State = Recyclable
+		u.SealedAt = now
+		p.stats.Seals++
+		return u, true
+	}
+	return nil, true
+}
+
+// SealActive force-seals a non-empty active unit (drain path). Returns the
+// sealed unit or nil.
+func (p *Pool) SealActive(now time.Duration) *Unit {
+	u := p.Active()
+	if u == nil || u.Appended == 0 {
+		return nil
+	}
+	u.State = Recyclable
+	u.SealedAt = now
+	p.stats.Seals++
+	return u
+}
+
+// MarkRecycling transitions a claimed unit.
+func (p *Pool) MarkRecycling(u *Unit) {
+	if u.State != Recyclable {
+		panic(fmt.Sprintf("logpool: MarkRecycling on %v unit", u.State))
+	}
+	u.State = Recycling
+}
+
+// MarkRecycled completes a unit's recycle at time now.
+func (p *Pool) MarkRecycled(u *Unit, now time.Duration) {
+	if u.State != Recycling {
+		panic(fmt.Sprintf("logpool: MarkRecycled on %v unit", u.State))
+	}
+	u.State = Recycled
+	u.RecycledAt = now
+	p.updateMem()
+}
+
+// Stalled reports whether appends currently cannot proceed.
+func (p *Pool) Stalled() bool {
+	if p.Active() != nil {
+		return false
+	}
+	if p.units[0].State == Recycled || len(p.units) < p.MaxUnits {
+		return false
+	}
+	return true
+}
+
+// Units returns the pool's units oldest→newest (tests, memory accounting).
+func (p *Pool) Units() []*Unit { return p.units }
+
+// Tail returns the newest unit. Immediately after a successful Append, Tail
+// is the unit the record landed in (rotation happens at the start of the
+// next Append).
+func (p *Pool) Tail() *Unit { return p.units[len(p.units)-1] }
+
+// Pending reports whether any unit holds unrecycled data.
+func (p *Pool) Pending() bool {
+	for _, u := range p.units {
+		switch u.State {
+		case Recyclable, Recycling:
+			return true
+		case Empty:
+			if u.Appended > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *Pool) updateMem() {
+	var m int64
+	for _, u := range p.units {
+		m += u.IndexedBytes()
+	}
+	p.stats.MemBytes = m
+	if m > p.stats.PeakMemBytes {
+		p.stats.PeakMemBytes = m
+	}
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Covers reports whether [off, off+size) of blk is fully present across the
+// pool's retained units (read-cache hit test).
+func (p *Pool) Covers(blk wire.BlockID, off, size int64) bool {
+	end := off + size
+	var iv [][2]int64
+	for _, u := range p.units {
+		if b := u.Lookup(blk); b != nil {
+			iv = b.covers(off, end, iv)
+		}
+	}
+	if len(iv) == 0 {
+		return size == 0
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	cur := off
+	for _, r := range iv {
+		if r[0] > cur {
+			return false
+		}
+		if r[1] > cur {
+			cur = r[1]
+		}
+	}
+	return cur >= end
+}
+
+// Overlay applies the pool's indexed data for blk onto dst (block offset
+// off), oldest unit first so the newest data wins.
+func (p *Pool) Overlay(blk wire.BlockID, off int64, dst []byte) {
+	for _, u := range p.units {
+		if b := u.Lookup(blk); b != nil {
+			b.Overlay(off, dst)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package netsim models the cluster interconnect for the simulated ECFS:
+// per-node full-duplex NICs with finite bandwidth, a per-hop base latency
+// (propagation plus RPC software overhead), and complete traffic accounting.
+// The paper's SSD testbed uses 25 Gb/s Ethernet and the HDD testbed 40 Gb/s
+// InfiniBand (§5.1, §5.4); both are expressible as Params.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// Params describes the fabric.
+type Params struct {
+	Bandwidth float64       // bytes/sec per NIC direction
+	BaseLat   time.Duration // per-hop latency incl. RPC software overhead
+}
+
+// Ethernet25G models the paper's SSD-cluster network.
+func Ethernet25G() Params {
+	return Params{Bandwidth: 25e9 / 8, BaseLat: 20 * time.Microsecond}
+}
+
+// Infiniband40G models the paper's HDD-cluster network.
+func Infiniband40G() Params {
+	return Params{Bandwidth: 40e9 / 8, BaseLat: 8 * time.Microsecond}
+}
+
+// ErrNodeDown is returned for calls to a failed node.
+var ErrNodeDown = errors.New("netsim: node down")
+
+// Handler processes one inbound message on a node and returns the response.
+type Handler func(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg
+
+// Stats holds traffic counters.
+type Stats struct {
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+}
+
+type node struct {
+	id      wire.NodeID
+	tx, rx  *sim.Resource
+	handler Handler
+	down    bool
+	stats   Stats
+}
+
+// Fabric connects nodes.
+type Fabric struct {
+	env    *sim.Env
+	params Params
+	nodes  map[wire.NodeID]*node
+	total  Stats
+}
+
+// New creates an empty fabric.
+func New(e *sim.Env, p Params) *Fabric {
+	return &Fabric{env: e, params: p, nodes: make(map[wire.NodeID]*node)}
+}
+
+// AddNode registers a node; handler may be nil for pure clients.
+func (f *Fabric) AddNode(id wire.NodeID, h Handler) {
+	if _, dup := f.nodes[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %d", id))
+	}
+	f.nodes[id] = &node{
+		id:      id,
+		tx:      f.env.NewResource(fmt.Sprintf("nic-tx-%d", id), 1),
+		rx:      f.env.NewResource(fmt.Sprintf("nic-rx-%d", id), 1),
+		handler: h,
+	}
+}
+
+// SetHandler replaces a node's handler.
+func (f *Fabric) SetHandler(id wire.NodeID, h Handler) { f.nodes[id].handler = h }
+
+// SetDown marks a node failed (true) or restored (false).
+func (f *Fabric) SetDown(id wire.NodeID, down bool) { f.nodes[id].down = down }
+
+// Down reports whether the node is failed.
+func (f *Fabric) Down(id wire.NodeID) bool { return f.nodes[id].down }
+
+func (f *Fabric) xfer(p *sim.Proc, r *sim.Resource, size int64) {
+	d := time.Duration(float64(size) / f.params.Bandwidth * float64(time.Second))
+	r.Use(p, d)
+}
+
+type callResult struct {
+	resp wire.Msg
+	err  error
+}
+
+// Call performs a synchronous RPC from -> to. It charges the sender's TX and
+// the receiver's RX for the request, runs the handler in a fresh process on
+// the receiver, then charges the reverse path for the response. Loopback
+// calls skip the NIC but still run the handler.
+func (f *Fabric) Call(p *sim.Proc, from, to wire.NodeID, req wire.Msg) (wire.Msg, error) {
+	src, ok := f.nodes[from]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown source node %d", from)
+	}
+	dst, ok := f.nodes[to]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown target node %d", to)
+	}
+	if src.down {
+		return nil, ErrNodeDown
+	}
+	if dst.down {
+		// The connection attempt still costs a round trip.
+		p.Sleep(2 * f.params.BaseLat)
+		return nil, ErrNodeDown
+	}
+	if dst.handler == nil {
+		return nil, fmt.Errorf("netsim: node %d has no handler", to)
+	}
+	if from == to {
+		// Local dispatch: no NIC, no propagation; handler still runs in its
+		// own process for scheduling parity with remote calls.
+		return f.dispatch(p, src, dst, req, true)
+	}
+	reqSize := wire.SizeOf(req)
+	f.xfer(p, src.tx, reqSize)
+	p.Sleep(f.params.BaseLat)
+	src.stats.BytesSent += reqSize
+	src.stats.MsgsSent++
+	dst.stats.BytesRecv += reqSize
+	dst.stats.MsgsRecv++
+	f.total.BytesSent += reqSize
+	f.total.MsgsSent++
+	return f.dispatch(p, src, dst, req, false)
+}
+
+func (f *Fabric) dispatch(p *sim.Proc, src, dst *node, req wire.Msg, local bool) (wire.Msg, error) {
+	respQ := sim.NewQueue[callResult](f.env)
+	f.env.Go(fmt.Sprintf("rpc@%d", dst.id), func(hp *sim.Proc) {
+		if !local {
+			f.xfer(hp, dst.rx, wire.SizeOf(req))
+		}
+		if dst.down {
+			respQ.Put(callResult{err: ErrNodeDown})
+			return
+		}
+		resp := dst.handler(hp, src.id, req)
+		if resp == nil {
+			resp = wire.OK
+		}
+		if !local {
+			respSize := wire.SizeOf(resp)
+			f.xfer(hp, dst.tx, respSize)
+			dst.stats.BytesSent += respSize
+			dst.stats.MsgsSent++
+			src.stats.BytesRecv += respSize
+			src.stats.MsgsRecv++
+			f.total.BytesSent += respSize
+			f.total.MsgsSent++
+		}
+		respQ.Put(callResult{resp: resp})
+	})
+	r, _ := respQ.Get(p)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !local {
+		p.Sleep(f.params.BaseLat)
+	}
+	return r.resp, nil
+}
+
+// NodeStats returns the traffic counters of one node.
+func (f *Fabric) NodeStats(id wire.NodeID) Stats { return f.nodes[id].stats }
+
+// TotalStats returns fabric-wide traffic (each message counted once).
+func (f *Fabric) TotalStats() Stats { return f.total }
+
+// ResetStats zeroes all traffic counters.
+func (f *Fabric) ResetStats() {
+	f.total = Stats{}
+	for _, n := range f.nodes {
+		n.stats = Stats{}
+	}
+}

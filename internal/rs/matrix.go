@@ -1,0 +1,159 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"tsue/internal/gf256"
+)
+
+// Matrix is a dense matrix over GF(2^8), stored row-major.
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte
+}
+
+// NewMatrix returns a zero rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("rs: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Mul returns m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("rs: matrix dim mismatch %dx%d * %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		mrow := m.Row(r)
+		orow := out.Row(r)
+		for k := 0; k < m.Cols; k++ {
+			if a := mrow[k]; a != 0 {
+				gf256.MulXorSlice(a, orow, other.Row(k))
+			}
+		}
+	}
+	return out
+}
+
+// SubMatrix returns the matrix slice [r0:r1) x [c0:c1) as a copy.
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
+	out := NewMatrix(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		copy(out.Row(r-r0), m.Row(r)[c0:c1])
+	}
+	return out
+}
+
+// SwapRows exchanges rows i and j in place.
+func (m *Matrix) SwapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.Row(i), m.Row(j)
+	for c := range ri {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}
+
+// ErrSingular is returned when a matrix cannot be inverted, which for RS
+// decode means the chosen surviving rows do not form an invertible system.
+var ErrSingular = errors.New("rs: matrix is singular")
+
+// Invert returns the inverse of m using Gauss–Jordan elimination. m must be
+// square. Returns ErrSingular if no inverse exists.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("rs: cannot invert %dx%d non-square matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	work := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		work.SwapRows(col, pivot)
+		inv.SwapRows(col, pivot)
+		// Scale pivot row to 1.
+		if p := work.At(col, col); p != 1 {
+			ip := gf256.Inv(p)
+			gf256.MulSlice(ip, work.Row(col), work.Row(col))
+			gf256.MulSlice(ip, inv.Row(col), inv.Row(col))
+		}
+		// Eliminate column in all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := work.At(r, col); f != 0 {
+				gf256.MulXorSlice(f, work.Row(r), work.Row(col))
+				gf256.MulXorSlice(f, inv.Row(r), inv.Row(col))
+			}
+		}
+	}
+	return inv, nil
+}
+
+// vandermonde returns the rows x cols Vandermonde matrix V[r][c] = alpha^(r*c).
+func vandermonde(rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, gf256.Exp(r*c))
+		}
+	}
+	return m
+}
+
+// cauchy returns a (rows x cols) Cauchy matrix C[r][c] = 1/(x_r + y_c) with
+// x_r = r + cols and y_c = c, all distinct in GF(2^8). Requires
+// rows+cols <= 256.
+func cauchy(rows, cols int) *Matrix {
+	if rows+cols > 256 {
+		panic("rs: cauchy matrix requires rows+cols <= 256")
+	}
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, gf256.Inv(byte(r+cols)^byte(c)))
+		}
+	}
+	return m
+}

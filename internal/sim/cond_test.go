@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	e := NewEnv()
+	c := NewCond(e)
+	woke := 0
+	for i := 0; i < 5; i++ {
+		e.Go("w", func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+	}
+	e.Go("b", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		if c.Waiters() != 5 {
+			t.Errorf("waiters=%d", c.Waiters())
+		}
+		c.Broadcast()
+	})
+	e.Run(0)
+	if woke != 5 {
+		t.Fatalf("woke=%d", woke)
+	}
+}
+
+func TestCondBroadcastNoWaiters(t *testing.T) {
+	e := NewEnv()
+	c := NewCond(e)
+	c.Broadcast() // must not panic
+	e.Run(0)
+}
+
+func TestCondRewait(t *testing.T) {
+	e := NewEnv()
+	c := NewCond(e)
+	state := 0
+	var observed int
+	e.Go("w", func(p *Proc) {
+		for state < 2 {
+			c.Wait(p)
+		}
+		observed = state
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		state = 1
+		c.Broadcast()
+		p.Sleep(time.Millisecond)
+		state = 2
+		c.Broadcast()
+	})
+	e.Run(0)
+	if observed != 2 {
+		t.Fatalf("observed=%d", observed)
+	}
+}

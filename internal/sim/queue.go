@@ -1,0 +1,133 @@
+package sim
+
+// Queue is an unbounded FIFO message queue for inter-process communication
+// (node mailboxes, RPC response slots). Get blocks while the queue is empty;
+// Put never blocks. A closed queue returns ok=false to blocked and future
+// getters once drained.
+type Queue[T any] struct {
+	env     *Env
+	items   []T
+	waiters []*getWaiter[T]
+	closed  bool
+}
+
+type getWaiter[T any] struct {
+	p     *Proc
+	val   T
+	ok    bool
+	woken bool
+}
+
+// NewQueue creates an empty queue bound to e.
+func NewQueue[T any](e *Env) *Queue[T] {
+	return &Queue[T]{env: e}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v, handing it directly to the oldest blocked getter if any.
+// Putting to a closed queue panics.
+func (q *Queue[T]) Put(v T) {
+	if q.closed {
+		panic("sim: Put on closed queue")
+	}
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		w.val, w.ok, w.woken = v, true, true
+		q.env.wakeAt(w.p, q.env.now)
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. ok is false if the queue was closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	if len(q.items) > 0 {
+		v = q.items[0]
+		copy(q.items, q.items[1:])
+		var zero T
+		q.items[len(q.items)-1] = zero
+		q.items = q.items[:len(q.items)-1]
+		return v, true
+	}
+	if q.closed {
+		return v, false
+	}
+	w := &getWaiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	p.park()
+	return w.val, w.ok
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	copy(q.items, q.items[1:])
+	var zero T
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// Close marks the queue closed and wakes all blocked getters with ok=false.
+// Buffered items remain retrievable by TryGet (Get on a closed queue with
+// items still returns them first? No: Get prefers items, then reports
+// closed). Closing twice is a no-op.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.waiters {
+		w.ok = false
+		q.env.wakeAt(w.p, q.env.now)
+	}
+	q.waiters = nil
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// WaitGroup counts outstanding work items; Wait blocks until the count
+// reaches zero.
+type WaitGroup struct {
+	env     *Env
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup bound to e.
+func NewWaitGroup(e *Env) *WaitGroup { return &WaitGroup{env: e} }
+
+// Add increments the counter by n.
+func (w *WaitGroup) Add(n int) { w.count += n }
+
+// Done decrements the counter, waking waiters at zero.
+func (w *WaitGroup) Done() {
+	w.count--
+	if w.count < 0 {
+		panic("sim: WaitGroup counter below zero")
+	}
+	if w.count == 0 {
+		for _, p := range w.waiters {
+			w.env.wakeAt(p, w.env.now)
+		}
+		w.waiters = nil
+	}
+}
+
+// Wait blocks until the counter is zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.park()
+}

@@ -1,0 +1,264 @@
+// Package sim is a small discrete-event simulation kernel. Simulated
+// processes are goroutines that run one at a time under a virtual clock;
+// they block on kernel primitives (Sleep, Resource, Queue) and the scheduler
+// advances time between events. This lets ordinary sequential Go code — the
+// whole ECFS cluster in this repository — execute unmodified under simulated
+// device and network timing, with fully deterministic results for a fixed
+// event order.
+//
+// Exactly one goroutine (the scheduler inside Run, or a single process) is
+// runnable at any instant, so simulated code needs no locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create with NewEnv, add processes with Go, execute with Run, release
+// leftover processes with Close.
+type Env struct {
+	now     time.Duration
+	seq     uint64
+	events  eventQueue
+	yield   chan struct{}
+	procs   map[*Proc]struct{}
+	closing bool
+	nprocs  int // live (started, unfinished) procs
+}
+
+// NewEnv returns an empty environment at time zero.
+func NewEnv() *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+type event struct {
+	t   time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = event{}
+	*q = old[:n-1]
+	return it
+}
+
+// At schedules fn to run in scheduler context at absolute virtual time t
+// (clamped to now). fn must not block; to run blocking code, start a process.
+func (e *Env) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn at now+d.
+func (e *Env) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Proc is a simulated process. All blocking methods must only be called from
+// the process's own goroutine.
+type Proc struct {
+	env     *Env
+	name    string
+	resume  chan struct{}
+	killed  bool
+	started bool
+}
+
+// Env returns the environment that owns p.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+type killedErr struct{ name string }
+
+func (k killedErr) Error() string { return "sim: proc " + k.name + " killed at Close" }
+
+// Go starts a new process running fn. The process begins executing at the
+// current virtual time, after the caller yields to the scheduler.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	e.nprocs++
+	e.At(e.now, func() {
+		p.started = true
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killedErr); !ok {
+						panic(r)
+					}
+				}
+				delete(e.procs, p)
+				e.nprocs--
+				e.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		<-e.yield
+	})
+	return p
+}
+
+// park suspends the calling process until the scheduler wakes it.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedErr{p.name})
+	}
+}
+
+// wakeAt schedules p to resume at absolute time t. Internal: each parked
+// process must have exactly one pending wake.
+func (e *Env) wakeAt(p *Proc, t time.Duration) {
+	e.At(t, func() {
+		p.resume <- struct{}{}
+		<-e.yield
+	})
+}
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.wakeAt(p, p.env.now+d)
+	p.park()
+}
+
+// Yield lets every other currently-runnable event at this timestamp run
+// before the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run executes events until the queue is empty or until limit (if > 0) is
+// reached. It returns the virtual time at exit.
+func (e *Env) Run(limit time.Duration) time.Duration {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if limit > 0 && ev.t > limit {
+			e.now = limit
+			return e.now
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	return e.now
+}
+
+// Idle reports whether no events remain.
+func (e *Env) Idle() bool { return e.events.Len() == 0 }
+
+// LiveProcs returns the number of started, unfinished processes.
+func (e *Env) LiveProcs() int { return e.nprocs }
+
+// Close unwinds all parked processes (their blocking calls panic with an
+// internal sentinel that is recovered in the process wrapper) so their
+// goroutines exit. Call after Run when discarding the environment.
+func (e *Env) Close() {
+	e.closing = true
+	// Processes whose start event never ran have no goroutine to unwind.
+	for p := range e.procs {
+		if !p.started {
+			delete(e.procs, p)
+			e.nprocs--
+		}
+	}
+	for len(e.procs) > 0 {
+		var p *Proc
+		for q := range e.procs {
+			p = q
+			break
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+	e.events = nil
+}
+
+// Resource models a server with fixed capacity (e.g. a disk with internal
+// queue depth N, a NIC). Waiters are served FIFO.
+type Resource struct {
+	env     *Env
+	name    string
+	cap     int
+	inUse   int
+	waiters []*Proc
+	// BusyTime accumulates capacity-seconds of usage via Use, for
+	// utilization reporting.
+	BusyTime time.Duration
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func (e *Env) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d < 1", name, capacity))
+	}
+	return &Resource{env: e, name: name, cap: capacity}
+}
+
+// Acquire obtains one capacity slot, blocking FIFO while the resource is full.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+	// The releaser transferred its slot to us; inUse stays constant.
+}
+
+// Release frees one slot, handing it to the oldest waiter if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		r.env.wakeAt(w, r.env.now)
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, holds it for d, then releases it.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p)
+	r.BusyTime += d
+	p.Sleep(d)
+	r.Release()
+}
+
+// InUse returns the number of occupied slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of blocked waiters.
+func (r *Resource) QueueLen() int { return len(r.waiters) }

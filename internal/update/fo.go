@@ -1,0 +1,62 @@
+package update
+
+import (
+	"fmt"
+
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// fo is the Full-Overwrite scheme [Aguilera et al., DSN'05]: every update
+// rewrites the data block and all M parity blocks in place, synchronously.
+// It has the longest update path of all schemes (paper Fig. 1) and every
+// access is small and random, but it keeps no logs: recovery needs no merge
+// and there is nothing to drain.
+type fo struct {
+	base
+}
+
+func newFO(h Host) *fo { return &fo{base: newBase(h)} }
+
+func (*fo) Name() string { return "fo" }
+
+func (e *fo) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error {
+	e.lockBlock(p, blk)
+	delta, err := e.readModifyWrite(p, blk, off, data)
+	// The lock only needs to cover the data RMW: parity deltas commute
+	// (XOR) and each parity RMW is made atomic by the parity block's own
+	// lock on the remote side.
+	e.unlockBlock(blk)
+	if err != nil {
+		return err
+	}
+	// Sequentially update each parity block in place — the long path.
+	s := blk.StripeID()
+	osds := e.h.Placement(s)
+	k := e.h.Code().K
+	for j := 0; j < e.h.Code().M; j++ {
+		pd := mulDelta(e.h.Code(), j, int(blk.Index), delta)
+		req := &wire.ParityDelta{Blk: e.parityBlock(s, j), Off: off, Data: pd}
+		if err := e.callAck(p, osds[k+j], req); err != nil {
+			return fmt.Errorf("fo: parity %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+func (e *fo) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool) {
+	pd, ok := m.(*wire.ParityDelta)
+	if !ok {
+		return nil, false
+	}
+	return errAck(e.applyParityDelta(p, pd.Blk, pd.Off, pd.Data)), true
+}
+
+func (e *fo) Read(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error) {
+	return e.read(p, blk, off, size)
+}
+
+func (e *fo) Drain(*sim.Proc) error { return nil }
+func (e *fo) Dirty() bool           { return false }
+func (e *fo) MemBytes() int64       { return 0 }
+func (e *fo) PeakMemBytes() int64   { return 0 }

@@ -1,0 +1,144 @@
+package update
+
+import (
+	"sort"
+
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// pl is Parity Logging [Stodolsky et al., ISCA'93]: the data block is
+// updated in place (read-modify-write), and the resulting parity deltas are
+// appended sequentially to a parity log on each parity OSD. Recycling is
+// lazy — deferred until the log exceeds a space threshold (or a drain) —
+// which keeps the update path fast but leaves a large merge debt that hurts
+// recovery (paper §2.2, §2.3.2).
+type pl struct {
+	base
+	o Options
+
+	logZone   int
+	logCursor int64
+	// records per parity block, in arrival order (PL does not merge).
+	records  map[wire.BlockID][]plRec
+	logBytes int64
+	peak     int64
+	draining bool
+	recycles int64
+}
+
+type plRec struct {
+	off   int64
+	delta []byte
+	// pos is the record's location in the on-disk log (recycle reads it
+	// back with random I/O — PL's recycle inefficiency, §2.2).
+	pos int64
+}
+
+func newPL(h Host, o Options) *pl {
+	return &pl{
+		base:    newBase(h),
+		o:       o,
+		logZone: h.Store().Device().NewZone("pl-log", true),
+		records: make(map[wire.BlockID][]plRec),
+	}
+}
+
+func (*pl) Name() string { return "pl" }
+
+func (e *pl) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error {
+	e.lockBlock(p, blk)
+	delta, err := e.readModifyWrite(p, blk, off, data)
+	e.unlockBlock(blk)
+	if err != nil {
+		return err
+	}
+	s := blk.StripeID()
+	osds := e.h.Placement(s)
+	k, m := e.h.Code().K, e.h.Code().M
+	// Parallel append of the parity delta to each parity OSD's log.
+	return e.fanout(p, m, func(hp *sim.Proc, j int) error {
+		pd := mulDelta(e.h.Code(), j, int(blk.Index), delta)
+		req := &wire.DeltaAppend{
+			Blk: blk, ParityIdx: uint16(j), Off: off, Data: pd,
+			Kind: wire.KindParityDelta,
+		}
+		return e.callAck(hp, osds[k+j], req)
+	})
+}
+
+func (e *pl) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool) {
+	da, ok := m.(*wire.DeltaAppend)
+	if !ok {
+		return nil, false
+	}
+	pblk := e.parityBlock(da.Blk.StripeID(), int(da.ParityIdx))
+	// Sequential append to the local parity log (memory + SSD).
+	pos := e.logCursor % (2 * e.o.RecycleThreshold)
+	e.logCursor += int64(len(da.Data)) + 24
+	e.h.Store().Device().Write(p, e.logZone, pos, int64(len(da.Data))+24, false)
+	e.records[pblk] = append(e.records[pblk], plRec{off: da.Off, delta: append([]byte(nil), da.Data...), pos: pos})
+	e.logBytes += int64(len(da.Data))
+	if e.logBytes > e.peak {
+		e.peak = e.logBytes
+	}
+	if e.logBytes >= e.o.RecycleThreshold && !e.draining {
+		e.recycleAll(p)
+	}
+	return wire.OK, true
+}
+
+// recycleAll merges every pending parity delta into its parity block. Each
+// record costs a random read of the on-disk log plus a read-modify-write of
+// the parity region.
+func (e *pl) recycleAll(p *sim.Proc) {
+	e.draining = true
+	defer func() { e.draining = false }()
+	blks := make([]wire.BlockID, 0, len(e.records))
+	for b := range e.records {
+		blks = append(blks, b)
+	}
+	sort.Slice(blks, func(i, j int) bool { return less(blks[i], blks[j]) })
+	dev := e.h.Store().Device()
+	for _, blk := range blks {
+		recs := e.records[blk]
+		delete(e.records, blk)
+		// PL keeps no merging index: every record costs a random read of
+		// the on-disk log plus an individual parity RMW — the recycle
+		// inefficiency the paper attributes to PL (§2.2).
+		for _, r := range recs {
+			dev.Read(p, e.logZone, r.pos, int64(len(r.delta))+24)
+			e.logBytes -= int64(len(r.delta))
+			if err := e.applyParityDelta(p, blk, r.off, r.delta); err != nil {
+				// Parity blocks always exist for preloaded stripes; surface
+				// loudly in tests.
+				panic("pl: recycle: " + err.Error())
+			}
+			e.recycles++
+		}
+	}
+	e.logCursor = 0
+}
+
+func (e *pl) Read(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error) {
+	return e.read(p, blk, off, size)
+}
+
+func (e *pl) Drain(p *sim.Proc) error {
+	e.recycleAll(p)
+	return nil
+}
+
+func (e *pl) Dirty() bool         { return len(e.records) > 0 }
+func (e *pl) MemBytes() int64     { return e.logBytes }
+func (e *pl) PeakMemBytes() int64 { return e.peak }
+
+func less(a, b wire.BlockID) bool {
+	if a.Ino != b.Ino {
+		return a.Ino < b.Ino
+	}
+	if a.Stripe != b.Stripe {
+		return a.Stripe < b.Stripe
+	}
+	return a.Index < b.Index
+}

@@ -1,0 +1,535 @@
+package update
+
+import (
+	"fmt"
+
+	"tsue/internal/logpool"
+	"tsue/internal/rs"
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// tsue is the paper's contribution: a two-stage update scheme.
+//
+// Front end (synchronous): an update is appended to the local DataLog
+// (memory index + sequential SSD persist) and replicated to the next OSD's
+// DataLog copy, then acked — no read-modify-write on the update path.
+//
+// Back end (asynchronous, real-time): per-pool recyclers drain sealed log
+// units through the three-layer pipeline:
+//
+//	DataLog  — merged extents are RMW'd into the data block; the data deltas
+//	           forward to the DeltaLog on the first parity holder (copy to
+//	           the second).
+//	DeltaLog — deltas of one stripe fold into per-parity-block staged deltas
+//	           (Equation (5)) and ship to each parity holder's ParityLog.
+//	ParityLog— merged parity deltas XOR into the parity block in place.
+//
+// Every layer uses the FIFO log-pool structure with the two-level index, so
+// repeated and adjacent updates collapse before they cost device or network
+// work. Retained recycled units double as a read cache.
+type tsue struct {
+	base
+	o Options
+
+	data   *tsueLayer
+	delta  *tsueLayer
+	parity *tsueLayer
+
+	// Replica store: unrecycled DataLog items held for peers, by source
+	// node and pool; dropped on UnitDone; replayed at recovery.
+	replicaZone   int
+	replicaCursor int64
+	replicas      map[replicaKey][]replicaItem
+
+	idle *sim.Cond // broadcast after every unit recycle (drain support)
+}
+
+type replicaKey struct {
+	src  wire.NodeID
+	pool uint16
+}
+
+type replicaItem struct {
+	unitSeq uint64
+	blk     wire.BlockID
+	off     int64
+	data    []byte
+}
+
+// tsueLayer is one log structure (DataLog, DeltaLog or ParityLog) on one OSD.
+type tsueLayer struct {
+	name      string
+	pools     []*logpool.Pool
+	zones     []int
+	cursors   []int64
+	queues    []*sim.Queue[*logpool.Unit]
+	cond      *sim.Cond // unit recycled: stalled appenders retry
+	exclusive bool      // pre-O3 baseline: recycle blocks appends
+	recycling int
+	stats     LayerStats
+}
+
+func newTsueLayer(h Host, name string, mode logpool.MergeMode, o Options, pools int, noMerge bool) *tsueLayer {
+	l := &tsueLayer{
+		name:      name,
+		cond:      sim.NewCond(h.Env()),
+		exclusive: !o.UseLogPool,
+	}
+	maxUnits := o.MaxUnits
+	if !o.UseLogPool {
+		// Single exclusive log: a second unit only exists so appends have
+		// somewhere to land once the recycle finishes.
+		maxUnits = 2
+	}
+	for i := 0; i < pools; i++ {
+		pool := logpool.NewPool(i, mode, o.UnitSize, maxUnits)
+		pool.NoMerge = noMerge
+		l.pools = append(l.pools, pool)
+		l.zones = append(l.zones, h.Store().Device().NewZone(fmt.Sprintf("tsue-%s-%d", name, i), true))
+		l.cursors = append(l.cursors, 0)
+		l.queues = append(l.queues, sim.NewQueue[*logpool.Unit](h.Env()))
+	}
+	return l
+}
+
+func (l *tsueLayer) poolFor(key uint64) int { return int(key % uint64(len(l.pools))) }
+
+func (l *tsueLayer) memBytes() int64 {
+	var n int64
+	for _, p := range l.pools {
+		n += p.Stats().MemBytes
+	}
+	return n
+}
+
+func (l *tsueLayer) peakBytes() int64 {
+	var n int64
+	for _, p := range l.pools {
+		n += p.Stats().PeakMemBytes
+	}
+	return n
+}
+
+func (l *tsueLayer) pending() bool {
+	for _, p := range l.pools {
+		if p.Pending() {
+			return true
+		}
+	}
+	return false
+}
+
+func hashBlk(b wire.BlockID) uint64 {
+	h := b.Ino*0x9e3779b97f4a7c15 + uint64(b.Stripe)*0x85ebca6b + uint64(b.Index)*0xc2b2ae35
+	h ^= h >> 33
+	return h
+}
+
+func hashStripe(s wire.StripeID) uint64 {
+	h := s.Ino*0x9e3779b97f4a7c15 + uint64(s.Stripe)*0x85ebca6b
+	h ^= h >> 33
+	return h
+}
+
+func newTsue(h Host, o Options) *tsue {
+	t := &tsue{
+		base:        newBase(h),
+		o:           o,
+		replicaZone: h.Store().Device().NewZone("tsue-replog", true),
+		replicas:    make(map[replicaKey][]replicaItem),
+		idle:        sim.NewCond(h.Env()),
+	}
+	t.data = newTsueLayer(h, "data", logpool.Overwrite, o, o.Pools, !o.DataLocality)
+	if o.UseDeltaLog {
+		t.delta = newTsueLayer(h, "delta", logpool.XOR, o, o.Pools, false)
+	}
+	t.parity = newTsueLayer(h, "parity", logpool.XOR, o, o.Pools, !o.ParityLocality)
+	// One recycler process per pool per layer (the paper's recycle thread
+	// pool; units of one pool recycle in order, pools in parallel).
+	t.startRecyclers(t.data, t.recycleDataUnit)
+	if t.delta != nil {
+		t.startRecyclers(t.delta, t.recycleDeltaUnit)
+	}
+	t.startRecyclers(t.parity, t.recycleParityUnit)
+	return t
+}
+
+func (*tsue) Name() string { return "tsue" }
+
+func (t *tsue) startRecyclers(l *tsueLayer, fn func(p *sim.Proc, u *logpool.Unit)) {
+	for i := range l.pools {
+		i := i
+		t.h.Env().Go(fmt.Sprintf("tsue-recycle-%s-%d@%d", l.name, i, t.h.NodeID()), func(p *sim.Proc) {
+			for {
+				u, ok := l.queues[i].Get(p)
+				if !ok {
+					return
+				}
+				l.pools[i].MarkRecycling(u)
+				l.recycling++
+				start := p.Now()
+				if u.FirstAppend >= 0 {
+					l.stats.BufferN++
+					l.stats.BufferTime += start - u.FirstAppend
+				}
+				fn(p, u)
+				l.pools[i].MarkRecycled(u, p.Now())
+				l.recycling--
+				l.stats.Units++
+				l.stats.RecycleTime += p.Now() - start
+				l.cond.Broadcast()
+				t.idle.Broadcast()
+			}
+		})
+	}
+}
+
+// appendLayer inserts one record into the layer's pool (blocking through
+// stalls), persists it to the log zone sequentially, and enqueues sealed
+// units for recycling. It returns the unit the record landed in.
+func (t *tsue) appendLayer(p *sim.Proc, l *tsueLayer, poolIdx int, blk wire.BlockID, off int64, data []byte) *logpool.Unit {
+	start := p.Now()
+	pool := l.pools[poolIdx]
+	for {
+		if l.exclusive && l.recycling > 0 {
+			l.cond.Wait(p)
+			continue
+		}
+		sealed, ok := pool.Append(blk, off, data, p.Now())
+		if !ok {
+			l.cond.Wait(p)
+			continue
+		}
+		rec := int64(len(data)) + 24
+		// The on-disk log region is circular (MaxUnits units worth of
+		// space per pool): recycled units' space is overwritten, which the
+		// FTL sees as invalidation rather than unbounded growth.
+		span := int64(t.o.MaxUnits) * t.o.UnitSize
+		pos := l.cursors[poolIdx] % span
+		l.cursors[poolIdx] += rec
+		t.h.Store().Device().Write(p, l.zones[poolIdx], pos, rec, false)
+		if sealed != nil {
+			l.queues[poolIdx].Put(sealed)
+		}
+		l.stats.AppendN++
+		l.stats.AppendTime += p.Now() - start
+		return pool.Tail()
+	}
+}
+
+// Update is the synchronous front end: append locally, replicate, ack.
+func (t *tsue) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error {
+	poolIdx := t.data.poolFor(hashBlk(blk))
+	u := t.appendLayer(p, t.data, poolIdx, blk, off, data)
+	// Replicate to the next Copies-1 OSDs' DataLog copies (2 total on SSD,
+	// 3 on HDD; §3.1.1).
+	nrep := t.o.Copies - 1
+	if nrep <= 0 {
+		return nil
+	}
+	self := t.h.NodeID()
+	return t.fanout(p, nrep, func(hp *sim.Proc, i int) error {
+		req := &wire.LogReplica{
+			SrcNode: self, Pool: uint16(poolIdx), UnitSeq: u.Seq,
+			Blk: blk, Off: off, Data: data,
+		}
+		return t.callAck(hp, t.replicaTarget(i), req)
+	})
+}
+
+// replicaTarget picks the i-th DataLog replica holder: the following live
+// OSDs in ring order after this node.
+func (t *tsue) replicaTarget(i int) wire.NodeID {
+	peers := t.h.Peers()
+	self := 0
+	for idx, id := range peers {
+		if id == t.h.NodeID() {
+			self = idx
+			break
+		}
+	}
+	seen := 0
+	for step := 1; step < len(peers); step++ {
+		id := peers[(self+step)%len(peers)]
+		if !t.h.Alive(id) {
+			continue
+		}
+		if seen == i {
+			return id
+		}
+		seen++
+	}
+	return peers[(self+1+i)%len(peers)]
+}
+
+func (t *tsue) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool) {
+	switch v := m.(type) {
+	case *wire.LogReplica:
+		rec := int64(len(v.Data)) + 32
+		span := int64(t.o.MaxUnits) * t.o.UnitSize * 2
+		t.h.Store().Device().Write(p, t.replicaZone, t.replicaCursor%span, rec, false)
+		t.replicaCursor += rec
+		key := replicaKey{src: v.SrcNode, pool: v.Pool}
+		t.replicas[key] = append(t.replicas[key], replicaItem{
+			unitSeq: v.UnitSeq, blk: v.Blk, off: v.Off,
+			data: append([]byte(nil), v.Data...),
+		})
+		return wire.OK, true
+	case *wire.UnitDone:
+		key := replicaKey{src: v.SrcNode, pool: v.Pool}
+		items := t.replicas[key]
+		keep := items[:0]
+		for _, it := range items {
+			if it.unitSeq != v.UnitSeq {
+				keep = append(keep, it)
+			}
+		}
+		t.replicas[key] = keep
+		return wire.OK, true
+	case *wire.ReplicaFetch:
+		var out []wire.ReplicaItem
+		var total int64
+		// Deterministic order: ascending pool, then original append order.
+		for pool := 0; pool < len(t.data.pools); pool++ {
+			items := t.replicas[replicaKey{src: v.Node, pool: uint16(pool)}]
+			for _, it := range items {
+				out = append(out, wire.ReplicaItem{Blk: it.blk, Off: it.off, Data: it.data})
+				total += int64(len(it.data))
+			}
+		}
+		if total > 0 {
+			t.h.Store().Device().Read(p, t.replicaZone, 0, total)
+		}
+		return &wire.ReplicaResp{Items: out}, true
+	case *wire.DeltaAppend:
+		if v.Kind != wire.KindDataDelta {
+			return errAck(fmt.Errorf("tsue: unexpected delta kind %d", v.Kind)), true
+		}
+		if v.Replica {
+			// Reliability copy of the data delta (stored on the second
+			// parity holder's SSD only; never recycled, dropped implicitly).
+			rec := int64(len(v.Data)) + 32
+			span := int64(t.o.MaxUnits) * t.o.UnitSize * 2
+			t.h.Store().Device().Write(p, t.replicaZone, t.replicaCursor%span, rec, false)
+			t.replicaCursor += rec
+			return wire.OK, true
+		}
+		if t.delta == nil {
+			return errAck(fmt.Errorf("tsue: DeltaLog disabled")), true
+		}
+		s := v.Blk.StripeID()
+		t.appendLayer(p, t.delta, t.delta.poolFor(hashStripe(s)), v.Blk, v.Off, v.Data)
+		return wire.OK, true
+	case *wire.ParityDelta:
+		t.appendLayer(p, t.parity, t.parity.poolFor(hashBlk(v.Blk)), v.Blk, v.Off, v.Data)
+		return wire.OK, true
+	}
+	return nil, false
+}
+
+// recycleDataUnit merges a DataLog unit into data blocks and forwards the
+// data deltas downstream.
+func (t *tsue) recycleDataUnit(p *sim.Proc, u *logpool.Unit) {
+	c := t.h.Code()
+	k, mm := c.K, c.M
+	st := t.h.Store()
+	for _, blk := range u.Blocks() {
+		bl := u.Lookup(blk)
+		s := blk.StripeID()
+		osds := t.h.Placement(s)
+		for _, ext := range bl.Extents() {
+			old, err := st.ReadRange(p, blk, ext.Off, int64(len(ext.Data)))
+			if err != nil {
+				panic("tsue: data recycle read: " + err.Error())
+			}
+			delta := make([]byte, len(ext.Data))
+			rs.DataDelta(delta, ext.Data, old)
+			if err := st.WriteRange(p, blk, ext.Off, ext.Data); err != nil {
+				panic("tsue: data recycle write: " + err.Error())
+			}
+			if t.delta != nil {
+				// Primary delta to P1's DeltaLog; copy to P2 (if M >= 2).
+				req := &wire.DeltaAppend{Blk: blk, Off: ext.Off, Data: delta, Kind: wire.KindDataDelta}
+				if err := t.callAck(p, osds[k], req); err != nil {
+					panic("tsue: delta fwd: " + err.Error())
+				}
+				if mm >= 2 && t.o.Copies >= 2 {
+					// Reliability copy; best effort — a dead holder only
+					// narrows the redundancy window.
+					cp := &wire.DeltaAppend{Blk: blk, Off: ext.Off, Data: delta, Kind: wire.KindDataDelta, Replica: true}
+					_ = t.callAck(p, osds[k+1], cp)
+				}
+			} else {
+				// No DeltaLog (HDD config / pre-O5): multiply locally and
+				// append straight to each ParityLog.
+				for j := 0; j < mm; j++ {
+					pd := mulDelta(c, j, int(blk.Index), delta)
+					req := &wire.ParityDelta{Blk: t.parityBlock(s, j), Off: ext.Off, Data: pd}
+					if err := t.callAck(p, osds[k+j], req); err != nil {
+						panic("tsue: parity fwd: " + err.Error())
+					}
+				}
+			}
+			t.data.stats.RecycleN++
+		}
+	}
+	// Tell replica holders to drop their copies of this unit (best effort;
+	// stale replica entries are only garbage, never incorrectness).
+	nrep := t.o.Copies - 1
+	for i := 0; i < nrep; i++ {
+		done := &wire.UnitDone{SrcNode: t.h.NodeID(), Pool: uint16(poolID(u, t.data)), UnitSeq: u.Seq}
+		_ = t.callAck(p, t.replicaTarget(i), done)
+	}
+}
+
+// poolID recovers which pool a unit belongs to.
+func poolID(u *logpool.Unit, l *tsueLayer) int {
+	for i, p := range l.pools {
+		for _, pu := range p.Units() {
+			if pu == u {
+				return i
+			}
+		}
+	}
+	return 0
+}
+
+// recycleDeltaUnit folds one DeltaLog unit's data deltas into per-parity
+// staged deltas (Equation (5)) and ships them to the parity logs.
+func (t *tsue) recycleDeltaUnit(p *sim.Proc, u *logpool.Unit) {
+	c := t.h.Code()
+	k, mm := c.K, c.M
+	type stage struct{ perParity []*logpool.BlockLog }
+	stages := make(map[wire.StripeID]*stage)
+	var order []wire.StripeID
+	for _, blk := range u.Blocks() {
+		s := blk.StripeID()
+		sg, ok := stages[s]
+		if !ok {
+			sg = &stage{perParity: make([]*logpool.BlockLog, mm)}
+			for j := range sg.perParity {
+				sg.perParity[j] = &logpool.BlockLog{}
+			}
+			stages[s] = sg
+			order = append(order, s)
+		}
+		bl := u.Lookup(blk)
+		for _, ext := range bl.Extents() {
+			for j := 0; j < mm; j++ {
+				sg.perParity[j].Insert(ext.Off, mulDelta(c, j, int(blk.Index), ext.Data), logpool.XOR)
+			}
+			t.delta.stats.RecycleN++
+		}
+	}
+	for _, s := range order {
+		sg := stages[s]
+		osds := t.h.Placement(s)
+		for j := 0; j < mm; j++ {
+			pblk := t.parityBlock(s, j)
+			for _, ext := range sg.perParity[j].Extents() {
+				req := &wire.ParityDelta{Blk: pblk, Off: ext.Off, Data: ext.Data}
+				if err := t.callAck(p, osds[k+j], req); err != nil {
+					panic("tsue: parity delta fwd: " + err.Error())
+				}
+			}
+		}
+	}
+}
+
+// recycleParityUnit XORs merged parity deltas into parity blocks in place.
+func (t *tsue) recycleParityUnit(p *sim.Proc, u *logpool.Unit) {
+	for _, blk := range u.Blocks() {
+		bl := u.Lookup(blk)
+		for _, ext := range bl.Extents() {
+			if err := t.applyParityDelta(p, blk, ext.Off, ext.Data); err != nil {
+				panic("tsue: parity recycle: " + err.Error())
+			}
+			t.parity.stats.RecycleN++
+		}
+	}
+}
+
+// Read consults the DataLog read cache (§3.3.3): a fully covered range is
+// served from the index without touching the device; otherwise the block is
+// read and the log overlays applied (newest wins).
+func (t *tsue) Read(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error) {
+	pool := t.data.pools[t.data.poolFor(hashBlk(blk))]
+	if pool.Covers(blk, off, size) {
+		buf := make([]byte, size)
+		pool.Overlay(blk, off, buf)
+		return buf, nil
+	}
+	buf, err := t.h.Store().ReadRange(p, blk, off, size)
+	if err != nil {
+		return nil, err
+	}
+	pool.Overlay(blk, off, buf)
+	return buf, nil
+}
+
+// Drain seals all active units and waits until every layer is quiescent.
+// The cluster layer repeats drains across OSDs until a full round is clean,
+// which flushes cross-node pipeline stages.
+func (t *tsue) Drain(p *sim.Proc) error {
+	layers := []*tsueLayer{t.data, t.delta, t.parity}
+	for {
+		busy := false
+		for _, l := range layers {
+			if l == nil {
+				continue
+			}
+			for i, pool := range l.pools {
+				if u := pool.SealActive(p.Now()); u != nil {
+					l.queues[i].Put(u)
+				}
+			}
+			if l.pending() {
+				busy = true
+			}
+		}
+		if !busy {
+			return nil
+		}
+		t.idle.Wait(p)
+	}
+}
+
+func (t *tsue) Dirty() bool {
+	for _, l := range []*tsueLayer{t.data, t.delta, t.parity} {
+		if l != nil && l.pending() {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tsue) MemBytes() int64 {
+	n := t.data.memBytes() + t.parity.memBytes()
+	if t.delta != nil {
+		n += t.delta.memBytes()
+	}
+	return n
+}
+
+func (t *tsue) PeakMemBytes() int64 {
+	n := t.data.peakBytes() + t.parity.peakBytes()
+	if t.delta != nil {
+		n += t.delta.peakBytes()
+	}
+	return n
+}
+
+// Residency reports per-layer timing for the paper's Table 2.
+func (t *tsue) Residency() map[string]LayerStats {
+	out := map[string]LayerStats{
+		"data":   t.data.stats,
+		"parity": t.parity.stats,
+	}
+	if t.delta != nil {
+		out["delta"] = t.delta.stats
+	}
+	return out
+}
+
+var _ ResidencyReporter = (*tsue)(nil)

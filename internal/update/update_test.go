@@ -1,0 +1,264 @@
+package update
+
+import (
+	"testing"
+	"time"
+
+	"tsue/internal/blockstore"
+	"tsue/internal/device"
+	"tsue/internal/rs"
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// fakeHost is a single-node Host for engine-local unit tests: peer calls
+// are recorded and acked without a network.
+type fakeHost struct {
+	env   *sim.Env
+	store *blockstore.Store
+	code  *rs.Code
+	calls []wire.Msg
+}
+
+func newFakeHost(t *testing.T) *fakeHost {
+	t.Helper()
+	env := sim.NewEnv()
+	d := device.New(env, "d", device.SSD, device.SSDParams())
+	return &fakeHost{
+		env:   env,
+		store: blockstore.New(d, 4096),
+		code:  rs.MustNew(4, 2, rs.Vandermonde),
+	}
+}
+
+func (h *fakeHost) NodeID() wire.NodeID      { return 1 }
+func (h *fakeHost) Env() *sim.Env            { return h.env }
+func (h *fakeHost) Store() *blockstore.Store { return h.store }
+func (h *fakeHost) Code() *rs.Code           { return h.code }
+func (h *fakeHost) Placement(wire.StripeID) []wire.NodeID {
+	return []wire.NodeID{1, 2, 3, 4, 5, 6}
+}
+func (h *fakeHost) Peers() []wire.NodeID   { return []wire.NodeID{1, 2, 3, 4} }
+func (h *fakeHost) Alive(wire.NodeID) bool { return true }
+func (h *fakeHost) Call(p *sim.Proc, to wire.NodeID, req wire.Msg) (wire.Msg, error) {
+	h.calls = append(h.calls, req)
+	p.Sleep(10 * time.Microsecond)
+	return wire.OK, nil
+}
+
+func runProc(t *testing.T, h *fakeHost, fn func(p *sim.Proc)) {
+	t.Helper()
+	h.env.Go("t", func(p *sim.Proc) { fn(p) })
+	h.env.Run(0)
+	h.env.Close()
+}
+
+func TestFactoryKnowsAllNames(t *testing.T) {
+	h := newFakeHost(t)
+	for _, name := range Names() {
+		e, err := New(name, h, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e.Name() != name {
+			t.Fatalf("engine %q reports name %q", name, e.Name())
+		}
+	}
+	if _, err := New("bogus", h, Options{}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	h.env.Close()
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.UnitSize == 0 || o.MaxUnits == 0 || o.Pools == 0 || o.Copies == 0 ||
+		o.RecycleThreshold == 0 || o.PLRReserve == 0 || o.CordBufferSize == 0 {
+		t.Fatalf("defaults missing: %+v", o)
+	}
+}
+
+// TestPLUpdateSendsMDeltas: PL must forward one parity delta per parity
+// block, carrying coef-multiplied data.
+func TestPLUpdateSendsMDeltas(t *testing.T) {
+	h := newFakeHost(t)
+	eng, _ := New("pl", h, Options{})
+	blk := wire.BlockID{Ino: 1, Stripe: 0, Index: 2}
+	runProc(t, h, func(p *sim.Proc) {
+		if err := h.store.Put(p, blk, make([]byte, 4096)); err != nil {
+			t.Error(err)
+			return
+		}
+		newData := []byte{9, 9, 9, 9}
+		if err := eng.Update(p, blk, 100, newData); err != nil {
+			t.Error(err)
+			return
+		}
+	})
+	if len(h.calls) != 2 {
+		t.Fatalf("sent %d messages, want M=2", len(h.calls))
+	}
+	for j, m := range h.calls {
+		da, ok := m.(*wire.DeltaAppend)
+		if !ok {
+			t.Fatalf("msg %d is %T", j, m)
+		}
+		if da.Kind != wire.KindParityDelta {
+			t.Fatalf("msg %d kind %d", j, da.Kind)
+		}
+		// Old data was zero, so delta == new data; parity delta = coef*new.
+		want := h.code.Coef(int(da.ParityIdx), 2)
+		got := da.Data[0]
+		exp := mulDelta(h.code, int(da.ParityIdx), 2, []byte{9})[0]
+		if got != exp {
+			t.Fatalf("parity %d delta byte %d, want coef(%d)*9=%d", da.ParityIdx, got, want, exp)
+		}
+	}
+}
+
+// TestCordSendsSingleMessage: CoRD ships one delta to the collector
+// regardless of M.
+func TestCordSendsSingleMessage(t *testing.T) {
+	h := newFakeHost(t)
+	eng, _ := New("cord", h, Options{})
+	blk := wire.BlockID{Ino: 1, Stripe: 0, Index: 0}
+	runProc(t, h, func(p *sim.Proc) {
+		h.store.Put(p, blk, make([]byte, 4096))
+		if err := eng.Update(p, blk, 0, []byte{1, 2, 3}); err != nil {
+			t.Error(err)
+		}
+	})
+	if len(h.calls) != 1 {
+		t.Fatalf("cord sent %d messages, want 1", len(h.calls))
+	}
+	da := h.calls[0].(*wire.DeltaAppend)
+	if da.Kind != wire.KindDataDelta {
+		t.Fatal("cord must ship raw data deltas")
+	}
+}
+
+// TestParixFirstWriteTwoRounds: the first overwrite of a location ships
+// orig + new (2M messages), repeats ship only new (M messages).
+func TestParixFirstWriteTwoRounds(t *testing.T) {
+	h := newFakeHost(t)
+	eng, _ := New("parix", h, Options{})
+	blk := wire.BlockID{Ino: 1, Stripe: 0, Index: 1}
+	runProc(t, h, func(p *sim.Proc) {
+		h.store.Put(p, blk, make([]byte, 4096))
+		if err := eng.Update(p, blk, 0, []byte{1}); err != nil {
+			t.Error(err)
+			return
+		}
+		first := len(h.calls)
+		if first != 4 { // M=2 orig msgs + M=2 new msgs
+			t.Errorf("first write sent %d msgs, want 4", first)
+		}
+		if err := eng.Update(p, blk, 0, []byte{2}); err != nil {
+			t.Error(err)
+			return
+		}
+		if len(h.calls)-first != 2 { // repeat: M new msgs only
+			t.Errorf("repeat write sent %d msgs, want 2", len(h.calls)-first)
+		}
+	})
+}
+
+// TestTsueFrontEndSequentialOnly: a TSUE update must not touch the data
+// block (no random block I/O on the synchronous path) and must replicate
+// Copies-1 times.
+func TestTsueFrontEndSequentialOnly(t *testing.T) {
+	h := newFakeHost(t)
+	eng, _ := New("tsue", h, Options{Copies: 2, Pools: 1})
+	blk := wire.BlockID{Ino: 1, Stripe: 0, Index: 0}
+	runProc(t, h, func(p *sim.Proc) {
+		h.store.Put(p, blk, make([]byte, 4096))
+		before := h.store.Device().Stats()
+		if err := eng.Update(p, blk, 0, []byte{5, 5}); err != nil {
+			t.Error(err)
+			return
+		}
+		after := h.store.Device().Stats()
+		if after.ReadOps != before.ReadOps {
+			t.Error("TSUE front end performed a read")
+		}
+		if after.RandWriteOps != before.RandWriteOps+1 {
+			// Only the first-touch log append classifies as random (no
+			// history); nothing may land on the block zone.
+			t.Errorf("unexpected random writes: %d -> %d", before.RandWriteOps, after.RandWriteOps)
+		}
+		if after.OverwriteOps != before.OverwriteOps {
+			t.Error("TSUE front end overwrote in place")
+		}
+	})
+	reps := 0
+	for _, m := range h.calls {
+		if _, ok := m.(*wire.LogReplica); ok {
+			reps++
+		}
+	}
+	if reps != 1 {
+		t.Fatalf("replicated %d times, want Copies-1=1", reps)
+	}
+}
+
+// TestTsueReadCacheServesFromLog: with the update still in the DataLog, a
+// fully covered read must not touch the device.
+func TestTsueReadCacheServesFromLog(t *testing.T) {
+	h := newFakeHost(t)
+	eng, _ := New("tsue", h, Options{Pools: 1})
+	blk := wire.BlockID{Ino: 1, Stripe: 0, Index: 0}
+	runProc(t, h, func(p *sim.Proc) {
+		h.store.Put(p, blk, make([]byte, 4096))
+		if err := eng.Update(p, blk, 200, []byte{7, 8, 9}); err != nil {
+			t.Error(err)
+			return
+		}
+		before := h.store.Device().Stats().ReadOps
+		got, err := eng.Read(p, blk, 200, 3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if got[0] != 7 || got[1] != 8 || got[2] != 9 {
+			t.Errorf("read %v", got)
+		}
+		if h.store.Device().Stats().ReadOps != before {
+			t.Error("covered read touched the device")
+		}
+		// Partially covered read must hit the device and overlay.
+		got, err = eng.Read(p, blk, 198, 6)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if got[2] != 7 || got[5] != 0 {
+			t.Errorf("overlay read %v", got)
+		}
+		if h.store.Device().Stats().ReadOps == before {
+			t.Error("partial read skipped the device")
+		}
+	})
+}
+
+func TestFOHasNoLogState(t *testing.T) {
+	h := newFakeHost(t)
+	eng, _ := New("fo", h, Options{})
+	if eng.Dirty() || eng.MemBytes() != 0 || eng.PeakMemBytes() != 0 {
+		t.Fatal("FO reports log state")
+	}
+	runProc(t, h, func(p *sim.Proc) {
+		if err := eng.Drain(p); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestLayerStatsMeans(t *testing.T) {
+	ls := LayerStats{AppendN: 4, AppendTime: 8 * time.Microsecond}
+	if ls.MeanAppend() != 2*time.Microsecond {
+		t.Fatal("mean append wrong")
+	}
+	if (LayerStats{}).MeanRecycle() != 0 {
+		t.Fatal("zero-count mean must be 0")
+	}
+}

@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame layout: [1B type][4B payload len][payload]. Within payloads, integers
+// are little-endian; byte slices and strings are length-prefixed (u32 / u16).
+
+// Marshal appends the framed encoding of m to buf and returns the result.
+func Marshal(buf []byte, m Msg) []byte {
+	buf = append(buf, byte(m.Type()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.PayloadSize()))
+	start := len(buf)
+	buf = marshalPayload(buf, m)
+	if got := len(buf) - start; got != m.PayloadSize() {
+		panic(fmt.Sprintf("wire: %v PayloadSize()=%d but encoded %d", m.Type(), m.PayloadSize(), got))
+	}
+	return buf
+}
+
+func putBlockID(buf []byte, b BlockID) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, b.Ino)
+	buf = binary.LittleEndian.AppendUint32(buf, b.Stripe)
+	return binary.LittleEndian.AppendUint16(buf, b.Index)
+}
+
+func putBytes(buf, b []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+func putString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func marshalPayload(buf []byte, m Msg) []byte {
+	switch v := m.(type) {
+	case *Ack:
+		return putString(buf, v.Err)
+	case *CreateFile:
+		buf = putString(buf, v.Name)
+		return binary.LittleEndian.AppendUint32(buf, v.Stripes)
+	case *CreateResp:
+		buf = binary.LittleEndian.AppendUint64(buf, v.Ino)
+		return putString(buf, v.Err)
+	case *Lookup:
+		buf = binary.LittleEndian.AppendUint64(buf, v.Ino)
+		return binary.LittleEndian.AppendUint32(buf, v.Stripe)
+	case *LookupResp:
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(v.OSDs)))
+		for _, id := range v.OSDs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+		}
+		return putString(buf, v.Err)
+	case *Heartbeat:
+		return binary.LittleEndian.AppendUint32(buf, uint32(v.From))
+	case *PutBlock:
+		buf = putBlockID(buf, v.Blk)
+		return putBytes(buf, v.Data)
+	case *ReadBlock:
+		buf = putBlockID(buf, v.Blk)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Size))
+		if v.Raw {
+			return append(buf, 1)
+		}
+		return append(buf, 0)
+	case *ReadResp:
+		buf = putBytes(buf, v.Data)
+		return putString(buf, v.Err)
+	case *Update:
+		buf = putBlockID(buf, v.Blk)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
+		return putBytes(buf, v.Data)
+	case *DeltaAppend:
+		buf = putBlockID(buf, v.Blk)
+		buf = binary.LittleEndian.AppendUint16(buf, v.ParityIdx)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
+		buf = putBytes(buf, v.Data)
+		buf = append(buf, byte(v.Kind))
+		if v.Replica {
+			return append(buf, 1)
+		}
+		return append(buf, 0)
+	case *ParixAppend:
+		buf = putBlockID(buf, v.Blk)
+		buf = binary.LittleEndian.AppendUint16(buf, v.ParityIdx)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
+		buf = putBytes(buf, v.New)
+		return putBytes(buf, v.Orig)
+	case *ParityDelta:
+		buf = putBlockID(buf, v.Blk)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
+		return putBytes(buf, v.Data)
+	case *LogReplica:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.SrcNode))
+		buf = binary.LittleEndian.AppendUint16(buf, v.Pool)
+		buf = binary.LittleEndian.AppendUint64(buf, v.UnitSeq)
+		buf = putBlockID(buf, v.Blk)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
+		return putBytes(buf, v.Data)
+	case *UnitDone:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.SrcNode))
+		buf = binary.LittleEndian.AppendUint16(buf, v.Pool)
+		return binary.LittleEndian.AppendUint64(buf, v.UnitSeq)
+	case *Drain:
+		return buf
+	case *RecoverBlock:
+		return putBlockID(buf, v.Blk)
+	case *ReplicaFetch:
+		return binary.LittleEndian.AppendUint32(buf, uint32(v.Node))
+	case *ReplicaResp:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Items)))
+		for _, it := range v.Items {
+			buf = putBlockID(buf, it.Blk)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(it.Off))
+			buf = putBytes(buf, it.Data)
+		}
+		return buf
+	default:
+		panic(fmt.Sprintf("wire: cannot marshal %T", m))
+	}
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated %s at %d", what, r.pos)
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.pos+1 > len(r.data) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.data[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.pos+2 > len(r.data) {
+		r.fail("u16")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.data) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.pos+8 > len(r.data) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || r.pos+n > len(r.data) {
+		r.fail("bytes")
+		return nil
+	}
+	v := append([]byte(nil), r.data[r.pos:r.pos+n]...)
+	r.pos += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	if r.err != nil || r.pos+n > len(r.data) {
+		r.fail("string")
+		return ""
+	}
+	v := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return v
+}
+
+func (r *reader) blockID() BlockID {
+	return BlockID{Ino: r.u64(), Stripe: r.u32(), Index: r.u16()}
+}
+
+// Unmarshal decodes one message from a payload of the given type.
+func Unmarshal(t Type, payload []byte) (Msg, error) {
+	r := &reader{data: payload}
+	var m Msg
+	switch t {
+	case TAck:
+		m = &Ack{Err: r.str()}
+	case TCreateFile:
+		m = &CreateFile{Name: r.str(), Stripes: r.u32()}
+	case TCreateResp:
+		m = &CreateResp{Ino: r.u64(), Err: r.str()}
+	case TLookup:
+		m = &Lookup{Ino: r.u64(), Stripe: r.u32()}
+	case TLookupResp:
+		n := int(r.u16())
+		v := &LookupResp{OSDs: make([]NodeID, n)}
+		for i := 0; i < n; i++ {
+			v.OSDs[i] = NodeID(r.u32())
+		}
+		v.Err = r.str()
+		m = v
+	case THeartbeat:
+		m = &Heartbeat{From: NodeID(r.u32())}
+	case TPutBlock:
+		m = &PutBlock{Blk: r.blockID(), Data: r.bytes()}
+	case TReadBlock:
+		m = &ReadBlock{Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32()), Raw: r.u8() == 1}
+	case TReadResp:
+		m = &ReadResp{Data: r.bytes(), Err: r.str()}
+	case TUpdate:
+		m = &Update{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+	case TDeltaAppend:
+		m = &DeltaAppend{Blk: r.blockID(), ParityIdx: r.u16(), Off: int64(r.u64()),
+			Data: r.bytes(), Kind: DeltaKind(r.u8()), Replica: r.u8() == 1}
+	case TParixAppend:
+		m = &ParixAppend{Blk: r.blockID(), ParityIdx: r.u16(), Off: int64(r.u64()),
+			New: r.bytes(), Orig: r.bytes()}
+	case TParityDelta:
+		m = &ParityDelta{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+	case TLogReplica:
+		m = &LogReplica{SrcNode: NodeID(r.u32()), Pool: r.u16(), UnitSeq: r.u64(),
+			Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+	case TUnitDone:
+		m = &UnitDone{SrcNode: NodeID(r.u32()), Pool: r.u16(), UnitSeq: r.u64()}
+	case TDrain:
+		m = &Drain{}
+	case TRecoverBlock:
+		m = &RecoverBlock{Blk: r.blockID()}
+	case TReplicaFetch:
+		m = &ReplicaFetch{Node: NodeID(r.u32())}
+	case TReplicaResp:
+		n := int(r.u32())
+		v := &ReplicaResp{}
+		for i := 0; i < n && r.err == nil; i++ {
+			v.Items = append(v.Items, ReplicaItem{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()})
+		}
+		m = v
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", t)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(payload) {
+		return nil, fmt.Errorf("wire: %v payload has %d trailing bytes", t, len(payload)-r.pos)
+	}
+	return m, nil
+}

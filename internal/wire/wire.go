@@ -1,0 +1,318 @@
+// Package wire defines the ECFS RPC message set and a compact binary codec.
+//
+// The simulated transport passes message values directly (charging the wire
+// size to the network model); the TCP transport marshals them with the codec
+// in codec.go. Both paths use PayloadSize for size accounting, so simulated
+// and real network volumes agree.
+package wire
+
+import "fmt"
+
+// NodeID identifies a cluster node (MDS or OSD or client).
+type NodeID int32
+
+// BlockID names one block of one stripe of one file. Index < K are data
+// blocks; K <= Index < K+M are parity blocks.
+type BlockID struct {
+	Ino    uint64
+	Stripe uint32
+	Index  uint16
+}
+
+func (b BlockID) String() string {
+	return fmt.Sprintf("blk(%d/%d/%d)", b.Ino, b.Stripe, b.Index)
+}
+
+// StripeID names a stripe.
+type StripeID struct {
+	Ino    uint64
+	Stripe uint32
+}
+
+// Stripe returns the stripe this block belongs to.
+func (b BlockID) StripeID() StripeID { return StripeID{Ino: b.Ino, Stripe: b.Stripe} }
+
+// Type enumerates message types.
+type Type uint8
+
+const (
+	TAck Type = iota + 1
+	TCreateFile
+	TCreateResp
+	TLookup
+	TLookupResp
+	TPutBlock
+	TReadBlock
+	TReadResp
+	TUpdate
+	TDeltaAppend
+	TParixAppend
+	TParityDelta
+	TLogReplica
+	TUnitDone
+	TDrain
+	THeartbeat
+	TRecoverBlock
+	TReplicaFetch
+	TReplicaResp
+)
+
+var typeNames = map[Type]string{
+	TAck: "Ack", TCreateFile: "CreateFile", TCreateResp: "CreateResp",
+	TLookup: "Lookup", TLookupResp: "LookupResp", TPutBlock: "PutBlock",
+	TReadBlock: "ReadBlock", TReadResp: "ReadResp", TUpdate: "Update",
+	TDeltaAppend: "DeltaAppend", TParixAppend: "ParixAppend",
+	TParityDelta: "ParityDelta", TLogReplica: "LogReplica",
+	TUnitDone: "UnitDone", TDrain: "Drain", THeartbeat: "Heartbeat",
+	TRecoverBlock: "RecoverBlock", TReplicaFetch: "ReplicaFetch",
+	TReplicaResp: "ReplicaResp",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// headerSize models the per-message framing overhead (type, ids, lengths)
+// charged on the simulated wire; the TCP codec uses the same framing.
+const headerSize = 40
+
+// Msg is implemented by every RPC message.
+type Msg interface {
+	Type() Type
+	// PayloadSize is the marshaled payload length in bytes, used for
+	// network bandwidth accounting and by the codec.
+	PayloadSize() int
+}
+
+// SizeOf returns the total on-wire size of a message.
+func SizeOf(m Msg) int64 { return int64(headerSize + m.PayloadSize()) }
+
+// ---- generic ----
+
+// Ack is the generic response; Err is empty on success.
+type Ack struct {
+	Err string
+}
+
+func (*Ack) Type() Type         { return TAck }
+func (a *Ack) PayloadSize() int { return 2 + len(a.Err) }
+
+// OK is a shared success ack (never mutated).
+var OK = &Ack{}
+
+// ---- metadata ----
+
+// CreateFile asks the MDS to create a file covering the given stripe count.
+type CreateFile struct {
+	Name    string
+	Stripes uint32
+}
+
+func (*CreateFile) Type() Type         { return TCreateFile }
+func (c *CreateFile) PayloadSize() int { return 2 + len(c.Name) + 4 }
+
+// CreateResp returns the assigned inode.
+type CreateResp struct {
+	Ino uint64
+	Err string
+}
+
+func (*CreateResp) Type() Type         { return TCreateResp }
+func (c *CreateResp) PayloadSize() int { return 8 + 2 + len(c.Err) }
+
+// Lookup asks the MDS for the OSDs of a stripe.
+type Lookup struct {
+	Ino    uint64
+	Stripe uint32
+}
+
+func (*Lookup) Type() Type       { return TLookup }
+func (*Lookup) PayloadSize() int { return 12 }
+
+// LookupResp carries the K+M block locations of a stripe.
+type LookupResp struct {
+	OSDs []NodeID
+	Err  string
+}
+
+func (*LookupResp) Type() Type         { return TLookupResp }
+func (l *LookupResp) PayloadSize() int { return 2 + 4*len(l.OSDs) + 2 + len(l.Err) }
+
+// Heartbeat is the OSD -> MDS liveness beacon.
+type Heartbeat struct {
+	From NodeID
+}
+
+func (*Heartbeat) Type() Type       { return THeartbeat }
+func (*Heartbeat) PayloadSize() int { return 4 }
+
+// ---- block I/O ----
+
+// PutBlock stores a full block (normal write path and recovery store).
+type PutBlock struct {
+	Blk  BlockID
+	Data []byte
+}
+
+func (*PutBlock) Type() Type         { return TPutBlock }
+func (p *PutBlock) PayloadSize() int { return 14 + 4 + len(p.Data) }
+
+// ReadBlock reads [Off, Off+Size) of a block. Raw bypasses the update
+// engine's log overlays and returns the on-store bytes — used by recovery,
+// which must see a version consistent with the (equally log-lagged) parity.
+type ReadBlock struct {
+	Blk  BlockID
+	Off  int64
+	Size int32
+	Raw  bool
+}
+
+func (*ReadBlock) Type() Type       { return TReadBlock }
+func (*ReadBlock) PayloadSize() int { return 14 + 13 }
+
+// ReadResp returns block data.
+type ReadResp struct {
+	Data []byte
+	Err  string
+}
+
+func (*ReadResp) Type() Type         { return TReadResp }
+func (r *ReadResp) PayloadSize() int { return 4 + len(r.Data) + 2 + len(r.Err) }
+
+// Update is a client update to the OSD hosting a data block.
+type Update struct {
+	Blk  BlockID
+	Off  int64
+	Data []byte
+}
+
+func (*Update) Type() Type         { return TUpdate }
+func (u *Update) PayloadSize() int { return 14 + 8 + 4 + len(u.Data) }
+
+// ---- engine-internal forwarding ----
+
+// DeltaKind tags the content of a DeltaAppend.
+type DeltaKind uint8
+
+const (
+	// KindParityDelta: Data already multiplied by the parity coefficient;
+	// the receiver XORs it (FO applies in place, PL/PLR append to a log).
+	KindParityDelta DeltaKind = iota + 1
+	// KindDataDelta: raw data delta; the receiver multiplies per Eq. (2)/(5)
+	// (TSUE DeltaLog, CoRD collector).
+	KindDataDelta
+)
+
+// DeltaAppend forwards a delta for a data block's update toward a parity
+// holder. Blk is the *data* block; ParityIdx selects which parity block of
+// the stripe this is destined for (0..M-1). Replica marks the reliability
+// copy (stored, not recycled).
+type DeltaAppend struct {
+	Blk       BlockID
+	ParityIdx uint16
+	Off       int64
+	Data      []byte
+	Kind      DeltaKind
+	Replica   bool
+}
+
+func (*DeltaAppend) Type() Type         { return TDeltaAppend }
+func (d *DeltaAppend) PayloadSize() int { return 14 + 2 + 8 + 4 + len(d.Data) + 2 }
+
+// ParixAppend carries a PARIX speculative record: the new data and, on the
+// first overwrite of a location, the original data.
+type ParixAppend struct {
+	Blk       BlockID
+	ParityIdx uint16
+	Off       int64
+	New       []byte
+	Orig      []byte // nil except on first overwrite
+}
+
+func (*ParixAppend) Type() Type { return TParixAppend }
+func (p *ParixAppend) PayloadSize() int {
+	return 14 + 2 + 8 + 4 + len(p.New) + 4 + len(p.Orig)
+}
+
+// ParityDelta carries a ready-to-XOR parity delta for the given parity
+// block (TSUE DeltaLog recycle output, CoRD collector output).
+type ParityDelta struct {
+	Blk  BlockID // the parity block
+	Off  int64
+	Data []byte
+}
+
+func (*ParityDelta) Type() Type         { return TParityDelta }
+func (p *ParityDelta) PayloadSize() int { return 14 + 8 + 4 + len(p.Data) }
+
+// LogReplica replicates one DataLog append to the replica holder.
+type LogReplica struct {
+	SrcNode NodeID
+	Pool    uint16
+	UnitSeq uint64
+	Blk     BlockID
+	Off     int64
+	Data    []byte
+}
+
+func (*LogReplica) Type() Type         { return TLogReplica }
+func (l *LogReplica) PayloadSize() int { return 4 + 2 + 8 + 14 + 8 + 4 + len(l.Data) }
+
+// UnitDone tells the replica holder that a replicated unit was recycled and
+// its copy can be dropped.
+type UnitDone struct {
+	SrcNode NodeID
+	Pool    uint16
+	UnitSeq uint64
+}
+
+func (*UnitDone) Type() Type       { return TUnitDone }
+func (*UnitDone) PayloadSize() int { return 14 }
+
+// Drain asks an OSD to flush all update-engine logs to quiescence.
+type Drain struct{}
+
+func (*Drain) Type() Type       { return TDrain }
+func (*Drain) PayloadSize() int { return 0 }
+
+// RecoverBlock asks an OSD to reconstruct and store one lost block, reading
+// the surviving blocks of the stripe from its peers.
+type RecoverBlock struct {
+	Blk BlockID
+}
+
+func (*RecoverBlock) Type() Type       { return TRecoverBlock }
+func (*RecoverBlock) PayloadSize() int { return 14 }
+
+// ReplicaItem is one unrecycled DataLog record replicated for reliability.
+type ReplicaItem struct {
+	Blk  BlockID
+	Off  int64
+	Data []byte
+}
+
+// ReplicaFetch asks an OSD for the replicated, unrecycled DataLog items it
+// holds on behalf of the (failed) node.
+type ReplicaFetch struct {
+	Node NodeID
+}
+
+func (*ReplicaFetch) Type() Type       { return TReplicaFetch }
+func (*ReplicaFetch) PayloadSize() int { return 4 }
+
+// ReplicaResp returns the surviving log items, in original append order.
+type ReplicaResp struct {
+	Items []ReplicaItem
+}
+
+func (*ReplicaResp) Type() Type { return TReplicaResp }
+func (r *ReplicaResp) PayloadSize() int {
+	n := 4
+	for _, it := range r.Items {
+		n += 14 + 8 + 4 + len(it.Data)
+	}
+	return n
+}
