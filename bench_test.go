@@ -5,9 +5,12 @@ package tsue
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
+	"tsue/internal/gf256"
 	"tsue/internal/harness"
+	"tsue/internal/rs"
 )
 
 // benchScale keeps the whole suite tractable under `go test -bench=.`.
@@ -53,3 +56,108 @@ func BenchmarkFig8a(b *testing.B) { runExp(b, harness.Fig8a) }
 
 // BenchmarkFig8b regenerates Fig. 8b: HDD recovery bandwidth per MSR volume.
 func BenchmarkFig8b(b *testing.B) { runExp(b, harness.Fig8b) }
+
+// BenchmarkSweep regenerates the batched-recycle sweep (recycler batch size
+// x codec workers).
+func BenchmarkSweep(b *testing.B) { runExp(b, harness.Sweep) }
+
+// Kernel micro-benchmarks: the word-wise gf256 slice kernels against their
+// scalar references on 64 KiB buffers (the hot-loop sizes of encode and
+// parity-delta folding). The word/ref ratio is the acceptance number for
+// the coding hot path.
+
+const kernelBenchSize = 64 << 10
+
+func kernelBufs() (dst, src []byte) {
+	dst = make([]byte, kernelBenchSize)
+	src = make([]byte, kernelBenchSize)
+	rand.New(rand.NewSource(42)).Read(src)
+	return dst, src
+}
+
+// BenchmarkMulXorSlice compares the word-wise fused multiply-XOR kernel
+// (dst ^= c*src, the parity-delta inner loop) against the scalar reference.
+func BenchmarkMulXorSlice(b *testing.B) {
+	dst, src := kernelBufs()
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(kernelBenchSize)
+		for i := 0; i < b.N; i++ {
+			gf256.MulXorSlice(0x8e, dst, src)
+		}
+	})
+	b.Run("ref", func(b *testing.B) {
+		b.SetBytes(kernelBenchSize)
+		for i := 0; i < b.N; i++ {
+			gf256.MulXorSliceRef(0x8e, dst, src)
+		}
+	})
+}
+
+// BenchmarkMulSlice compares the word-wise multiply kernel against the
+// scalar reference.
+func BenchmarkMulSlice(b *testing.B) {
+	dst, src := kernelBufs()
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(kernelBenchSize)
+		for i := 0; i < b.N; i++ {
+			gf256.MulSlice(0x8e, dst, src)
+		}
+	})
+	b.Run("ref", func(b *testing.B) {
+		b.SetBytes(kernelBenchSize)
+		for i := 0; i < b.N; i++ {
+			gf256.MulSliceRef(0x8e, dst, src)
+		}
+	})
+}
+
+// BenchmarkXorSlice compares the word-wise XOR kernel against the scalar
+// reference.
+func BenchmarkXorSlice(b *testing.B) {
+	dst, src := kernelBufs()
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(kernelBenchSize)
+		for i := 0; i < b.N; i++ {
+			gf256.XorSlice(dst, src)
+		}
+	})
+	b.Run("ref", func(b *testing.B) {
+		b.SetBytes(kernelBenchSize)
+		for i := 0; i < b.N; i++ {
+			gf256.XorSliceRef(dst, src)
+		}
+	})
+}
+
+// BenchmarkEncode measures full-stripe RS(6,4) encoding of 1 MiB shards
+// through the striped codec, at 1 worker and at the default worker bound.
+func BenchmarkEncode(b *testing.B) {
+	code := rs.MustNew(6, 4, rs.Vandermonde)
+	const shard = 1 << 20
+	rng := rand.New(rand.NewSource(43))
+	data := make([][]byte, 6)
+	for i := range data {
+		data[i] = make([]byte, shard)
+		rng.Read(data[i])
+	}
+	parity := make([][]byte, 4)
+	for i := range parity {
+		parity[i] = make([]byte, shard)
+	}
+	for _, workers := range []int{1, 0} {
+		name := "default-workers"
+		if workers == 1 {
+			name = "1-worker"
+		}
+		b.Run(name, func(b *testing.B) {
+			rs.SetWorkers(workers)
+			defer rs.SetWorkers(0)
+			b.SetBytes(6 * shard)
+			for i := 0; i < b.N; i++ {
+				if err := code.Encode(data, parity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

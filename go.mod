@@ -1,0 +1,3 @@
+module tsue
+
+go 1.22

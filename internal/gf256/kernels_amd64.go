@@ -1,0 +1,52 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// hasAVX2 gates the vector kernels in kernels_amd64.s. Detection needs both
+// the CPU feature (CPUID.7.0:EBX bit 5) and OS support for saving YMM state
+// (OSXSAVE set and XCR0 reporting XMM|YMM enabled).
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidEx(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidEx(1, 0)
+	const osxsave = 1 << 27
+	if ecx1&osxsave == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidEx(7, 0)
+	return ebx7&(1<<5) != 0
+}
+
+// cpuidEx executes CPUID with the given leaf and subleaf.
+//
+//go:noescape
+func cpuidEx(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (requires OSXSAVE).
+//
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// mulXorAVX2 computes dst[i] ^= c*src[i] for n bytes (n > 0, n%32 == 0)
+// using the scalar's nibble-split tables with per-lane VPSHUFB lookups.
+//
+//go:noescape
+func mulXorAVX2(tabLo, tabHi *[16]byte, dst, src *byte, n uint64)
+
+// mulAVX2 computes dst[i] = c*src[i] for n bytes (n > 0, n%32 == 0).
+//
+//go:noescape
+func mulAVX2(tabLo, tabHi *[16]byte, dst, src *byte, n uint64)
+
+// xorAVX2 computes dst[i] ^= src[i] for n bytes (n > 0, n%32 == 0).
+//
+//go:noescape
+func xorAVX2(dst, src *byte, n uint64)

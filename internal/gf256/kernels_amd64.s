@@ -1,0 +1,106 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuidEx(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidEx(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// GF(2^8) multiply of a 32-byte vector by a fixed scalar c via the 4-bit
+// nibble split: product = tabLo[b & 0x0f] ^ tabHi[b >> 4], with both table
+// lookups done per 128-bit lane by VPSHUFB. Registers on entry to the loop:
+//   Y0 = tabLo broadcast to both lanes, Y1 = tabHi broadcast,
+//   Y2 = 0x0f byte mask, SI = src, DI = dst, CX = n (>0, multiple of 32).
+
+// func mulXorAVX2(tabLo, tabHi *[16]byte, dst, src *byte, n uint64)
+TEXT ·mulXorAVX2(SB), NOSPLIT, $0-40
+	MOVQ tabLo+0(FP), AX
+	MOVQ tabHi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 (BX), Y1
+	MOVQ         $15, AX
+	MOVQ         AX, X2
+	VPBROADCASTB X2, Y2
+	XORQ         DX, DX
+
+mulxor_loop:
+	VMOVDQU (SI)(DX*1), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VMOVDQU (DI)(DX*1), Y5
+	VPXOR   Y5, Y3, Y3
+	VMOVDQU Y3, (DI)(DX*1)
+	ADDQ    $32, DX
+	CMPQ    DX, CX
+	JB      mulxor_loop
+	VZEROUPPER
+	RET
+
+// func mulAVX2(tabLo, tabHi *[16]byte, dst, src *byte, n uint64)
+TEXT ·mulAVX2(SB), NOSPLIT, $0-40
+	MOVQ tabLo+0(FP), AX
+	MOVQ tabHi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 (BX), Y1
+	MOVQ         $15, AX
+	MOVQ         AX, X2
+	VPBROADCASTB X2, Y2
+	XORQ         DX, DX
+
+mul_loop:
+	VMOVDQU (SI)(DX*1), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VMOVDQU Y3, (DI)(DX*1)
+	ADDQ    $32, DX
+	CMPQ    DX, CX
+	JB      mul_loop
+	VZEROUPPER
+	RET
+
+// func xorAVX2(dst, src *byte, n uint64)
+TEXT ·xorAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ DX, DX
+
+xor_loop:
+	VMOVDQU (SI)(DX*1), Y0
+	VMOVDQU (DI)(DX*1), Y1
+	VPXOR   Y0, Y1, Y0
+	VMOVDQU Y0, (DI)(DX*1)
+	ADDQ    $32, DX
+	CMPQ    DX, CX
+	JB      xor_loop
+	VZEROUPPER
+	RET

@@ -1,0 +1,20 @@
+//go:build !amd64 || purego
+
+package gf256
+
+// Without the amd64 vector kernels every slice call takes the portable
+// uint64-word path; these stubs exist only to satisfy the dispatch sites
+// and are unreachable while hasAVX2 is false.
+const hasAVX2 = false
+
+func mulXorAVX2(tabLo, tabHi *[16]byte, dst, src *byte, n uint64) {
+	panic("gf256: vector kernel called without asm support")
+}
+
+func mulAVX2(tabLo, tabHi *[16]byte, dst, src *byte, n uint64) {
+	panic("gf256: vector kernel called without asm support")
+}
+
+func xorAVX2(dst, src *byte, n uint64) {
+	panic("gf256: vector kernel called without asm support")
+}

@@ -1,0 +1,275 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// kernelSizes covers both sides of every internal threshold: empty, single
+// byte, sub-word, exactly one word, word+tail, the wordMin boundary, and
+// large multi-word buffers with odd tails.
+var kernelSizes = []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 127, 255, 256, 1000, 4096, 4099}
+
+// TestMulNoTableMatchesMul pins the table-free oracle (which seeds the
+// nibble tables) to the log/exp-table Mul for every operand pair.
+func TestMulNoTableMatchesMul(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := mulNoTable(byte(a), byte(b)), Mul(byte(a), byte(b)); got != want {
+				t.Fatalf("mulNoTable(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestNibbleTablesMatchMul verifies the 4-bit split recombines to the full
+// product for every scalar and every byte.
+func TestNibbleTablesMatchMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		lo, hi := &mulLo[c], &mulHi[c]
+		for b := 0; b < 256; b++ {
+			if got, want := lo[b&15]^hi[b>>4], Mul(byte(c), byte(b)); got != want {
+				t.Fatalf("nibble product %d*%d = %d, want %d", c, b, got, want)
+			}
+		}
+	}
+}
+
+// TestRow16MatchesMul verifies every entry of the lazily built double-byte
+// tables for a sample of scalars (all 256 would be 16M checks; the slice
+// differential tests below cover every scalar through the kernels anyway).
+func TestRow16MatchesMul(t *testing.T) {
+	for _, c := range []byte{2, 3, 0x1d, 0x8e, 0xff} {
+		tab := row16For(c)
+		for a := 0; a < 256; a++ {
+			for b := 0; b < 256; b++ {
+				want := uint16(Mul(c, byte(a)))<<8 | uint16(Mul(c, byte(b)))
+				if got := tab[a<<8|b]; got != want {
+					t.Fatalf("row16[%d][%02x%02x] = %04x, want %04x", c, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// diffBuffers returns a deterministic pseudo-random (dst, src) pair of
+// length n placed at a sub-word offset inside larger backing arrays, so the
+// word kernels run misaligned relative to the allocation.
+func diffBuffers(rng *rand.Rand, n, offset int) (dst, src, dstCopy []byte) {
+	backS := make([]byte, n+offset+8)
+	backD := make([]byte, n+offset+8)
+	rng.Read(backS)
+	rng.Read(backD)
+	src = backS[offset : offset+n]
+	dst = backD[offset : offset+n]
+	dstCopy = append([]byte(nil), dst...)
+	return dst, src, dstCopy
+}
+
+// TestMulSliceDifferential pins the word-wise MulSlice to MulSliceRef for
+// every scalar value, across odd lengths and sub-word offsets.
+func TestMulSliceDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for c := 0; c < 256; c++ {
+		for _, n := range kernelSizes {
+			offset := rng.Intn(8)
+			dst, src, _ := diffBuffers(rng, n, offset)
+			want := make([]byte, n)
+			MulSliceRef(byte(c), want, src)
+			MulSlice(byte(c), dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulSlice(c=%d, n=%d, off=%d) diverges from ref", c, n, offset)
+			}
+		}
+	}
+}
+
+// TestMulXorSliceDifferential pins the fused word-wise kernel to its
+// reference for every scalar value.
+func TestMulXorSliceDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for c := 0; c < 256; c++ {
+		for _, n := range kernelSizes {
+			offset := rng.Intn(8)
+			dst, src, orig := diffBuffers(rng, n, offset)
+			want := append([]byte(nil), orig...)
+			MulXorSliceRef(byte(c), want, src)
+			MulXorSlice(byte(c), dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulXorSlice(c=%d, n=%d, off=%d) diverges from ref", c, n, offset)
+			}
+		}
+	}
+}
+
+// TestWordPathsDifferential pins the portable uint64-word implementations
+// (the non-vector path, which the dispatcher may bypass on amd64) to the
+// scalar references for every scalar value.
+func TestWordPathsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for c := 0; c < 256; c++ {
+		for _, n := range kernelSizes {
+			offset := rng.Intn(8)
+			dst, src, orig := diffBuffers(rng, n, offset)
+			want := make([]byte, n)
+			MulSliceRef(byte(c), want, src)
+			mulSliceWord(byte(c), dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("mulSliceWord(c=%d, n=%d, off=%d) diverges from ref", c, n, offset)
+			}
+			copy(dst, orig)
+			want = append(want[:0], orig...)
+			MulXorSliceRef(byte(c), want, src)
+			mulXorSliceWord(byte(c), dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("mulXorSliceWord(c=%d, n=%d, off=%d) diverges from ref", c, n, offset)
+			}
+			copy(dst, orig)
+			want = append(want[:0], orig...)
+			XorSliceRef(want, src)
+			xorSliceWord(dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("xorSliceWord(n=%d, off=%d) diverges from ref", n, offset)
+			}
+		}
+	}
+}
+
+// TestXorSliceDifferential pins the word-wise XorSlice to its reference.
+func TestXorSliceDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 64; trial++ {
+		for _, n := range kernelSizes {
+			offset := rng.Intn(8)
+			dst, src, orig := diffBuffers(rng, n, offset)
+			want := append([]byte(nil), orig...)
+			XorSliceRef(want, src)
+			XorSlice(dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("XorSlice(n=%d, off=%d) diverges from ref", n, offset)
+			}
+		}
+	}
+}
+
+// TestMulXorSliceInvolution: applying the same MulXor twice must restore the
+// original dst (x ^= c*s; x ^= c*s is the identity) — a property the parity
+// XOR-in-place path depends on.
+func TestMulXorSliceInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 8, 65, 4096} {
+		dst, src, orig := diffBuffers(rng, n, rng.Intn(8))
+		for c := 0; c < 256; c++ {
+			MulXorSlice(byte(c), dst, src)
+			MulXorSlice(byte(c), dst, src)
+		}
+		if !bytes.Equal(dst, orig) {
+			t.Fatalf("double MulXorSlice not identity at n=%d", n)
+		}
+	}
+}
+
+// TestMulSliceLinear: c*(a^b) == c*a ^ c*b slice-wise, exercised through the
+// word kernels (distributivity is what makes delta folding sound).
+func TestMulSliceLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := make([]byte, 777)
+	b := make([]byte, 777)
+	rng.Read(a)
+	rng.Read(b)
+	for _, c := range []byte{0, 1, 2, 0x53, 0x8e, 0xca, 0xff} {
+		sum := make([]byte, len(a))
+		copy(sum, a)
+		XorSlice(sum, b)
+		lhs := make([]byte, len(a))
+		MulSlice(c, lhs, sum)
+		rhs := make([]byte, len(a))
+		MulSlice(c, rhs, a)
+		MulXorSlice(c, rhs, b)
+		if !bytes.Equal(lhs, rhs) {
+			t.Fatalf("MulSlice not linear for c=%d", c)
+		}
+	}
+}
+
+// TestWordKernelsAlias: dst == src aliasing must work for the word paths
+// (MulSlice documents it; XorSlice on itself must zero the buffer).
+func TestWordKernelsAlias(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	buf := make([]byte, 300)
+	rng.Read(buf)
+	want := make([]byte, len(buf))
+	MulSliceRef(0x9c, want, buf)
+	MulSlice(0x9c, buf, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("aliased word MulSlice wrong")
+	}
+	XorSlice(buf, buf)
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("x^x != 0 at %d", i)
+		}
+	}
+}
+
+// TestRefLengthMismatchPanics: the references enforce the same contract as
+// the word kernels.
+func TestRefLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSliceRef":    func() { MulSliceRef(3, make([]byte, 2), make([]byte, 3)) },
+		"MulXorSliceRef": func() { MulXorSliceRef(3, make([]byte, 2), make([]byte, 3)) },
+		"XorSliceRef":    func() { XorSliceRef(make([]byte, 2), make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// FuzzMulXorSlice cross-checks the word-wise fused kernel against its scalar
+// reference on fuzzer-chosen scalars, payloads and sub-word offsets.
+func FuzzMulXorSlice(f *testing.F) {
+	f.Add(byte(0), []byte{}, byte(0))
+	f.Add(byte(1), []byte{1, 2, 3}, byte(1))
+	f.Add(byte(0x8e), []byte{0xff, 0, 0x55, 0xaa, 1, 2, 3, 4, 5, 6, 7, 8, 9}, byte(3))
+	f.Add(byte(0x1d), bytes.Repeat([]byte{0xa5, 0x5a}, 40), byte(7))
+	f.Add(byte(255), bytes.Repeat([]byte{1}, 65), byte(5))
+	f.Fuzz(func(t *testing.T, c byte, payload []byte, off byte) {
+		offset := int(off % 8)
+		if offset > len(payload) {
+			offset = 0
+		}
+		src := payload[offset:]
+		n := len(src)
+		dst := make([]byte, n)
+		for i := range dst {
+			dst[i] = byte(i*31) ^ c
+		}
+		want := append([]byte(nil), dst...)
+		MulXorSliceRef(c, want, src)
+		MulXorSlice(c, dst, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulXorSlice diverges from ref (c=%d, n=%d, off=%d)", c, n, offset)
+		}
+	})
+}
+
+// BenchmarkMulXorSliceWord measures the portable uint64-word path in
+// isolation (the repo-level bench_test.go covers the dispatching kernels
+// against the scalar references).
+func BenchmarkMulXorSliceWord(b *testing.B) {
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	rand.New(rand.NewSource(4)).Read(src)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mulXorSliceWord(0x8e, dst, src)
+	}
+}

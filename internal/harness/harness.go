@@ -44,6 +44,7 @@ type RunConfig struct {
 func DefaultRunConfig() RunConfig {
 	opts := update.DefaultOptions()
 	opts.UnitSize = 1 << 20          // scale the 16 MiB units to the scaled trace volume
+	opts.RecycleBatch = 1            // paper fidelity: the paper recycles unit-by-unit; the Sweep experiment opts into batching
 	opts.RecycleThreshold = 64 << 20 // PL/PARIX lazy logs defer recycling beyond the run (paper: "indefinitely delayed")
 	opts.PLRReserve = 8 << 10
 	opts.CordBufferSize = 1 << 20

@@ -422,3 +422,130 @@ func TestRawModeKeepsAllRecords(t *testing.T) {
 		t.Fatal("bitmap not set in raw mode")
 	}
 }
+
+// mkUnit builds a sealed-looking unit holding the given (block, off, data)
+// records in order.
+func mkUnit(seq uint64, mode MergeMode, raw bool, recs []struct {
+	blk  wire.BlockID
+	off  int64
+	data []byte
+}) *Unit {
+	u := newUnit(seq)
+	for _, r := range recs {
+		bl := u.Block(r.blk)
+		bl.Raw = raw
+		bl.Insert(r.off, r.data, mode)
+	}
+	return u
+}
+
+func TestMergeUnitsOverwriteNewestWins(t *testing.T) {
+	blk := wire.BlockID{Ino: 1, Stripe: 0, Index: 0}
+	type rec = struct {
+		blk  wire.BlockID
+		off  int64
+		data []byte
+	}
+	old := mkUnit(0, Overwrite, false, []rec{{blk, 0, []byte{1, 1, 1, 1}}})
+	niu := mkUnit(1, Overwrite, false, []rec{{blk, 2, []byte{9, 9}}})
+	merged, order := MergeUnits([]*Unit{old, niu}, Overwrite, false)
+	if len(order) != 1 || order[0] != blk {
+		t.Fatalf("order %v", order)
+	}
+	exts := merged[blk].Extents()
+	if len(exts) != 1 || exts[0].Off != 0 {
+		t.Fatalf("extents %v", exts)
+	}
+	want := []byte{1, 1, 9, 9}
+	for i, b := range exts[0].Data {
+		if b != want[i] {
+			t.Fatalf("merged data %v want %v", exts[0].Data, want)
+		}
+	}
+}
+
+func TestMergeUnitsXORAccumulates(t *testing.T) {
+	blk := wire.BlockID{Ino: 2, Stripe: 1, Index: 3}
+	type rec = struct {
+		blk  wire.BlockID
+		off  int64
+		data []byte
+	}
+	a := mkUnit(0, XOR, false, []rec{{blk, 4, []byte{0xf0, 0x0f}}})
+	b := mkUnit(1, XOR, false, []rec{{blk, 4, []byte{0xff, 0xff}}, {blk, 6, []byte{5}}})
+	merged, _ := MergeUnits([]*Unit{a, b}, XOR, false)
+	exts := merged[blk].Extents()
+	if len(exts) != 1 || exts[0].Off != 4 || len(exts[0].Data) != 3 {
+		t.Fatalf("extents %v", exts)
+	}
+	if exts[0].Data[0] != 0x0f || exts[0].Data[1] != 0xf0 || exts[0].Data[2] != 5 {
+		t.Fatalf("xor merge wrong: %v", exts[0].Data)
+	}
+}
+
+// TestMergeUnitsSingleAliases: a one-unit non-raw merge must not copy.
+func TestMergeUnitsSingleAliases(t *testing.T) {
+	blk := wire.BlockID{Ino: 3, Stripe: 0, Index: 0}
+	type rec = struct {
+		blk  wire.BlockID
+		off  int64
+		data []byte
+	}
+	u := mkUnit(0, Overwrite, false, []rec{{blk, 0, []byte{1}}})
+	merged, _ := MergeUnits([]*Unit{u}, Overwrite, false)
+	if merged[blk] != u.Lookup(blk) {
+		t.Fatal("single-unit merge copied the block log")
+	}
+}
+
+// TestMergeUnitsRawConcatenates: the ablation path must keep every record,
+// in unit order then append order.
+func TestMergeUnitsRawConcatenates(t *testing.T) {
+	blk := wire.BlockID{Ino: 4, Stripe: 0, Index: 1}
+	type rec = struct {
+		blk  wire.BlockID
+		off  int64
+		data []byte
+	}
+	a := mkUnit(0, Overwrite, true, []rec{{blk, 0, []byte{1}}, {blk, 0, []byte{2}}})
+	b := mkUnit(1, Overwrite, true, []rec{{blk, 0, []byte{3}}})
+	merged, _ := MergeUnits([]*Unit{a, b}, Overwrite, true)
+	exts := merged[blk].Extents()
+	if len(exts) != 3 {
+		t.Fatalf("raw merge collapsed records: %d", len(exts))
+	}
+	for i, want := range []byte{1, 2, 3} {
+		if exts[i].Data[0] != want {
+			t.Fatalf("raw merge order wrong at %d: %v", i, exts)
+		}
+	}
+}
+
+// TestMergeUnitsDeterministicOrder: block order must be sorted regardless of
+// map iteration.
+func TestMergeUnitsDeterministicOrder(t *testing.T) {
+	type rec = struct {
+		blk  wire.BlockID
+		off  int64
+		data []byte
+	}
+	var recs []rec
+	for i := 15; i >= 0; i-- {
+		recs = append(recs, rec{wire.BlockID{Ino: uint64(i % 4), Stripe: uint32(i / 4), Index: uint16(i)}, 0, []byte{byte(i)}})
+	}
+	a := mkUnit(0, Overwrite, false, recs)
+	b := mkUnit(1, Overwrite, false, recs)
+	_, order1 := MergeUnits([]*Unit{a, b}, Overwrite, false)
+	_, order2 := MergeUnits([]*Unit{a, b}, Overwrite, false)
+	for i := range order1 {
+		if order1[i] != order2[i] {
+			t.Fatal("merge order not deterministic")
+		}
+	}
+	for i := 1; i < len(order1); i++ {
+		p, q := order1[i-1], order1[i]
+		if p.Ino > q.Ino || (p.Ino == q.Ino && p.Stripe > q.Stripe) {
+			t.Fatalf("order not sorted: %v before %v", p, q)
+		}
+	}
+}

@@ -75,8 +75,13 @@ func (u *Unit) Blocks() []wire.BlockID {
 	for id := range u.blocks {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	sortBlockIDs(out)
+	return out
+}
+
+func sortBlockIDs(ids []wire.BlockID) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
 		if a.Ino != b.Ino {
 			return a.Ino < b.Ino
 		}
@@ -85,7 +90,55 @@ func (u *Unit) Blocks() []wire.BlockID {
 		}
 		return a.Index < b.Index
 	})
-	return out
+}
+
+// MergeUnits combines the per-block logs of several units into one view for
+// a batched recycle pass: adjacent and overlapping extents merge ACROSS
+// units under mode (Overwrite: newest unit wins; XOR: deltas accumulate),
+// so repeated updates spanning units collapse into a single read-modify-
+// write downstream. Units must be given oldest first — the order appends
+// were accepted in. With raw set (the no-locality ablation) nothing merges:
+// records concatenate in append order and recycle individually, as before.
+//
+// The returned view is read-only and aliases the units' own (immutable
+// once sealed) logs wherever no merging happens: always for a single unit,
+// and per record in raw mode; only the non-raw multi-unit merge copies.
+// The block ID list is in the same deterministic order as Unit.Blocks.
+func MergeUnits(units []*Unit, mode MergeMode, raw bool) (map[wire.BlockID]*BlockLog, []wire.BlockID) {
+	if len(units) == 1 {
+		// Unbatched pass: the unit's own index IS the merged view.
+		return units[0].blocks, units[0].Blocks()
+	}
+	merged := make(map[wire.BlockID]*BlockLog)
+	var order []wire.BlockID
+	for _, u := range units {
+		for id, bl := range u.blocks {
+			dst, ok := merged[id]
+			if !ok {
+				dst = &BlockLog{Raw: raw}
+				merged[id] = dst
+				order = append(order, id)
+			}
+			if raw {
+				// Nothing merges in the ablation: concatenate the records
+				// in unit order, aliasing the (immutable once sealed)
+				// source buffers instead of copying them.
+				dst.extents = append(dst.extents, bl.extents...)
+				for w, bits := range bl.bitmap {
+					for w >= len(dst.bitmap) {
+						dst.bitmap = append(dst.bitmap, 0)
+					}
+					dst.bitmap[w] |= bits
+				}
+				continue
+			}
+			for _, ext := range bl.extents {
+				dst.Insert(ext.Off, ext.Data, mode)
+			}
+		}
+	}
+	sortBlockIDs(order)
+	return merged, order
 }
 
 // IndexedBytes returns post-merge bytes held by the unit (memory footprint).

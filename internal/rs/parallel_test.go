@@ -1,0 +1,231 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tsue/internal/gf256"
+)
+
+// withWorkers runs fn under a temporary codec worker bound.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	SetWorkers(n)
+	defer SetWorkers(0)
+	fn()
+}
+
+// TestEncodeStripedMatchesSerial: the striped encode must produce the same
+// parity as a single-worker encode, across sizes straddling the parallel
+// threshold and odd lengths.
+func TestEncodeStripedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	c := MustNew(6, 3, Vandermonde)
+	for _, size := range []int{1, 100, 4096, parallelThreshold - 1, 2*parallelThreshold + 13, 5 * parallelThreshold} {
+		data := randShards(rng, 6, size)
+		serial := randShards(rng, 3, size)
+		striped := randShards(rng, 3, size)
+		withWorkers(t, 1, func() {
+			if err := c.Encode(data, serial); err != nil {
+				t.Fatal(err)
+			}
+		})
+		withWorkers(t, 8, func() {
+			if err := c.Encode(data, striped); err != nil {
+				t.Fatal(err)
+			}
+		})
+		for i := range serial {
+			if !bytes.Equal(serial[i], striped[i]) {
+				t.Fatalf("size %d: striped parity %d differs from serial", size, i)
+			}
+		}
+	}
+}
+
+// TestReconstructStriped: reconstruction with a saturated worker pool must
+// recover shards byte-identical to the originals.
+func TestReconstructStriped(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := MustNew(5, 3, Cauchy)
+	size := 3*parallelThreshold + 7
+	data := randShards(rng, 5, size)
+	parity := randShards(rng, 3, size)
+	if err := c.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 8)
+	for i := 0; i < 5; i++ {
+		shards[i] = append([]byte(nil), data[i]...)
+	}
+	for i := 0; i < 3; i++ {
+		shards[5+i] = append([]byte(nil), parity[i]...)
+	}
+	shards[1], shards[4], shards[6] = nil, nil, nil
+	withWorkers(t, 8, func() {
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !bytes.Equal(shards[1], data[1]) || !bytes.Equal(shards[4], data[4]) {
+		t.Fatal("striped reconstruct corrupted data shards")
+	}
+	if !bytes.Equal(shards[6], parity[1]) {
+		t.Fatal("striped reconstruct corrupted parity shard")
+	}
+}
+
+// TestMergeDataDeltasStriped pins the striped merge to a scalar-reference
+// accumulation.
+func TestMergeDataDeltasStriped(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := MustNew(6, 4, Vandermonde)
+	size := 2*parallelThreshold + 33
+	deltas := randShards(rng, 3, size)
+	blocks := []int{0, 2, 5}
+	for parity := 0; parity < 4; parity++ {
+		dst := make([]byte, size)
+		rng.Read(dst)
+		want := append([]byte(nil), dst...)
+		for i, b := range blocks {
+			gf256.MulXorSliceRef(c.Coef(parity, b), want, deltas[i])
+		}
+		withWorkers(t, 8, func() {
+			c.MergeDataDeltas(parity, dst, blocks, deltas)
+		})
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("striped MergeDataDeltas diverges for parity %d", parity)
+		}
+	}
+}
+
+// foldRef is the naive per-extent reference for FoldDeltas: multiply each
+// extent for each parity and XOR-accumulate into a flat per-parity image.
+func foldRef(c *Code, extents []DeltaExtent, span int64) [][]byte {
+	out := make([][]byte, c.M)
+	for i := range out {
+		out[i] = make([]byte, span)
+		for _, e := range extents {
+			tmp := make([]byte, len(e.Data))
+			gf256.MulSliceRef(c.Coef(i, e.Block), tmp, e.Data)
+			gf256.XorSliceRef(out[i][e.Off:e.Off+int64(len(e.Data))], tmp)
+		}
+	}
+	return out
+}
+
+// TestFoldDeltasMatchesNaive: the one-pass batched fold must equal the
+// per-extent reference, including overlapping, adjacent, repeated-block and
+// empty extents.
+func TestFoldDeltasMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := MustNew(4, 3, Vandermonde)
+	const span = 1 << 16
+	for trial := 0; trial < 30; trial++ {
+		nExt := 1 + rng.Intn(12)
+		extents := make([]DeltaExtent, 0, nExt)
+		for e := 0; e < nExt; e++ {
+			size := rng.Intn(5000)
+			off := int64(rng.Intn(span - 5000))
+			data := make([]byte, size)
+			rng.Read(data)
+			extents = append(extents, DeltaExtent{Block: rng.Intn(4), Off: off, Data: data})
+		}
+		want := foldRef(c, extents, span)
+		got := c.FoldDeltas(extents)
+		if len(got) != c.M {
+			t.Fatalf("FoldDeltas returned %d parity rows, want %d", len(got), c.M)
+		}
+		for i := range got {
+			img := make([]byte, span)
+			var prevEnd int64 = -1
+			for _, ext := range got[i] {
+				if ext.Off < prevEnd {
+					t.Fatalf("parity %d extents overlap or unsorted", i)
+				}
+				prevEnd = ext.End()
+				copy(img[ext.Off:], ext.Data)
+			}
+			if !bytes.Equal(img, want[i]) {
+				t.Fatalf("trial %d: FoldDeltas parity %d diverges from naive fold", trial, i)
+			}
+		}
+	}
+}
+
+// TestFoldDeltasMergesAdjacent: two touching extents must come back as one.
+func TestFoldDeltasMergesAdjacent(t *testing.T) {
+	c := MustNew(4, 2, Vandermonde)
+	out := c.FoldDeltas([]DeltaExtent{
+		{Block: 0, Off: 0, Data: []byte{1, 2, 3, 4}},
+		{Block: 1, Off: 4, Data: []byte{5, 6}},
+		{Block: 2, Off: 100, Data: []byte{7}},
+	})
+	for i, row := range out {
+		if len(row) != 2 {
+			t.Fatalf("parity %d: got %d extents, want 2 (adjacent ranges must merge)", i, len(row))
+		}
+		if row[0].Off != 0 || len(row[0].Data) != 6 || row[1].Off != 100 || len(row[1].Data) != 1 {
+			t.Fatalf("parity %d: wrong extent geometry %+v", i, row)
+		}
+	}
+}
+
+// TestFoldDeltasEdgeCases: empty input, zero-length extents, out-of-range
+// block panic.
+func TestFoldDeltasEdgeCases(t *testing.T) {
+	c := MustNew(3, 2, Cauchy)
+	if out := c.FoldDeltas(nil); len(out) != 2 || out[0] != nil {
+		t.Fatal("empty fold must return M empty rows")
+	}
+	out := c.FoldDeltas([]DeltaExtent{{Block: 0, Off: 9, Data: nil}})
+	for _, row := range out {
+		if len(row) != 0 {
+			t.Fatal("zero-length extents must fold to nothing")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range block did not panic")
+		}
+	}()
+	c.FoldDeltas([]DeltaExtent{{Block: 3, Off: 0, Data: []byte{1}}})
+}
+
+// TestSetWorkersBounds: Workers resolves the default and clamps negatives.
+func TestSetWorkersBounds(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1 after reset", Workers())
+	}
+}
+
+// TestEncodeVerifyRoundTripLarge exercises the full striped encode/verify
+// path on shards well past the parallel threshold.
+func TestEncodeVerifyRoundTripLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	c := MustNew(8, 4, Vandermonde)
+	size := 4 * parallelThreshold
+	data := randShards(rng, 8, size)
+	parity := randShards(rng, 4, size)
+	withWorkers(t, 4, func() {
+		if err := c.Encode(data, parity); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := c.Verify(data, parity)
+		if err != nil || !ok {
+			t.Fatalf("verify after striped encode: ok=%v err=%v", ok, err)
+		}
+		parity[2][size/2] ^= 1
+		ok, err = c.Verify(data, parity)
+		if err != nil || ok {
+			t.Fatalf("verify missed corruption: ok=%v err=%v", ok, err)
+		}
+	})
+}

@@ -132,16 +132,21 @@ func (c *Code) Encode(data, parity [][]byte) error {
 			return fmt.Errorf("rs: parity shard %d size %d != %d", i, len(p), size)
 		}
 	}
-	for i := 0; i < c.M; i++ {
-		row := c.coef.Row(i)
-		out := parity[i]
-		for b := range out {
-			out[b] = 0
+	// Stripe the byte range across the worker pool: each worker computes
+	// every parity row over its own sub-range, so rows stay single-writer
+	// and the data shards are read-shared.
+	stripeRanges(size, func(lo, hi int) {
+		for i := 0; i < c.M; i++ {
+			row := c.coef.Row(i)
+			out := parity[i][lo:hi]
+			for b := range out {
+				out[b] = 0
+			}
+			for j := 0; j < c.K; j++ {
+				gf256.MulXorSlice(row[j], out, data[j][lo:hi])
+			}
 		}
-		for j := 0; j < c.K; j++ {
-			gf256.MulXorSlice(row[j], out, data[j])
-		}
-	}
+	})
 	return nil
 }
 
@@ -173,13 +178,22 @@ func DataDelta(dst, newData, oldData []byte) {
 // intra-block range into the single parity delta for parity block `parity`
 // (Equation (5)): dst ^= sum_j coef[parity][block_j] * delta_j.
 // dst must be pre-sized; each delta must have the same length as dst.
+// Large ranges stripe across the codec worker pool. For folding a whole
+// stripe's worth of irregular extents in one pass, see FoldDeltas.
 func (c *Code) MergeDataDeltas(parity int, dst []byte, blocks []int, deltas [][]byte) {
 	if len(blocks) != len(deltas) {
 		panic("rs: MergeDataDeltas blocks/deltas length mismatch")
 	}
-	for i, b := range blocks {
-		gf256.MulXorSlice(c.coef.At(parity, b), dst, deltas[i])
+	for i := range deltas {
+		if len(deltas[i]) != len(dst) {
+			panic("rs: MergeDataDeltas delta length mismatch")
+		}
 	}
+	stripeRanges(len(dst), func(lo, hi int) {
+		for i, b := range blocks {
+			gf256.MulXorSlice(c.coef.At(parity, b), dst[lo:hi], deltas[i][lo:hi])
+		}
+	})
 }
 
 // Reconstruct recovers missing shards. shards has length K+M: index < K are
@@ -241,13 +255,24 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 		}
 		recRows[mi] = row
 	}
-	for mi, idx := range missing {
-		out := make([]byte, size)
-		row := recRows[mi]
-		for j, srcIdx := range sel {
-			gf256.MulXorSlice(row[j], out, shards[srcIdx])
+	// The O(missing * K * size) shard rebuild dominates; stripe it across
+	// the worker pool. Each worker owns a byte sub-range of every
+	// reconstructed shard, the present shards are read-shared.
+	rec := make([][]byte, len(missing))
+	for mi := range missing {
+		rec[mi] = make([]byte, size)
+	}
+	stripeRanges(size, func(lo, hi int) {
+		for mi := range missing {
+			out := rec[mi][lo:hi]
+			row := recRows[mi]
+			for j, srcIdx := range sel {
+				gf256.MulXorSlice(row[j], out, shards[srcIdx][lo:hi])
+			}
 		}
-		shards[idx] = out
+	})
+	for mi, idx := range missing {
+		shards[idx] = rec[mi]
 	}
 	return nil
 }

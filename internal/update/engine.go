@@ -84,6 +84,16 @@ type Options struct {
 	// structure degrades to a single exclusive log: appends stall while a
 	// recycle is in progress.
 	UseLogPool bool
+	// RecycleBatch is the maximum number of sealed log units one TSUE
+	// per-pool recycler drains in a single pass. Units of one batch merge
+	// their extents before the read-modify-write, so updates repeated
+	// across units collapse before costing device or network work. 1
+	// disables batching (the paper's behavior).
+	RecycleBatch int
+	// CodecWorkers bounds the rs codec worker pool used to stripe encode,
+	// reconstruct and delta folds over large shards (0 = GOMAXPROCS).
+	// Applied process-globally when an engine is constructed.
+	CodecWorkers int
 	// RecycleThreshold is the lazy-recycle trigger for PL and PARIX parity
 	// logs (bytes per OSD).
 	RecycleThreshold int64
@@ -104,6 +114,7 @@ func DefaultOptions() Options {
 		DataLocality:     true,
 		ParityLocality:   true,
 		UseLogPool:       true,
+		RecycleBatch:     4,
 		RecycleThreshold: 8 << 20,
 		PLRReserve:       64 << 10,
 		CordBufferSize:   4 << 20,
@@ -124,6 +135,12 @@ func (o Options) withDefaults() Options {
 	if o.Copies == 0 {
 		o.Copies = d.Copies
 	}
+	if o.RecycleBatch == 0 {
+		o.RecycleBatch = d.RecycleBatch
+	}
+	if o.RecycleBatch < 1 {
+		o.RecycleBatch = 1
+	}
 	if o.RecycleThreshold == 0 {
 		o.RecycleThreshold = d.RecycleThreshold
 	}
@@ -139,6 +156,10 @@ func (o Options) withDefaults() Options {
 // New constructs the named engine on host h.
 func New(name string, h Host, o Options) (Engine, error) {
 	o = o.withDefaults()
+	// Applied unconditionally so a run with CodecWorkers=0 really gets the
+	// documented GOMAXPROCS default rather than a bound left behind by an
+	// earlier run in the same process.
+	rs.SetWorkers(o.CodecWorkers)
 	switch name {
 	case "fo":
 		return newFO(h), nil

@@ -16,7 +16,9 @@ import (
 // DataLog copy, then acked — no read-modify-write on the update path.
 //
 // Back end (asynchronous, real-time): per-pool recyclers drain sealed log
-// units through the three-layer pipeline:
+// units — up to Options.RecycleBatch per pass, merging extents across the
+// batch so repeated updates collapse before any device or network work —
+// through the three-layer pipeline:
 //
 //	DataLog  — merged extents are RMW'd into the data block; the data deltas
 //	           forward to the DeltaLog on the first parity holder (copy to
@@ -147,17 +149,23 @@ func newTsue(h Host, o Options) *tsue {
 	t.parity = newTsueLayer(h, "parity", logpool.XOR, o, o.Pools, !o.ParityLocality)
 	// One recycler process per pool per layer (the paper's recycle thread
 	// pool; units of one pool recycle in order, pools in parallel).
-	t.startRecyclers(t.data, t.recycleDataUnit)
+	t.startRecyclers(t.data, t.recycleDataUnits)
 	if t.delta != nil {
-		t.startRecyclers(t.delta, t.recycleDeltaUnit)
+		t.startRecyclers(t.delta, t.recycleDeltaUnits)
 	}
-	t.startRecyclers(t.parity, t.recycleParityUnit)
+	t.startRecyclers(t.parity, t.recycleParityUnits)
 	return t
 }
 
 func (*tsue) Name() string { return "tsue" }
 
-func (t *tsue) startRecyclers(l *tsueLayer, fn func(p *sim.Proc, u *logpool.Unit)) {
+// startRecyclers spawns one recycler process per pool. Each pass drains up
+// to Options.RecycleBatch sealed units from the pool's queue — one blocking
+// Get plus whatever else is already waiting — so that under recycle
+// pressure the batch grows and extents merge across units before the single
+// read-modify-write, while an idle pool still recycles unit-by-unit with no
+// added latency. Units of one pool always recycle in seal order.
+func (t *tsue) startRecyclers(l *tsueLayer, fn func(p *sim.Proc, poolIdx int, units []*logpool.Unit)) {
 	for i := range l.pools {
 		i := i
 		t.h.Env().Go(fmt.Sprintf("tsue-recycle-%s-%d@%d", l.name, i, t.h.NodeID()), func(p *sim.Proc) {
@@ -166,20 +174,32 @@ func (t *tsue) startRecyclers(l *tsueLayer, fn func(p *sim.Proc, u *logpool.Unit
 				if !ok {
 					return
 				}
-				l.pools[i].MarkRecycling(u)
-				l.recycling++
-				start := p.Now()
-				if u.FirstAppend >= 0 {
-					l.stats.BufferN++
-					l.stats.BufferTime += start - u.FirstAppend
+				batch := []*logpool.Unit{u}
+				for len(batch) < t.o.RecycleBatch {
+					next, ok := l.queues[i].TryGet()
+					if !ok {
+						break
+					}
+					batch = append(batch, next)
 				}
-				fn(p, u)
-				l.pools[i].MarkRecycled(u, p.Now())
+				start := p.Now()
+				for _, u := range batch {
+					l.pools[i].MarkRecycling(u)
+					if u.FirstAppend >= 0 {
+						l.stats.BufferN++
+						l.stats.BufferTime += start - u.FirstAppend
+					}
+				}
+				l.recycling++
+				fn(p, i, batch)
 				l.recycling--
-				l.stats.Units++
-				l.stats.RecycleTime += p.Now() - start
+				for _, u := range batch {
+					l.pools[i].MarkRecycled(u, p.Now())
+					l.stats.Units++
+				}
 				l.cond.Broadcast()
 				t.idle.Broadcast()
+				l.stats.RecycleTime += p.Now() - start
 			}
 		})
 	}
@@ -328,14 +348,19 @@ func (t *tsue) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool
 	return nil, false
 }
 
-// recycleDataUnit merges a DataLog unit into data blocks and forwards the
-// data deltas downstream.
-func (t *tsue) recycleDataUnit(p *sim.Proc, u *logpool.Unit) {
+// recycleDataUnits merges a batch of DataLog units into data blocks and
+// forwards the data deltas downstream. Extents of one block merge across
+// the whole batch (latest write wins) before the single read-modify-write,
+// so an update overwritten in a later unit never touches the device; the
+// forwarded delta is the XOR of old and merged-new content, which equals
+// the fold of the per-unit deltas (XOR is associative).
+func (t *tsue) recycleDataUnits(p *sim.Proc, poolIdx int, units []*logpool.Unit) {
 	c := t.h.Code()
 	k, mm := c.K, c.M
 	st := t.h.Store()
-	for _, blk := range u.Blocks() {
-		bl := u.Lookup(blk)
+	merged, order := logpool.MergeUnits(units, logpool.Overwrite, t.data.pools[poolIdx].NoMerge)
+	for _, blk := range order {
+		bl := merged[blk]
 		s := blk.StripeID()
 		osds := t.h.Placement(s)
 		for _, ext := range bl.Extents() {
@@ -374,60 +399,43 @@ func (t *tsue) recycleDataUnit(p *sim.Proc, u *logpool.Unit) {
 			t.data.stats.RecycleN++
 		}
 	}
-	// Tell replica holders to drop their copies of this unit (best effort;
-	// stale replica entries are only garbage, never incorrectness).
+	// Tell replica holders to drop their copies of these units (best
+	// effort; stale replica entries are only garbage, never incorrectness).
 	nrep := t.o.Copies - 1
-	for i := 0; i < nrep; i++ {
-		done := &wire.UnitDone{SrcNode: t.h.NodeID(), Pool: uint16(poolID(u, t.data)), UnitSeq: u.Seq}
-		_ = t.callAck(p, t.replicaTarget(i), done)
-	}
-}
-
-// poolID recovers which pool a unit belongs to.
-func poolID(u *logpool.Unit, l *tsueLayer) int {
-	for i, p := range l.pools {
-		for _, pu := range p.Units() {
-			if pu == u {
-				return i
-			}
+	for _, u := range units {
+		for i := 0; i < nrep; i++ {
+			done := &wire.UnitDone{SrcNode: t.h.NodeID(), Pool: uint16(poolIdx), UnitSeq: u.Seq}
+			_ = t.callAck(p, t.replicaTarget(i), done)
 		}
 	}
-	return 0
 }
 
-// recycleDeltaUnit folds one DeltaLog unit's data deltas into per-parity
-// staged deltas (Equation (5)) and ships them to the parity logs.
-func (t *tsue) recycleDeltaUnit(p *sim.Proc, u *logpool.Unit) {
+// recycleDeltaUnits folds a batch of DeltaLog units' data deltas into
+// per-parity staged deltas and ships them to the parity logs. Deltas XOR-
+// merge across units first, then each stripe's extents fold through the
+// codec's batched Equation (5) (rs.FoldDeltas) in one pass.
+func (t *tsue) recycleDeltaUnits(p *sim.Proc, poolIdx int, units []*logpool.Unit) {
 	c := t.h.Code()
 	k, mm := c.K, c.M
-	type stage struct{ perParity []*logpool.BlockLog }
-	stages := make(map[wire.StripeID]*stage)
-	var order []wire.StripeID
-	for _, blk := range u.Blocks() {
+	merged, order := logpool.MergeUnits(units, logpool.XOR, false)
+	perStripe := make(map[wire.StripeID][]rs.DeltaExtent)
+	var stripes []wire.StripeID
+	for _, blk := range order {
 		s := blk.StripeID()
-		sg, ok := stages[s]
-		if !ok {
-			sg = &stage{perParity: make([]*logpool.BlockLog, mm)}
-			for j := range sg.perParity {
-				sg.perParity[j] = &logpool.BlockLog{}
-			}
-			stages[s] = sg
-			order = append(order, s)
+		if _, ok := perStripe[s]; !ok {
+			stripes = append(stripes, s)
 		}
-		bl := u.Lookup(blk)
-		for _, ext := range bl.Extents() {
-			for j := 0; j < mm; j++ {
-				sg.perParity[j].Insert(ext.Off, mulDelta(c, j, int(blk.Index), ext.Data), logpool.XOR)
-			}
+		for _, ext := range merged[blk].Extents() {
+			perStripe[s] = append(perStripe[s], rs.DeltaExtent{Block: int(blk.Index), Off: ext.Off, Data: ext.Data})
 			t.delta.stats.RecycleN++
 		}
 	}
-	for _, s := range order {
-		sg := stages[s]
+	for _, s := range stripes {
+		folded := c.FoldDeltas(perStripe[s])
 		osds := t.h.Placement(s)
 		for j := 0; j < mm; j++ {
 			pblk := t.parityBlock(s, j)
-			for _, ext := range sg.perParity[j].Extents() {
+			for _, ext := range folded[j] {
 				req := &wire.ParityDelta{Blk: pblk, Off: ext.Off, Data: ext.Data}
 				if err := t.callAck(p, osds[k+j], req); err != nil {
 					panic("tsue: parity delta fwd: " + err.Error())
@@ -437,11 +445,13 @@ func (t *tsue) recycleDeltaUnit(p *sim.Proc, u *logpool.Unit) {
 	}
 }
 
-// recycleParityUnit XORs merged parity deltas into parity blocks in place.
-func (t *tsue) recycleParityUnit(p *sim.Proc, u *logpool.Unit) {
-	for _, blk := range u.Blocks() {
-		bl := u.Lookup(blk)
-		for _, ext := range bl.Extents() {
+// recycleParityUnits XORs a batch of ParityLog units' merged deltas into
+// parity blocks in place — one read-modify-write per merged extent, however
+// many units contributed to it.
+func (t *tsue) recycleParityUnits(p *sim.Proc, poolIdx int, units []*logpool.Unit) {
+	merged, order := logpool.MergeUnits(units, logpool.XOR, t.parity.pools[poolIdx].NoMerge)
+	for _, blk := range order {
+		for _, ext := range merged[blk].Extents() {
 			if err := t.applyParityDelta(p, blk, ext.Off, ext.Data); err != nil {
 				panic("tsue: parity recycle: " + err.Error())
 			}
