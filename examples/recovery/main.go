@@ -38,7 +38,7 @@ func main() {
 		}
 		fmt.Printf("200 updates applied; OSD 3 dies with a hot DataLog at t=%v\n", p.Now())
 
-		rep, err := c.Recover(p, wire.NodeID(3), 8, false /* no pre-drain */, client)
+		rep, err := c.Recover(p, wire.NodeID(3), 8, cluster.RecoverLogReplay, client)
 		check(err)
 		fmt.Printf("recovered %d blocks (%.1f MiB) in %v — %.1f MiB/s\n",
 			rep.Blocks, float64(rep.Bytes)/(1<<20), rep.TotalTime.Round(0),

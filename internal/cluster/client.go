@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"tsue/internal/sim"
 	"tsue/internal/wire"
@@ -91,8 +92,19 @@ func (cl *Client) WriteFile(p *sim.Proc, ino uint64, data []byte) error {
 	return nil
 }
 
+// routeRetries bounds how long a client op waits for a mid-transition route
+// (node just failed, degraded registration in flight, cutover just
+// finished) before surfacing the error; combined with routeRetryDelay it
+// gives recovery several hundred virtual milliseconds to publish routing.
+const (
+	routeRetries    = 500
+	routeRetryDelay = time.Millisecond
+)
+
 // Update applies a partial write at a file offset through the update path,
-// splitting on block boundaries.
+// splitting on block boundaries. Updates wait out the recovery gate, and
+// updates to a degraded stripe route to the surrogate's journal instead of
+// the home OSD, so client writes keep completing while a node is down.
 func (cl *Client) Update(p *sim.Proc, ino uint64, off int64, data []byte) error {
 	for len(data) > 0 {
 		blk, boff := cl.c.Locate(ino, off)
@@ -100,13 +112,8 @@ func (cl *Client) Update(p *sim.Proc, ino uint64, off int64, data []byte) error 
 		if n > int64(len(data)) {
 			n = int64(len(data))
 		}
-		osds := cl.c.Placement(blk.StripeID())
-		resp, err := cl.c.Fabric.Call(p, cl.id, osds[blk.Index], &wire.Update{Blk: blk, Off: boff, Data: data[:n]})
-		if err != nil {
-			return fmt.Errorf("update %v: %w", blk, err)
-		}
-		if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
-			return fmt.Errorf("update %v: %s", blk, a.Err)
+		if err := cl.updateBlock(p, blk, boff, data[:n]); err != nil {
+			return err
 		}
 		off += n
 		data = data[n:]
@@ -114,7 +121,46 @@ func (cl *Client) Update(p *sim.Proc, ino uint64, off int64, data []byte) error 
 	return nil
 }
 
+// updateBlock routes one block-local update, retrying through route
+// transitions (failure detection, degraded registration, cutover).
+func (cl *Client) updateBlock(p *sim.Proc, blk wire.BlockID, boff int64, data []byte) error {
+	for attempt := 0; ; attempt++ {
+		cl.c.waitGate(p)
+		var resp wire.Msg
+		var err error
+		if failed, surrogate, ok := cl.c.degradedRoute(blk.StripeID()); ok {
+			resp, err = cl.c.Fabric.Call(p, cl.id, surrogate,
+				&wire.DegradedUpdate{Failed: failed, Blk: blk, Off: boff, Data: data})
+		} else {
+			// Counted so recovery's fenceUpdates can wait out in-flight
+			// engine updates before a consistency barrier.
+			cl.c.updatesInFlight++
+			osds := cl.c.Placement(blk.StripeID())
+			resp, err = cl.c.Fabric.Call(p, cl.id, osds[blk.Index], &wire.Update{Blk: blk, Off: boff, Data: data})
+			cl.c.updatesInFlight--
+			if cl.c.updatesInFlight == 0 {
+				cl.c.gateCond.Broadcast()
+			}
+		}
+		if err == nil {
+			if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+				err = fmt.Errorf("%s", a.Err)
+			}
+		}
+		if err == nil {
+			return nil
+		}
+		if attempt >= routeRetries || !retryableRouteErr(err) {
+			return fmt.Errorf("update %v: %w", blk, err)
+		}
+		p.Sleep(routeRetryDelay)
+	}
+}
+
 // Read returns [off, off+size) of the file, assembling across blocks.
+// Reads of degraded stripes route to the surrogate, which reconstructs lost
+// ranges on the fly and overlays journaled updates (read-your-writes even
+// while the home OSD is down).
 func (cl *Client) Read(p *sim.Proc, ino uint64, off, size int64) ([]byte, error) {
 	out := make([]byte, 0, size)
 	for size > 0 {
@@ -123,23 +169,48 @@ func (cl *Client) Read(p *sim.Proc, ino uint64, off, size int64) ([]byte, error)
 		if n > size {
 			n = size
 		}
-		osds := cl.c.Placement(blk.StripeID())
-		resp, err := cl.c.Fabric.Call(p, cl.id, osds[blk.Index], &wire.ReadBlock{Blk: blk, Off: boff, Size: int32(n)})
+		buf, err := cl.readBlock(p, blk, boff, n)
 		if err != nil {
-			return nil, fmt.Errorf("read %v: %w", blk, err)
+			return nil, err
 		}
-		rr, ok := resp.(*wire.ReadResp)
-		if !ok {
-			return nil, fmt.Errorf("read %v: unexpected response %T", blk, resp)
-		}
-		if rr.Err != "" {
-			return nil, fmt.Errorf("read %v: %s", blk, rr.Err)
-		}
-		out = append(out, rr.Data...)
+		out = append(out, buf...)
 		off += n
 		size -= n
 	}
 	return out, nil
+}
+
+// readBlock routes one block-local read, retrying through route
+// transitions like updateBlock.
+func (cl *Client) readBlock(p *sim.Proc, blk wire.BlockID, boff, n int64) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		var resp wire.Msg
+		var err error
+		if failed, surrogate, ok := cl.c.degradedRoute(blk.StripeID()); ok {
+			// Degraded reads wait out recovery's consistency fences; normal
+			// reads are never gated.
+			cl.c.waitGate(p)
+			resp, err = cl.c.Fabric.Call(p, cl.id, surrogate,
+				&wire.DegradedRead{Failed: failed, Blk: blk, Off: boff, Size: int32(n)})
+		} else {
+			osds := cl.c.Placement(blk.StripeID())
+			resp, err = cl.c.Fabric.Call(p, cl.id, osds[blk.Index], &wire.ReadBlock{Blk: blk, Off: boff, Size: int32(n)})
+		}
+		if err == nil {
+			rr, ok := resp.(*wire.ReadResp)
+			if !ok {
+				return nil, fmt.Errorf("read %v: unexpected response %T", blk, resp)
+			}
+			if rr.Err == "" {
+				return rr.Data, nil
+			}
+			err = fmt.Errorf("%s", rr.Err)
+		}
+		if attempt >= routeRetries || !retryableRouteErr(err) {
+			return nil, fmt.Errorf("read %v: %w", blk, err)
+		}
+		p.Sleep(routeRetryDelay)
+	}
 }
 
 // Lookup queries the MDS for a stripe's placement (the cached fast path

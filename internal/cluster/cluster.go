@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -67,6 +68,15 @@ type Cluster struct {
 	// remap overrides block placement after recovery moved a block.
 	remap map[wire.BlockID]wire.NodeID
 	files map[uint64]*fileMeta
+
+	// degraded routes per failed node (see degraded.go); gateClosed fences
+	// client updates and degraded reads during recovery consistency windows;
+	// updatesInFlight counts normal-path updates past the gate (fenceUpdates
+	// waits for them to land before a barrier runs).
+	degraded        map[wire.NodeID]*degradedState
+	gateClosed      bool
+	gateCond        *sim.Cond
+	updatesInFlight int
 }
 
 type fileMeta struct {
@@ -92,6 +102,8 @@ func New(cfg Config) (*Cluster, error) {
 		Code:       code,
 		remap:      make(map[wire.BlockID]wire.NodeID),
 		files:      make(map[uint64]*fileMeta),
+		degraded:   make(map[wire.NodeID]*degradedState),
+		gateCond:   sim.NewCond(env),
 		nextClient: wire.NodeID(cfg.OSDs + 1),
 	}
 	c.MDS = newMDS(c)
@@ -202,6 +214,11 @@ func (c *Cluster) DrainAll(p *sim.Proc, via *Client) error {
 					if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
 						err = fmt.Errorf("%s", a.Err)
 					}
+				}
+				// A node that dies mid-round is no longer this drain's
+				// problem: its logs are recovery's to replay.
+				if errors.Is(err, netsim.ErrNodeDown) {
+					err = nil
 				}
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("drain %d: %w", osd.id, err)

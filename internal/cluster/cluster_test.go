@@ -277,7 +277,7 @@ func TestRecoveryAllEngines(t *testing.T) {
 					}
 					copy(content[off:], buf)
 				}
-				rep, err := c.Recover(p, wire.NodeID(3), 4, true, cl)
+				rep, err := c.Recover(p, wire.NodeID(3), 4, RecoverDrainFirst, cl)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -324,7 +324,7 @@ func TestRecoveryReplicaReplayTSUE(t *testing.T) {
 			copy(content[off:], buf)
 		}
 		// No drain: node 3 dies with a hot DataLog.
-		rep, err := c.Recover(p, wire.NodeID(3), 4, false, cl)
+		rep, err := c.Recover(p, wire.NodeID(3), 4, RecoverLogReplay, cl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -448,10 +448,10 @@ func TestMultiNodeFailureRecovery(t *testing.T) {
 			copy(content[off:], buf)
 		}
 		// Two sequential single-node recoveries (M=2 tolerates both).
-		if _, err := c.Recover(p, wire.NodeID(2), 4, true, cl); err != nil {
+		if _, err := c.Recover(p, wire.NodeID(2), 4, RecoverDrainFirst, cl); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Recover(p, wire.NodeID(5), 4, true, cl); err != nil {
+		if _, err := c.Recover(p, wire.NodeID(5), 4, RecoverDrainFirst, cl); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := c.Scrub(); err != nil {
@@ -480,7 +480,7 @@ func TestRemapRoutesNewTraffic(t *testing.T) {
 		if err := cl.WriteFile(p, ino, content); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Recover(p, wire.NodeID(4), 4, true, cl); err != nil {
+		if _, err := c.Recover(p, wire.NodeID(4), 4, RecoverDrainFirst, cl); err != nil {
 			t.Fatal(err)
 		}
 		// Keep updating after the failure: the remapped placement serves.

@@ -1,0 +1,394 @@
+package cluster
+
+// Degraded-mode operation (§4.2 and the Fig. 8b scenario): while an OSD is
+// failed — and, under interleaved recovery, while its blocks are being
+// rebuilt — clients keep reading and updating the stripes it hosted.
+//
+// Every stripe whose placement includes the failed node is *degraded*.
+// Client I/O to a degraded stripe is routed to a designated *surrogate* OSD
+// (the next live node in ring order after the failed one):
+//
+//   - updates are journaled in a replicated log on the surrogate (the
+//     degraded-update journal, a resurrected DataLog seeded with the failed
+//     node's replicated unrecycled items) and replayed through the engines'
+//     normal update path once the stripe is rebuilt;
+//   - reads of a lost block reconstruct the requested range on the fly from
+//     K surviving shards (rs.Reconstruct is bytewise, so only the range is
+//     read), reads of a live block forward to its home engine; both overlay
+//     the journal newest-wins so degraded reads stay read-your-writes.
+//
+// Routing degraded-stripe *updates* away from the engines is also what
+// keeps reconstruction byte-exact: after the settle barrier the raw shards
+// of a degraded stripe are frozen and mutually consistent, however much
+// foreground traffic the rest of the cluster is taking.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"tsue/internal/netsim"
+	"tsue/internal/sim"
+	"tsue/internal/update"
+	"tsue/internal/wire"
+)
+
+// errDegradedGone is the retryable Ack error the surrogate returns when the
+// degraded route was cut over while the request was in flight; the client
+// re-resolves and retries on the normal path.
+const errDegradedGone = "cluster: degraded route gone"
+
+// retryableRouteErr reports whether a client op failed only because its
+// route is mid-transition (node just failed, registration in flight, or
+// cutover just completed) and should be retried after a short wait. Errors
+// cross OSD hops as Ack strings, so this matches substrings rather than
+// wrapped error values.
+func retryableRouteErr(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, netsim.ErrNodeDown.Error()) || strings.Contains(s, errDegradedGone)
+}
+
+// degradedState tracks one failed OSD served in degraded mode.
+type degradedState struct {
+	failed    wire.NodeID
+	surrogate wire.NodeID
+	// stripes is every stripe whose placement includes the failed node.
+	stripes map[wire.StripeID]bool
+	// lost is every block the failed node hosted (one per degraded stripe).
+	lost map[wire.BlockID]bool
+}
+
+// ---- update gate ----
+
+// The gate fences client updates (and degraded reads) during recovery's
+// consistency windows: the drain/settle barrier before reconstruction and
+// the journal cutover. Gated requests block rather than fail, so the
+// foreground workload sees a latency dip, not errors — the IOPS shape the
+// degraded experiment measures.
+
+func (c *Cluster) closeGate() { c.gateClosed = true }
+
+// fenceUpdates closes the gate and waits until every normal-path client
+// update that had already passed it has completed — i.e. fully propagated
+// through its engine's synchronous phase. A consistency barrier that runs
+// after this cannot race a half-propagated update. Degraded-path updates
+// are not counted: they only touch the surrogate journal (never engine
+// state), and they may themselves be blocked on this gate.
+func (c *Cluster) fenceUpdates(p *sim.Proc) {
+	c.closeGate()
+	for c.updatesInFlight > 0 {
+		c.gateCond.Wait(p)
+	}
+}
+
+func (c *Cluster) openGate() {
+	c.gateClosed = false
+	c.gateCond.Broadcast()
+}
+
+func (c *Cluster) waitGate(p *sim.Proc) {
+	for c.gateClosed {
+		c.gateCond.Wait(p)
+	}
+}
+
+// ---- routing ----
+
+// degradedRoute returns the surrogate serving stripe s if s is degraded.
+func (c *Cluster) degradedRoute(s wire.StripeID) (failed, surrogate wire.NodeID, ok bool) {
+	for _, st := range c.degraded {
+		if st.stripes[s] {
+			return st.failed, st.surrogate, true
+		}
+	}
+	return 0, 0, false
+}
+
+// nextLive returns the first live OSD strictly after `after` in ring order,
+// skipping `exclude`; it returns `after` itself only if no other candidate
+// is alive.
+func (c *Cluster) nextLive(after, exclude wire.NodeID) wire.NodeID {
+	n := len(c.OSDs)
+	start := int(after) - 1
+	for step := 1; step <= n; step++ {
+		id := c.OSDs[(start+step)%n].id
+		if id == exclude || c.Fabric.Down(id) {
+			continue
+		}
+		return id
+	}
+	return after
+}
+
+// registerDegraded publishes degraded routing for a failed node: it picks
+// the surrogate, seeds the surrogate's journal with the failed node's
+// replicated unrecycled DataLog items (so degraded reads see pre-failure
+// updates and the cutover replays them), and records the degraded stripe
+// and lost block sets. The registration plus in-memory seeding happen
+// atomically with respect to client routing, so no journaled update can
+// land ahead of an older seed.
+func (c *Cluster) registerDegraded(p *sim.Proc, failed wire.NodeID, via *Client) (*degradedState, error) {
+	if _, dup := c.degraded[failed]; dup {
+		return nil, fmt.Errorf("cluster: node %d already degraded", failed)
+	}
+	items, err := c.fetchReplicaItems(p, failed, via)
+	if err != nil {
+		return nil, err
+	}
+	surrogate := c.nextLive(failed, failed)
+	if surrogate == failed {
+		return nil, fmt.Errorf("cluster: no live surrogate for node %d", failed)
+	}
+	st := &degradedState{
+		failed:    failed,
+		surrogate: surrogate,
+		stripes:   make(map[wire.StripeID]bool),
+		lost:      make(map[wire.BlockID]bool),
+	}
+	for _, blk := range c.OSDByID(failed).store.Blocks() {
+		st.stripes[blk.StripeID()] = true
+		st.lost[blk] = true
+	}
+	c.degraded[failed] = st
+	surr := c.OSDByID(surrogate)
+	j := surr.journalFor(failed)
+	var total int64
+	for _, it := range items {
+		j.items = append(j.items, it)
+		total += int64(len(it.Data))
+	}
+	// Charge the journal persist after the fact; the seeds already have
+	// replicas on their original holders, so they are not re-replicated.
+	if total > 0 {
+		surr.journalPersist(p, j, total)
+	}
+	return st, nil
+}
+
+func (c *Cluster) unregisterDegraded(failed wire.NodeID) { delete(c.degraded, failed) }
+
+// ---- surrogate-side journal ----
+
+// journal is the surrogate's degraded-update log for one failed node: an
+// in-memory item list (replayed at cutover, overlaid on degraded reads)
+// persisted to a sequential device zone and replicated to the surrogate's
+// ring successor.
+type journal struct {
+	zone   int
+	cursor int64
+	items  []wire.ReplicaItem
+}
+
+// journalSpan bounds the circular on-disk journal region (per failed node).
+const journalSpan = 64 << 20
+
+// journalFor returns (creating on first use) the journal this OSD keeps on
+// behalf of a failed node.
+func (o *OSD) journalFor(failed wire.NodeID) *journal {
+	j, ok := o.journals[failed]
+	if !ok {
+		j = &journal{zone: o.dev.NewZone(fmt.Sprintf("degraded-journal-%d@%d", failed, o.id), true)}
+		o.journals[failed] = j
+	}
+	return j
+}
+
+// journalItems exposes the journal length for the cutover's atomic
+// empty-check (control plane, no simulated cost).
+func (o *OSD) journalItems(failed wire.NodeID) []wire.ReplicaItem {
+	j, ok := o.journals[failed]
+	if !ok {
+		return nil
+	}
+	return j.items
+}
+
+// journalPersist charges one sequential append of n payload bytes to the
+// journal's circular log zone.
+func (o *OSD) journalPersist(p *sim.Proc, j *journal, n int64) {
+	rec := n + 24
+	o.dev.Write(p, j.zone, j.cursor%journalSpan, rec, false)
+	j.cursor += rec
+}
+
+// handleDegradedUpdate journals one client update for a degraded stripe.
+// The memory append happens atomically with the registration re-check (no
+// blocking in between), so the cutover's steal loop can never miss it; the
+// device persist and the replication round trip are charged afterwards.
+func (o *OSD) handleDegradedUpdate(p *sim.Proc, v *wire.DegradedUpdate) wire.Msg {
+	o.c.waitGate(p)
+	st := o.c.degraded[v.Failed]
+	if st == nil || st.surrogate != o.id {
+		return &wire.Ack{Err: errDegradedGone}
+	}
+	j := o.journalFor(v.Failed)
+	j.items = append(j.items, wire.ReplicaItem{
+		Blk: v.Blk, Off: v.Off, Data: append([]byte(nil), v.Data...),
+	})
+	o.journalPersist(p, j, int64(len(v.Data)))
+	// Replicate for durability of the journal itself (mirrors the DataLog's
+	// replication; best effort — a dead copy holder only narrows the
+	// redundancy window).
+	if repl := o.c.nextLive(o.id, v.Failed); repl != o.id {
+		_, _ = o.Call(p, repl, &wire.JournalReplica{Failed: v.Failed, Blk: v.Blk, Off: v.Off, Data: v.Data})
+	}
+	return wire.OK
+}
+
+// handleDegradedRead serves [Off, Off+Size) of a degraded-stripe block:
+// lost blocks are reconstructed on the fly from K surviving shards, live
+// blocks are read (with engine semantics) from their home; the journal then
+// overlays newest-wins, which keeps degraded reads read-your-writes.
+func (o *OSD) handleDegradedRead(p *sim.Proc, v *wire.DegradedRead) wire.Msg {
+	o.c.waitGate(p)
+	st := o.c.degraded[v.Failed]
+	if st == nil || st.surrogate != o.id {
+		return &wire.ReadResp{Err: errDegradedGone}
+	}
+	var buf []byte
+	var err error
+	if st.lost[v.Blk] {
+		buf, err = o.reconstructRange(p, v.Blk, v.Off, int64(v.Size))
+	} else {
+		var resp wire.Msg
+		home := o.c.Placement(v.Blk.StripeID())[v.Blk.Index]
+		resp, err = o.Call(p, home, &wire.ReadBlock{Blk: v.Blk, Off: v.Off, Size: v.Size})
+		if err == nil {
+			rr, ok := resp.(*wire.ReadResp)
+			if !ok || rr.Err != "" {
+				err = fmt.Errorf("degraded read fwd %v: %v", v.Blk, resp)
+			} else {
+				buf = rr.Data
+			}
+		}
+	}
+	if err != nil {
+		return &wire.ReadResp{Err: err.Error()}
+	}
+	// Overlay journal items oldest-first so the newest write wins. The gate
+	// excludes cutover, so the journal cannot be stolen mid-read.
+	for _, it := range o.journalFor(v.Failed).items {
+		if it.Blk != v.Blk {
+			continue
+		}
+		overlayRange(buf, v.Off, it.Off, it.Data)
+	}
+	return &wire.ReadResp{Data: buf}
+}
+
+// overlayRange copies the intersection of record (recOff, recData) onto
+// dst, where dst holds the byte range starting at dstOff.
+func overlayRange(dst []byte, dstOff, recOff int64, recData []byte) {
+	lo, hi := recOff, recOff+int64(len(recData))
+	if lo < dstOff {
+		lo = dstOff
+	}
+	if end := dstOff + int64(len(dst)); hi > end {
+		hi = end
+	}
+	if lo >= hi {
+		return
+	}
+	copy(dst[lo-dstOff:hi-dstOff], recData[lo-recOff:hi-recOff])
+}
+
+// reconstructRange rebuilds [off, off+size) of a lost block from the same
+// range of K surviving shards — RS decoding is bytewise, so a degraded read
+// never moves more than K× the requested bytes.
+func (o *OSD) reconstructRange(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error) {
+	shards, err := o.readSurvivingShards(p, blk, off, size)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.c.Code.Reconstruct(shards); err != nil {
+		return nil, err
+	}
+	return shards[blk.Index], nil
+}
+
+// handleJournalFetch steals the journal kept for a failed node: all items
+// are returned in append order and forgotten. The recovery cutover runs it
+// under the closed gate, so nothing can land behind the steal.
+func (o *OSD) handleJournalFetch(p *sim.Proc, v *wire.JournalFetch) wire.Msg {
+	j, ok := o.journals[v.Failed]
+	if !ok || len(j.items) == 0 {
+		return &wire.ReplicaResp{}
+	}
+	items := j.items
+	j.items = nil
+	var total int64
+	for _, it := range items {
+		total += int64(len(it.Data))
+	}
+	o.dev.Read(p, j.zone, 0, total)
+	return &wire.ReplicaResp{Items: items}
+}
+
+// SettleAll brings every live OSD's raw stores to stripe consistency with
+// minimal merging (engine Settle), repeating rounds until a full round
+// reports nothing left to settle — the consistency barrier interleaved
+// recovery runs under the closed gate before reconstruction starts.
+func (c *Cluster) SettleAll(p *sim.Proc, via *Client) error {
+	for round := 0; round < 12; round++ {
+		busy := false
+		var firstErr error
+		wg := sim.NewWaitGroup(c.Env)
+		for _, osd := range c.OSDs {
+			if c.Fabric.Down(osd.id) {
+				continue
+			}
+			if osd.engine.NeedsSettle() {
+				busy = true
+			}
+			osd := osd
+			wg.Add(1)
+			c.Env.Go("settle", func(hp *sim.Proc) {
+				defer wg.Done()
+				resp, err := c.Fabric.Call(hp, via.id, osd.id, &wire.Settle{})
+				if err == nil {
+					if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+						err = fmt.Errorf("%s", a.Err)
+					}
+				}
+				if errors.Is(err, netsim.ErrNodeDown) {
+					err = nil // died mid-round; its state is recovery's now
+				}
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("settle %d: %w", osd.id, err)
+				}
+			})
+		}
+		wg.Wait(p)
+		if firstErr != nil {
+			return firstErr
+		}
+		if !busy {
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: settle did not converge")
+}
+
+// resetStripeState clears engine-side cross-update baselines (PARIX's
+// "original already shipped" coverage) for every degraded stripe after its
+// lost block was rebuilt on a fresh OSD. Control-plane metadata only; no
+// simulated cost.
+func (c *Cluster) resetStripeState(lost []wire.BlockID) {
+	seen := make(map[wire.StripeID]bool)
+	for _, blk := range lost {
+		s := blk.StripeID()
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		osds := c.Placement(s)
+		for i := 0; i < c.Cfg.K; i++ {
+			if c.Fabric.Down(osds[i]) {
+				continue
+			}
+			if r, ok := c.OSDByID(osds[i]).engine.(update.StripeResetter); ok {
+				r.ResetStripe(s)
+			}
+		}
+	}
+}

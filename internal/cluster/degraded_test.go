@@ -1,0 +1,342 @@
+package cluster
+
+// Randomized kill-update-recover-verify: a single client streams random
+// updates and reads while an OSD is killed mid-stream and recovered
+// CONCURRENTLY. Reads are verified against the reference at every step —
+// including reads of lost blocks served by on-the-fly reconstruction plus
+// journal overlay — and after the workload ends every stripe is drained,
+// scrubbed (parity == re-encode) and read back byte-for-byte. Unit sizes
+// are tiny relative to the update volume so the kill lands with recyclers
+// mid-flight, which is exactly the state the settle barrier exists for.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tsue/internal/sim"
+	"tsue/internal/update"
+	"tsue/internal/wire"
+)
+
+// degradedConfig mirrors the consistency-test shape: small blocks and units
+// so sealing/recycling is constantly active.
+func degradedConfig(engine string) Config {
+	cfg := DefaultConfig()
+	cfg.OSDs = 8
+	cfg.K, cfg.M = 4, 2
+	cfg.BlockSize = 16 << 10
+	cfg.Engine = engine
+	cfg.EngineOpts = update.Options{
+		UnitSize:         24 << 10,
+		MaxUnits:         4,
+		Pools:            2,
+		Copies:           2,
+		UseDeltaLog:      true,
+		DataLocality:     true,
+		ParityLocality:   true,
+		UseLogPool:       true,
+		RecycleBatch:     2,
+		RecycleThreshold: 48 << 10,
+		PLRReserve:       8 << 10,
+		CordBufferSize:   24 << 10,
+	}
+	return cfg
+}
+
+// runKillUpdateRecover drives ops random updates/reads, killing `victim` at
+// op killAt and recovering it in a concurrent process under `mode` while
+// the client keeps going. It returns the recovery report.
+func runKillUpdateRecover(t *testing.T, engine string, mode RecoverMode, seed int64, ops, killAt int, mod func(*Config)) *RecoveryReport {
+	t.Helper()
+	cfg := degradedConfig(engine)
+	if mod != nil {
+		mod(&cfg)
+	}
+	c := MustNew(cfg)
+	defer c.Env.Close()
+	cl := c.NewClient()
+	admin := c.NewClient()
+	victim := wire.NodeID(3)
+
+	var rep *RecoveryReport
+	trigger, clientDone, allDone := false, false, false
+	c.Env.Go("recovery", func(p *sim.Proc) {
+		for !trigger {
+			p.Sleep(200 * time.Microsecond)
+		}
+		var err error
+		rep, err = c.Recover(p, victim, 2, mode, admin)
+		if err != nil {
+			t.Errorf("recover (%s): %v", mode, err)
+		}
+	})
+	c.Env.Go("workload", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(seed))
+		fileSize := 6 * c.StripeWidth()
+		content := make([]byte, fileSize)
+		rng.Read(content)
+		ino, err := cl.Create(p, "f", fileSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := cl.WriteFile(p, ino, content); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < ops; i++ {
+			if i == killAt {
+				trigger = true
+			}
+			if rng.Intn(6) == 0 {
+				off := int64(rng.Intn(int(fileSize - 512)))
+				n := int64(1 + rng.Intn(512))
+				got, err := cl.Read(p, ino, off, n)
+				if err != nil {
+					t.Errorf("read at op %d: %v", i, err)
+					return
+				}
+				if !bytes.Equal(got, content[off:off+n]) {
+					t.Errorf("stale read at op %d (off=%d len=%d)", i, off, n)
+					return
+				}
+				continue
+			}
+			off := int64(rng.Intn(int(fileSize - 4096)))
+			n := 1 + rng.Intn(4096)
+			buf := make([]byte, n)
+			rng.Read(buf)
+			if err := cl.Update(p, ino, off, buf); err != nil {
+				t.Errorf("update %d: %v", i, err)
+				return
+			}
+			copy(content[off:], buf)
+		}
+		clientDone = true
+		// Recovery may still be running (it owns some stripes' routing);
+		// wait it out before the final verification.
+		for rep == nil && !t.Failed() {
+			p.Sleep(time.Millisecond)
+		}
+		if t.Failed() {
+			return
+		}
+		if err := c.DrainAll(p, admin); err != nil {
+			t.Error(err)
+			return
+		}
+		n, err := c.Scrub()
+		if err != nil {
+			t.Errorf("scrub: %v", err)
+			return
+		}
+		if n != 6 {
+			t.Errorf("scrubbed %d stripes, want 6", n)
+			return
+		}
+		got, err := cl.Read(p, ino, 0, fileSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, content) {
+			t.Error("content mismatch after kill-update-recover")
+			return
+		}
+		allDone = true
+	})
+	c.Env.Run(0)
+	if t.Failed() {
+		return rep
+	}
+	if !clientDone || !allDone || rep == nil {
+		t.Fatalf("deadlock: clientDone=%v verified=%v recovered=%v", clientDone, allDone, rep != nil)
+	}
+	if rep.Blocks == 0 {
+		t.Fatal("victim hosted no blocks?")
+	}
+	return rep
+}
+
+// TestKillUpdateRecoverInterleavedAllEngines is the headline degraded-mode
+// invariant: every engine survives a mid-workload node kill with foreground
+// updates and reads flowing through interleaved recovery, byte-for-byte.
+func TestKillUpdateRecoverInterleavedAllEngines(t *testing.T) {
+	for _, engine := range update.Names() {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			rep := runKillUpdateRecover(t, engine, RecoverInterleaved, 1009, 400, 150, nil)
+			if t.Failed() || rep == nil {
+				return
+			}
+			if engine == "tsue" && rep.ReplayedItems == 0 {
+				t.Error("tsue interleaved recovery replayed nothing (DataLog seeds expected)")
+			}
+		})
+	}
+}
+
+// TestKillUpdateRecoverDrainFirst covers the gated baseline protocol under
+// the same concurrent workload: updates stall at the gate instead of
+// journaling, and resume against the remapped placement.
+func TestKillUpdateRecoverDrainFirst(t *testing.T) {
+	for _, engine := range []string{"tsue", "parix", "pl"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			rep := runKillUpdateRecover(t, engine, RecoverDrainFirst, 2027, 300, 120, nil)
+			if t.Failed() || rep == nil {
+				return
+			}
+			if rep.ReplayedItems != 0 {
+				t.Errorf("drain-first replayed %d items, want 0", rep.ReplayedItems)
+			}
+			if rep.GatedTime <= 0 {
+				t.Error("drain-first recovery reported no gated time")
+			}
+		})
+	}
+}
+
+// TestKillUpdateRecoverLogReplay covers the gated log-replay protocol
+// under the same concurrent workload: the settle barrier merges the
+// minimum, reconstruction runs gated, and the failed node's DataLog
+// replicas plus any in-flight journaled updates replay at cutover.
+func TestKillUpdateRecoverLogReplay(t *testing.T) {
+	for _, engine := range []string{"tsue", "cord", "fo"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			rep := runKillUpdateRecover(t, engine, RecoverLogReplay, 3061, 300, 120, nil)
+			if t.Failed() || rep == nil {
+				return
+			}
+			if engine == "tsue" && rep.ReplayedItems == 0 {
+				t.Error("tsue log-replay recovery replayed nothing")
+			}
+		})
+	}
+}
+
+// TestKillUpdateRecoverNoDeltaLog drives TSUE's no-DeltaLog (HDD, §5.4)
+// configuration through interleaved recovery: parity deltas fan out from
+// the data holder at recycle time, so a dead data holder can leave live
+// parities torn and its lost data blocks must take the full-stripe repair
+// path (stripeRepair) to verify byte-for-byte.
+func TestKillUpdateRecoverNoDeltaLog(t *testing.T) {
+	rep := runKillUpdateRecover(t, "tsue", RecoverInterleaved, 4093, 400, 150,
+		func(cfg *Config) { cfg.EngineOpts.UseDeltaLog = false })
+	if t.Failed() || rep == nil {
+		return
+	}
+	if rep.ReplayedItems == 0 {
+		t.Error("no-DeltaLog tsue recovery replayed nothing")
+	}
+}
+
+// TestDegradedReadLostBlock pins the surrogate read path in isolation: with
+// a node down and recovery registered but reconstruction not yet done,
+// reads of lost blocks must be served by on-the-fly reconstruction plus
+// journal overlay, including updates issued while degraded.
+func TestDegradedReadLostBlock(t *testing.T) {
+	cfg := degradedConfig("tsue")
+	c := MustNew(cfg)
+	defer c.Env.Close()
+	cl := c.NewClient()
+	admin := c.NewClient()
+	done := false
+	c.Env.Go("t", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(5))
+		fileSize := 4 * c.StripeWidth()
+		content := make([]byte, fileSize)
+		rng.Read(content)
+		ino, _ := cl.Create(p, "f", fileSize)
+		if err := cl.WriteFile(p, ino, content); err != nil {
+			t.Error(err)
+			return
+		}
+		// Make raw stores consistent, then fail node 3 and register the
+		// degraded route by hand — no rebuild yet.
+		if err := c.DrainAll(p, admin); err != nil {
+			t.Error(err)
+			return
+		}
+		victim := wire.NodeID(3)
+		c.Fabric.SetDown(victim, true)
+		if _, err := c.registerDegraded(p, victim, admin); err != nil {
+			t.Error(err)
+			return
+		}
+		// Updates and reads across the whole file: lost blocks must keep
+		// serving, with read-your-writes through the journal overlay.
+		for i := 0; i < 120; i++ {
+			off := int64(rng.Intn(int(fileSize - 2048)))
+			n := 1 + rng.Intn(2048)
+			buf := make([]byte, n)
+			rng.Read(buf)
+			if err := cl.Update(p, ino, off, buf); err != nil {
+				t.Errorf("degraded update %d: %v", i, err)
+				return
+			}
+			copy(content[off:], buf)
+			got, err := cl.Read(p, ino, off, int64(n))
+			if err != nil {
+				t.Errorf("degraded read %d: %v", i, err)
+				return
+			}
+			if !bytes.Equal(got, buf) {
+				t.Errorf("degraded read-your-writes violated at %d", i)
+				return
+			}
+		}
+		got, err := cl.Read(p, ino, 0, fileSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, content) {
+			t.Error("whole-file degraded read mismatch")
+			return
+		}
+		// Finish the recovery by hand: rebuild, then cut over.
+		rep := &RecoveryReport{}
+		lost, err := c.rebuild(p, victim, 4, admin, rep, true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.resetStripeState(lost)
+		c.closeGate()
+		err = c.cutover(p, victim, admin, rep)
+		c.openGate()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rep.ReplayedItems == 0 {
+			t.Error("no journal items replayed despite degraded updates")
+		}
+		if err := c.DrainAll(p, admin); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Scrub(); err != nil {
+			t.Errorf("scrub: %v", err)
+			return
+		}
+		got, err = cl.Read(p, ino, 0, fileSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, content) {
+			t.Error("content mismatch after manual cutover")
+			return
+		}
+		done = true
+	})
+	c.Env.Run(0)
+	if !done && !t.Failed() {
+		t.Fatal("deadlock")
+	}
+}

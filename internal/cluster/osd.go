@@ -20,15 +20,19 @@ type OSD struct {
 	dev    *device.Disk
 	store  *blockstore.Store
 	engine update.Engine
+	// journals holds degraded-update journals this OSD keeps as surrogate
+	// for failed peers (see degraded.go).
+	journals map[wire.NodeID]*journal
 }
 
 func newOSD(c *Cluster, id wire.NodeID) *OSD {
 	dev := device.New(c.Env, fmt.Sprintf("osd%d", id), c.Cfg.DeviceKind, c.Cfg.DeviceParams)
 	return &OSD{
-		c:     c,
-		id:    id,
-		dev:   dev,
-		store: blockstore.New(dev, c.Cfg.BlockSize),
+		c:        c,
+		id:       id,
+		dev:      dev,
+		store:    blockstore.New(dev, c.Cfg.BlockSize),
+		journals: make(map[wire.NodeID]*journal),
 	}
 }
 
@@ -97,11 +101,33 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 			return &wire.Ack{Err: err.Error()}
 		}
 		return wire.OK
-	case *wire.RecoverBlock:
-		if err := o.recoverBlock(p, v.Blk); err != nil {
+	case *wire.Settle:
+		if err := o.engine.Settle(p); err != nil {
 			return &wire.Ack{Err: err.Error()}
 		}
 		return wire.OK
+	case *wire.RecoverBlock:
+		if err := o.recoverBlock(p, v); err != nil {
+			return &wire.Ack{Err: err.Error()}
+		}
+		return wire.OK
+	case *wire.ReplayUpdate:
+		if err := update.Replay(p, o.engine, v.Blk, v.Off, v.Data); err != nil {
+			return &wire.Ack{Err: err.Error()}
+		}
+		return wire.OK
+	case *wire.DegradedUpdate:
+		return o.handleDegradedUpdate(p, v)
+	case *wire.DegradedRead:
+		return o.handleDegradedRead(p, v)
+	case *wire.JournalReplica:
+		// Durability copy of a surrogate-journal record: persist and ack
+		// (never read back; the primary journal drives replay).
+		j := o.journalFor(v.Failed)
+		o.journalPersist(p, j, int64(len(v.Data)))
+		return wire.OK
+	case *wire.JournalFetch:
+		return o.handleJournalFetch(p, v)
 	default:
 		if resp, handled := o.engine.Handle(p, from, m); handled {
 			return resp
@@ -110,65 +136,128 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 	}
 }
 
-// recoverBlock reconstructs one lost block from K surviving peers and stores
-// it locally. Peer reads run in parallel — reconstruction bandwidth is bound
-// by the K fan-in plus the local streaming write (Fig. 8b).
-func (o *OSD) recoverBlock(p *sim.Proc, blk wire.BlockID) error {
+// readSurvivingShards reads [off, off+size) of the first K live shards of
+// blk's stripe (skipping blk itself) with parallel raw reads, returning the
+// K+M shard slice with the read shards filled in — the fan-in shared by
+// block reconstruction, stripe repair, and degraded reads.
+func (o *OSD) readSurvivingShards(p *sim.Proc, blk wire.BlockID, off, size int64) ([][]byte, error) {
 	cfg := o.c.Cfg
 	s := blk.StripeID()
 	osds := o.c.Placement(s)
-	// Choose K live sources, skipping the block being rebuilt.
-	type src struct {
-		idx  int
-		node wire.NodeID
-	}
-	var sources []src
-	for i := 0; i < cfg.K+cfg.M; i++ {
+	shards := make([][]byte, cfg.K+cfg.M)
+	var sources []int
+	for i := 0; i < cfg.K+cfg.M && len(sources) < cfg.K; i++ {
 		if uint16(i) == blk.Index || o.c.Fabric.Down(osds[i]) {
 			continue
 		}
-		sources = append(sources, src{idx: i, node: osds[i]})
-		if len(sources) == cfg.K {
-			break
-		}
+		sources = append(sources, i)
 	}
 	if len(sources) < cfg.K {
-		return fmt.Errorf("recover %v: only %d surviving shards", blk, len(sources))
+		return nil, fmt.Errorf("recover %v: only %d surviving shards", blk, len(sources))
 	}
-	shards := make([][]byte, cfg.K+cfg.M)
 	var firstErr error
 	wg := sim.NewWaitGroup(o.c.Env)
 	wg.Add(len(sources))
-	for _, sc := range sources {
-		sc := sc
+	for _, idx := range sources {
+		idx := idx
 		o.c.Env.Go("recover-read", func(hp *sim.Proc) {
 			defer wg.Done()
-			shardBlk := wire.BlockID{Ino: s.Ino, Stripe: s.Stripe, Index: uint16(sc.idx)}
-			resp, err := o.Call(hp, sc.node, &wire.ReadBlock{Blk: shardBlk, Size: int32(cfg.BlockSize), Raw: true})
+			sblk := wire.BlockID{Ino: s.Ino, Stripe: s.Stripe, Index: uint16(idx)}
+			resp, err := o.Call(hp, osds[idx], &wire.ReadBlock{Blk: sblk, Off: off, Size: int32(size), Raw: true})
 			if err != nil {
 				if firstErr == nil {
-					firstErr = err
+					firstErr = fmt.Errorf("recover read %v: %w", sblk, err)
 				}
 				return
 			}
 			rr, ok := resp.(*wire.ReadResp)
 			if !ok || rr.Err != "" {
 				if firstErr == nil {
-					firstErr = fmt.Errorf("recover read %v: %v", shardBlk, resp)
+					firstErr = fmt.Errorf("recover read %v: %v", sblk, resp)
 				}
 				return
 			}
-			shards[sc.idx] = rr.Data
+			shards[idx] = rr.Data
 		})
 	}
 	wg.Wait(p)
 	if firstErr != nil {
-		return firstErr
+		return nil, firstErr
+	}
+	return shards, nil
+}
+
+// recoverBlock reconstructs one lost block from K surviving peers and stores
+// it locally. Peer reads run in parallel — reconstruction bandwidth is bound
+// by the K fan-in plus the local streaming write (Fig. 8b). When the
+// request carries Reencode, the full-stripe parity repair runs instead.
+func (o *OSD) recoverBlock(p *sim.Proc, req *wire.RecoverBlock) error {
+	if req.Reencode {
+		return o.recoverStripeRepair(p, req.Blk)
+	}
+	blk := req.Blk
+	shards, err := o.readSurvivingShards(p, blk, 0, o.c.Cfg.BlockSize)
+	if err != nil {
+		return err
 	}
 	if err := o.c.Code.Reconstruct(shards); err != nil {
 		return err
 	}
 	return o.store.Put(p, blk, shards[blk.Index])
+}
+
+// recoverStripeRepair rebuilds a lost block AND re-encodes the stripe's
+// whole parity set from its data blocks, overwriting the live parity
+// holders in place. It runs when a plain reconstruction could bake a torn
+// stripe in (cluster.stripeRepair): a dead first-parity node whose
+// cross-parity delta buffer (TSUE DeltaLog / CoRD collector) died with it,
+// or a dead data holder that may have died mid-parity-propagation (FO's
+// sequential path, PL/PLR/PARIX's fan-out), leaving live parities
+// disagreeing about its last update. Reconstructing the lost block from the
+// first K live shards and then re-encoding makes every surviving parity
+// agree with whatever update subset those K shards witnessed.
+func (o *OSD) recoverStripeRepair(p *sim.Proc, blk wire.BlockID) error {
+	cfg := o.c.Cfg
+	s := blk.StripeID()
+	osds := o.c.Placement(s)
+	shards, err := o.readSurvivingShards(p, blk, 0, cfg.BlockSize)
+	if err != nil {
+		return err
+	}
+	// Fills every missing shard, including blk and any unread parity.
+	if err := o.c.Code.Reconstruct(shards); err != nil {
+		return err
+	}
+	// Re-encode the parity set from the (now complete) data shards so all
+	// parities agree.
+	parity := make([][]byte, cfg.M)
+	for j := range parity {
+		parity[j] = make([]byte, cfg.BlockSize)
+	}
+	if err := o.c.Code.Encode(shards[:cfg.K], parity); err != nil {
+		return err
+	}
+	if int(blk.Index) < cfg.K {
+		if err := o.store.Put(p, blk, shards[blk.Index]); err != nil {
+			return err
+		}
+	} else if err := o.store.Put(p, blk, parity[int(blk.Index)-cfg.K]); err != nil {
+		return err
+	}
+	for j := 0; j < cfg.M; j++ {
+		if cfg.K+j == int(blk.Index) || o.c.Fabric.Down(osds[cfg.K+j]) {
+			continue
+		}
+		pblk := wire.BlockID{Ino: s.Ino, Stripe: s.Stripe, Index: uint16(cfg.K + j)}
+		resp, err := o.Call(p, osds[cfg.K+j], &wire.PutBlock{Blk: pblk, Data: parity[j]})
+		if err != nil {
+			return fmt.Errorf("parity repair %v: %w", pblk, err)
+		}
+		if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+			return fmt.Errorf("parity repair %v: %s", pblk, a.Err)
+		}
+	}
+	return nil
 }
 
 func (o *OSD) startHeartbeat(interval time.Duration) {

@@ -8,51 +8,190 @@ import (
 	"tsue/internal/wire"
 )
 
+// RecoverMode selects how recovery interacts with logs and foreground I/O
+// (the paper's §2.3.2/§4.2 recovery discussion and the Fig. 8b comparison).
+type RecoverMode int
+
+const (
+	// RecoverDrainFirst terminates client updates (gate), merges every log
+	// cluster-wide, then reconstructs — the paper's baseline protocol, where
+	// lazy-log schemes pay their whole deferred merge debt before a single
+	// block is rebuilt.
+	RecoverDrainFirst RecoverMode = iota
+	// RecoverLogReplay terminates client updates (gate) but merges only the
+	// minimum log state — the settle barrier, which for lazy-log schemes
+	// degenerates to a full drain while TSUE keeps its replayable DataLog —
+	// then reconstructs and replays the failed node's replicated unrecycled
+	// DataLog through the engines' replay hook (§4.2 log reliability).
+	RecoverLogReplay
+	// RecoverInterleaved keeps foreground I/O flowing while the node
+	// rebuilds: a brief gated settle barrier restores raw stripe
+	// consistency, then reconstruction proceeds `parallel` stripes at a time
+	// while degraded-stripe I/O routes through the surrogate (reads
+	// reconstruct on the fly, updates journal) and non-degraded I/O runs the
+	// normal path — contending with recovery traffic on the same simulated
+	// NICs. A second brief gate covers the journal cutover.
+	RecoverInterleaved
+)
+
+// String returns the mode's experiment-facing name.
+func (m RecoverMode) String() string {
+	switch m {
+	case RecoverDrainFirst:
+		return "drain-first"
+	case RecoverLogReplay:
+		return "log-replay"
+	case RecoverInterleaved:
+		return "interleaved"
+	}
+	return fmt.Sprintf("RecoverMode(%d)", int(m))
+}
+
 // RecoveryReport summarizes one recovery run.
 type RecoveryReport struct {
-	Blocks         int
-	Bytes          int64
-	DrainTime      time.Duration
-	RebuildTime    time.Duration
-	ReplayedItems  int
-	TotalTime      time.Duration
-	BandwidthBps   float64
-	ReplayedBytes  int64
+	// Mode is the protocol the run used.
+	Mode RecoverMode
+	// Blocks and Bytes count the reconstructed blocks.
+	Blocks int
+	Bytes  int64
+	// DrainTime is the time spent in the gated pre-reconstruction log
+	// barrier: a full drain for drain-first, the settle barrier for
+	// log-replay and interleaved.
+	DrainTime time.Duration
+	// RebuildTime covers the parallel block reconstruction phase.
+	RebuildTime time.Duration
+	// ReplayTime covers the journal cutover (replica + degraded-update
+	// replay through the engines).
+	ReplayTime time.Duration
+	// GatedTime is how long client updates were fenced in total — the
+	// foreground outage the degraded experiment measures.
+	GatedTime time.Duration
+	// ReplayedItems / ReplayedBytes count journal records merged back
+	// through the engines (failed node's DataLog replicas plus degraded
+	// updates journaled during recovery).
+	ReplayedItems int
+	ReplayedBytes int64
+	// ReencodedStripes counts stripes whose parity set was repaired by
+	// re-encoding (lost first-parity with a cross-parity delta buffer).
+	ReencodedStripes int
+	// TotalTime is failure-to-healthy wall (virtual) time; BandwidthBps is
+	// reconstruction volume over it.
+	TotalTime    time.Duration
+	BandwidthBps float64
+	// RemappedBlocks counts placement overrides installed.
 	RemappedBlocks int
 }
 
-// Recover handles the failure of one OSD, following the paper's recovery
-// protocol (§2.3.2, §4.2, Fig. 8b):
-//
-//  1. If drainFirst, recycle all logs cluster-wide before the failure is
-//     injected (the paper terminates client updates and merges logs before
-//     reconstruction; for lazy-log schemes this drain dominates recovery
-//     time and is charged to it).
-//  2. Mark the node failed.
-//  3. Reconstruct every block the node hosted onto surviving OSDs (round
-//     robin), `parallel` stripes at a time, and remap placement.
-//  4. For TSUE without a prior drain: fetch the failed node's unrecycled
-//     DataLog items from their replica holders and replay them through the
-//     normal update path, then drain (§4.2 log reliability).
-func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, drainFirst bool, via *Client) (*RecoveryReport, error) {
+// Recover handles the failure of one OSD under the given mode. All modes
+// end with every lost block rebuilt on a surviving OSD (round robin),
+// placement remapped, and — for modes that replay — the failed node's
+// unrecycled updates and any degraded-mode journal merged back through the
+// engines, so a subsequent drain + scrub is byte-exact.
+func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode RecoverMode, via *Client) (*RecoveryReport, error) {
 	if parallel < 1 {
 		parallel = 1
 	}
-	rep := &RecoveryReport{}
+	rep := &RecoveryReport{Mode: mode}
 	start := p.Now()
 
-	if drainFirst {
-		if err := c.DrainAll(p, via); err != nil {
+	switch mode {
+	case RecoverDrainFirst:
+		// Terminate updates (waiting out in-flight ones), merge all logs,
+		// then fail and rebuild.
+		gateStart := p.Now()
+		c.fenceUpdates(p)
+		err := c.DrainAll(p, via)
+		rep.DrainTime = p.Now() - gateStart
+		if err == nil {
+			c.Fabric.SetDown(failed, true)
+			var lost []wire.BlockID
+			if lost, err = c.rebuild(p, failed, parallel, via, rep, false); err == nil {
+				c.resetStripeState(lost)
+			}
+		}
+		c.openGate()
+		rep.GatedTime = p.Now() - gateStart
+		if err != nil {
 			return nil, err
 		}
+
+	case RecoverLogReplay:
+		c.Fabric.SetDown(failed, true)
+		if _, err := c.registerDegraded(p, failed, via); err != nil {
+			return nil, err
+		}
+		gateStart := p.Now()
+		c.fenceUpdates(p)
+		err := c.SettleAll(p, via)
+		rep.DrainTime = p.Now() - gateStart
+		if err == nil {
+			var lost []wire.BlockID
+			if lost, err = c.rebuild(p, failed, parallel, via, rep, true); err == nil {
+				c.resetStripeState(lost)
+				if err = c.cutover(p, failed, via, rep); err == nil {
+					// Charge the replayed updates' merge debt to recovery,
+					// per the paper's accounting.
+					err = c.DrainAll(p, via)
+				}
+			}
+		}
+		c.openGate()
+		rep.GatedTime = p.Now() - gateStart
+		if err != nil {
+			return nil, err
+		}
+
+	case RecoverInterleaved:
+		c.Fabric.SetDown(failed, true)
+		if _, err := c.registerDegraded(p, failed, via); err != nil {
+			return nil, err
+		}
+		// Brief fence: restore raw stripe consistency, then let foreground
+		// I/O flow again while blocks rebuild.
+		gateStart := p.Now()
+		c.fenceUpdates(p)
+		err := c.SettleAll(p, via)
+		c.openGate()
+		rep.DrainTime = p.Now() - gateStart
+		rep.GatedTime = p.Now() - gateStart
+		if err != nil {
+			return nil, err
+		}
+		lost, err := c.rebuild(p, failed, parallel, via, rep, true)
+		if err != nil {
+			return nil, err
+		}
+		c.resetStripeState(lost)
+		// Second fence: replay the journal and cut clients back over to the
+		// rebuilt placement.
+		gateStart = p.Now()
+		c.closeGate()
+		err = c.cutover(p, failed, via, rep)
+		c.openGate()
+		rep.GatedTime += p.Now() - gateStart
+		if err != nil {
+			return nil, err
+		}
+
+	default:
+		return nil, fmt.Errorf("cluster: unknown recover mode %d", mode)
 	}
-	rep.DrainTime = p.Now() - start
 
-	// Inject the failure.
-	c.Fabric.SetDown(failed, true)
+	rep.TotalTime = p.Now() - start
+	if rep.TotalTime > 0 {
+		rep.BandwidthBps = float64(rep.Bytes) / rep.TotalTime.Seconds()
+	}
+	return rep, nil
+}
+
+// rebuild reconstructs every block the failed node hosted onto surviving
+// OSDs (round robin), `parallel` blocks at a time, remapping placement as
+// it goes. It returns the lost block list. With repair set, blocks whose
+// plain reconstruction could bake a torn stripe in (stripeRepair) get the
+// full parity re-encode instead; drain-first recovery passes false, since
+// a fully drained, gated cluster cannot hold a torn stripe.
+func (c *Cluster) rebuild(p *sim.Proc, failed wire.NodeID, parallel int, via *Client, rep *RecoveryReport, repair bool) ([]wire.BlockID, error) {
 	failedOSD := c.OSDByID(failed)
-
-	// The blocks to rebuild: everything the dead node hosted.
 	lost := failedOSD.store.Blocks()
 
 	// Round-robin targets among live survivors (earlier failures stay
@@ -76,11 +215,15 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, drainFi
 		target := survivors[i%len(survivors)]
 		c.remap[blk] = target
 		rep.RemappedBlocks++
+		reencode := repair && c.stripeRepair(blk)
+		if reencode {
+			rep.ReencodedStripes++
+		}
 		c.Env.Go("recover", func(hp *sim.Proc) {
 			defer wg.Done()
 			sem.Acquire(hp)
 			defer sem.Release()
-			resp, err := c.Fabric.Call(hp, via.id, target, &wire.RecoverBlock{Blk: blk})
+			resp, err := c.Fabric.Call(hp, via.id, target, &wire.RecoverBlock{Blk: blk, Reencode: reencode})
 			if err == nil {
 				if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
 					err = fmt.Errorf("%s", a.Err)
@@ -98,42 +241,98 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, drainFi
 	rep.Blocks = len(lost)
 	rep.Bytes = int64(len(lost)) * c.Cfg.BlockSize
 	rep.RebuildTime = p.Now() - rebuildStart
+	return lost, nil
+}
 
-	if !drainFirst {
-		// Replay the failed node's unrecycled DataLog from replica holders
-		// (TSUE reliability path; a no-op for in-place schemes).
-		items, err := c.fetchReplicaItems(p, failed, via)
-		if err != nil {
-			return nil, err
+// stripeRepair reports whether rebuilding the lost block must re-encode the
+// stripe's whole parity set (recoverStripeRepair) instead of a plain
+// reconstruction. Two tear classes require it with M >= 2:
+//
+//   - the dead node hosted a data block under a scheme whose data holder
+//     propagates parity deltas itself (FO sequentially, PL/PLR/PARIX by
+//     fan-out): dying mid-propagation leaves live parities disagreeing
+//     about the final update;
+//   - the dead node hosted the first parity block under a scheme that
+//     buffers cross-parity deltas there (TSUE's DeltaLog, CoRD's
+//     collector): the buffered deltas for the other parities died with it.
+//
+// TSUE without a DeltaLog (the HDD config) fans parity deltas out from the
+// data holder at recycle time, so its data blocks fall in the first class;
+// with the DeltaLog the data holder sends one message to one node and
+// cannot tear, but the DeltaLog holder itself becomes the second class.
+func (c *Cluster) stripeRepair(blk wire.BlockID) bool {
+	if c.Cfg.M < 2 {
+		return false
+	}
+	switch c.Cfg.Engine {
+	case "fo", "pl", "plr", "parix":
+		return int(blk.Index) < c.Cfg.K
+	case "cord":
+		return int(blk.Index) == c.Cfg.K
+	case "tsue":
+		if c.Cfg.EngineOpts.UseDeltaLog {
+			return int(blk.Index) == c.Cfg.K
 		}
-		for _, it := range items {
+		return int(blk.Index) < c.Cfg.K
+	}
+	return false
+}
+
+// cutover replays the surrogate journal — the failed node's replicated
+// unrecycled DataLog items followed by every update journaled while the
+// node was degraded — through the engines' replay hook at the (remapped)
+// home OSDs, then atomically retires the degraded route. It must run under
+// the closed gate so the journal cannot grow behind the steal and degraded
+// reads cannot observe mid-replay stripes.
+func (c *Cluster) cutover(p *sim.Proc, failed wire.NodeID, via *Client, rep *RecoveryReport) error {
+	st := c.degraded[failed]
+	if st == nil {
+		return nil
+	}
+	replayStart := p.Now()
+	surr := c.OSDByID(st.surrogate)
+	for {
+		// Atomic with the steal below: with the gate closed nothing can
+		// append, so an empty journal stays empty until we unregister.
+		if len(surr.journalItems(failed)) == 0 {
+			c.unregisterDegraded(failed)
+			break
+		}
+		resp, err := c.Fabric.Call(p, via.id, st.surrogate, &wire.JournalFetch{Failed: failed})
+		if err != nil {
+			return fmt.Errorf("journal fetch: %w", err)
+		}
+		rr, ok := resp.(*wire.ReplicaResp)
+		if !ok {
+			return fmt.Errorf("journal fetch: unexpected response %T", resp)
+		}
+		// Strictly in journal order: replayed records must not reorder
+		// against each other (overwrites of the same range).
+		for _, it := range rr.Items {
 			osds := c.Placement(it.Blk.StripeID())
-			resp, err := c.Fabric.Call(p, via.id, osds[it.Blk.Index], &wire.Update{Blk: it.Blk, Off: it.Off, Data: it.Data})
+			resp, err := c.Fabric.Call(p, via.id, osds[it.Blk.Index], &wire.ReplayUpdate{Blk: it.Blk, Off: it.Off, Data: it.Data})
 			if err != nil {
-				return nil, fmt.Errorf("replay %v: %w", it.Blk, err)
+				return fmt.Errorf("replay %v: %w", it.Blk, err)
 			}
 			if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
-				return nil, fmt.Errorf("replay %v: %s", it.Blk, a.Err)
+				return fmt.Errorf("replay %v: %s", it.Blk, a.Err)
 			}
 			rep.ReplayedItems++
 			rep.ReplayedBytes += int64(len(it.Data))
 		}
-		if err := c.DrainAll(p, via); err != nil {
-			return nil, err
-		}
 	}
-
-	rep.TotalTime = p.Now() - start
-	if rep.TotalTime > 0 {
-		rep.BandwidthBps = float64(rep.Bytes) / rep.TotalTime.Seconds()
-	}
-	return rep, nil
+	rep.ReplayTime = p.Now() - replayStart
+	return nil
 }
 
 // fetchReplicaItems collects the failed node's replicated, unrecycled
-// DataLog items from every survivor, in a deterministic order.
+// DataLog items from every surviving holder. With Copies <= 2 each item
+// has exactly one replica, so holders' lists are disjoint and the union is
+// the complete stream (it can split across holders when an earlier failure
+// moved the ring successor); with Copies > 2 every holder has a full copy,
+// so the largest list is returned to avoid double-replaying duplicates.
 func (c *Cluster) fetchReplicaItems(p *sim.Proc, failed wire.NodeID, via *Client) ([]wire.ReplicaItem, error) {
-	var items []wire.ReplicaItem
+	var all, best []wire.ReplicaItem
 	for _, osd := range c.OSDs {
 		if osd.id == failed || c.Fabric.Down(osd.id) {
 			continue
@@ -147,7 +346,13 @@ func (c *Cluster) fetchReplicaItems(p *sim.Proc, failed wire.NodeID, via *Client
 			// Engines without replica support answer with an "unhandled" Ack.
 			continue
 		}
-		items = append(items, rr.Items...)
+		all = append(all, rr.Items...)
+		if len(rr.Items) > len(best) {
+			best = rr.Items
+		}
 	}
-	return items, nil
+	if c.Cfg.EngineOpts.Copies > 2 {
+		return best, nil
+	}
+	return all, nil
 }

@@ -1,0 +1,169 @@
+package cluster
+
+// Error-path coverage for cluster.Recover: failures beyond the code's
+// tolerance, recovery with nothing to replay, and recovery racing an
+// in-flight cluster-wide drain.
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// TestRecoverBeyondTolerance: with M=2 and two nodes already dead, a third
+// failure must surface a reconstruction error (some stripe has fewer than K
+// surviving shards), not corrupt state silently.
+func TestRecoverBeyondTolerance(t *testing.T) {
+	cfg := testConfig("fo") // no logs: drains are no-ops with nodes down
+	run(t, cfg, func(p *sim.Proc, c *Cluster, cl *Client) {
+		content := make([]byte, 4*c.StripeWidth())
+		rand.New(rand.NewSource(31)).Read(content)
+		ino, _ := cl.Create(p, "f", int64(len(content)))
+		if err := cl.WriteFile(p, ino, content); err != nil {
+			t.Fatal(err)
+		}
+		// Kill two nodes outright (no recovery), then try to recover a third.
+		c.Fabric.SetDown(wire.NodeID(1), true)
+		c.Fabric.SetDown(wire.NodeID(2), true)
+		_, err := c.Recover(p, wire.NodeID(3), 4, RecoverDrainFirst, cl)
+		if err == nil {
+			t.Fatal("recovering a third failure under M=2 succeeded")
+		}
+		if !strings.Contains(err.Error(), "surviving shards") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		// The gate must have been reopened on the error path.
+		if c.gateClosed {
+			t.Fatal("gate left closed after failed recovery")
+		}
+	})
+}
+
+// TestRecoverZeroLogs: recovery in log-replay mode right after a full drain
+// has nothing to replay — the report must show zero replayed items and the
+// cluster must still scrub clean and serve exact content.
+func TestRecoverZeroLogs(t *testing.T) {
+	cfg := testConfig("tsue")
+	run(t, cfg, func(p *sim.Proc, c *Cluster, cl *Client) {
+		rng := rand.New(rand.NewSource(37))
+		content := make([]byte, 4*c.StripeWidth())
+		rng.Read(content)
+		ino, _ := cl.Create(p, "f", int64(len(content)))
+		if err := cl.WriteFile(p, ino, content); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 80; i++ {
+			off := int64(rng.Intn(len(content) - 2048))
+			buf := make([]byte, 1+rng.Intn(2048))
+			rng.Read(buf)
+			if err := cl.Update(p, ino, off, buf); err != nil {
+				t.Fatal(err)
+			}
+			copy(content[off:], buf)
+		}
+		if err := c.DrainAll(p, cl); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Recover(p, wire.NodeID(4), 4, RecoverLogReplay, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ReplayedItems != 0 || rep.ReplayedBytes != 0 {
+			t.Fatalf("replayed %d items / %d bytes after a full drain, want 0",
+				rep.ReplayedItems, rep.ReplayedBytes)
+		}
+		if _, err := c.Scrub(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.Read(p, ino, 0, int64(len(content)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatal("content mismatch after zero-log recovery")
+		}
+	})
+}
+
+// TestRecoverRacesDrainAll: a cluster-wide drain already in flight when a
+// node fails and recovery starts must either complete or step aside
+// (nodes dying mid-round are not drain errors); both operations finish and
+// the cluster verifies byte-for-byte.
+func TestRecoverRacesDrainAll(t *testing.T) {
+	cfg := testConfig("tsue")
+	c := MustNew(cfg)
+	defer c.Env.Close()
+	cl := c.NewClient()
+	admin := c.NewClient()
+	drained, recovered, verified := false, false, false
+	c.Env.Go("drainer", func(p *sim.Proc) {
+		// Let the workload build log state, then drain concurrently with
+		// the recovery below.
+		p.Sleep(2 * time.Millisecond)
+		if err := c.DrainAll(p, admin); err != nil {
+			t.Errorf("racing drain: %v", err)
+			return
+		}
+		drained = true
+	})
+	c.Env.Go("workload", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(41))
+		content := make([]byte, 4*c.StripeWidth())
+		rng.Read(content)
+		ino, _ := cl.Create(p, "f", int64(len(content)))
+		if err := cl.WriteFile(p, ino, content); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 100; i++ {
+			off := int64(rng.Intn(len(content) - 2048))
+			buf := make([]byte, 1+rng.Intn(2048))
+			rng.Read(buf)
+			if err := cl.Update(p, ino, off, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			copy(content[off:], buf)
+		}
+		rep, err := c.Recover(p, wire.NodeID(5), 4, RecoverInterleaved, cl)
+		if err != nil {
+			t.Errorf("recover racing drain: %v", err)
+			return
+		}
+		if rep.Blocks == 0 {
+			t.Error("nothing recovered")
+			return
+		}
+		recovered = true
+		if err := c.DrainAll(p, cl); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Scrub(); err != nil {
+			t.Errorf("scrub: %v", err)
+			return
+		}
+		got, err := cl.Read(p, ino, 0, int64(len(content)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, content) {
+			t.Error("content mismatch after recovery racing drain")
+			return
+		}
+		verified = true
+	})
+	c.Env.Run(0)
+	if t.Failed() {
+		return
+	}
+	if !drained || !recovered || !verified {
+		t.Fatalf("deadlock: drained=%v recovered=%v verified=%v", drained, recovered, verified)
+	}
+}

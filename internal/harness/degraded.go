@@ -1,0 +1,231 @@
+package harness
+
+// The degraded experiment (beyond the paper's figures, after its §4.2
+// recovery discussion and Fig. 8b): fail an OSD *while* a foreground update
+// workload is running and recover it under each protocol, measuring how
+// long recovery takes, how far foreground IOPS dip while it runs — the
+// Rashmi et al. observation that recovery traffic competes with foreground
+// I/O on the same NICs — and how many bytes each scheme must replay from
+// replicated logs.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"tsue/internal/cluster"
+	"tsue/internal/sim"
+	"tsue/internal/trace"
+	"tsue/internal/update"
+	"tsue/internal/wire"
+)
+
+// DegradedResult captures one degraded-mode recovery run.
+type DegradedResult struct {
+	Cfg RunConfig
+	// Mode is the recovery protocol used.
+	Mode cluster.RecoverMode
+	// Report is the cluster's recovery report (rebuild/settle/replay times,
+	// replayed bytes, reconstruction bandwidth).
+	Report *cluster.RecoveryReport
+	// BaselineIOPS is foreground update throughput before the failure;
+	// DuringIOPS is throughput between failure injection and recovery
+	// completion; DipPct is the relative drop.
+	BaselineIOPS float64
+	DuringIOPS   float64
+	DipPct       float64
+	// Stripes is the number of stripes scrubbed clean after the run.
+	Stripes int
+}
+
+// RunDegraded preloads a volume, runs a continuous foreground update
+// workload, fails one OSD a third of the way through, and recovers it under
+// the given mode while the workload keeps issuing updates (which block at
+// the gate or route through the surrogate journal, depending on the mode).
+// The run ends with a drain and a full scrub.
+func RunDegraded(cfg RunConfig, mode cluster.RecoverMode) (*DegradedResult, error) {
+	c, err := buildCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Env.Close()
+	admin := c.NewClient()
+	res := &DegradedResult{Cfg: cfg, Mode: mode}
+	var runErr error
+	c.Env.Go("degraded-harness", func(p *sim.Proc) {
+		content := make([]byte, cfg.FileBytes)
+		rand.New(rand.NewSource(cfg.Seed)).Read(content)
+		ino, err := admin.Create(p, "vol0", cfg.FileBytes)
+		if err != nil {
+			runErr = err
+			return
+		}
+		if err := admin.WriteFile(p, ino, content); err != nil {
+			runErr = err
+			return
+		}
+		content = nil
+		c.ResetStats()
+
+		payload := make([]byte, 1<<20)
+		rand.New(rand.NewSource(cfg.Seed + 999)).Read(payload)
+
+		nClients := cfg.Clients
+		if nClients < 1 {
+			nClients = 1
+		}
+		// Generous per-client cap: the stop flag (set when recovery
+		// completes) is the intended exit, the cap only bounds runaway runs.
+		// It must stay high enough that clients keep offering load through
+		// the whole recovery — journaled degraded updates complete at
+		// log-append speed, far above the steady-state rate.
+		opsPer := 20 * cfg.Ops / nClients
+		stop := false
+		done := 0
+		start := p.Now()
+		wg := sim.NewWaitGroup(c.Env)
+		wg.Add(nClients)
+		var clientErr error
+		for ci := 0; ci < nClients; ci++ {
+			ci := ci
+			cl := c.NewClient()
+			gen := trace.MustGenerator(cfg.Trace, cfg.Seed+int64(ci)*7919)
+			c.Env.Go(fmt.Sprintf("fg%d", ci), func(cp *sim.Proc) {
+				defer wg.Done()
+				for j := 0; j < opsPer && !stop; j++ {
+					// Update-only foreground: resample until a write so the
+					// dip measures the update path (reads of lost blocks are
+					// exercised by the degraded tests).
+					op := gen.Next()
+					for op.Kind != trace.Write {
+						op = gen.Next()
+					}
+					off := op.Off
+					if off+int64(op.Size) > cfg.FileBytes {
+						off = cfg.FileBytes - int64(op.Size)
+					}
+					pstart := int(off) % (len(payload) - int(op.Size))
+					if err := cl.Update(cp, ino, off, payload[pstart:pstart+int(op.Size)]); err != nil {
+						if clientErr == nil {
+							clientErr = fmt.Errorf("foreground client %d op %d: %w", ci, j, err)
+						}
+						return
+					}
+					done++
+				}
+			})
+		}
+
+		// Warm up to steady state, then fail a node and recover while the
+		// foreground keeps running.
+		warmTarget := cfg.Ops / 3
+		if warmTarget < 1 {
+			warmTarget = 1
+		}
+		for done < warmTarget && clientErr == nil {
+			p.Sleep(100 * time.Microsecond)
+		}
+		if clientErr != nil {
+			runErr = clientErr
+			return
+		}
+		preOps := done
+		t0 := p.Now()
+		// Fail the most-loaded OSD so the rebuild volume is representative
+		// (small working sets can leave hash-unlucky OSDs empty).
+		victim := wire.NodeID(1)
+		most := -1
+		for _, osd := range c.OSDs {
+			if n := osd.Store().Len(); n > most {
+				most = n
+				victim = osd.NodeID()
+			}
+		}
+		rep, err := c.Recover(p, victim, 8, mode, admin)
+		if err != nil {
+			runErr = fmt.Errorf("recover (%s): %w", mode, err)
+			return
+		}
+		t1 := p.Now()
+		duringOps := done - preOps
+		stop = true
+		wg.Wait(p)
+		if clientErr != nil {
+			runErr = clientErr
+			return
+		}
+
+		res.Report = rep
+		if d := (t0 - start).Seconds(); d > 0 {
+			res.BaselineIOPS = float64(preOps) / d
+		}
+		if d := (t1 - t0).Seconds(); d > 0 {
+			res.DuringIOPS = float64(duringOps) / d
+		}
+		if res.BaselineIOPS > 0 {
+			res.DipPct = 100 * (1 - res.DuringIOPS/res.BaselineIOPS)
+		}
+
+		if err := c.DrainAll(p, admin); err != nil {
+			runErr = err
+			return
+		}
+		if !cfg.SkipVerify {
+			n, err := c.Scrub()
+			if err != nil {
+				runErr = fmt.Errorf("post-recovery scrub failed: %w", err)
+				return
+			}
+			res.Stripes = n
+		}
+	})
+	c.Env.Run(0)
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// degradedModes is the experiment's protocol sweep.
+func degradedModes() []cluster.RecoverMode {
+	return []cluster.RecoverMode{
+		cluster.RecoverDrainFirst,
+		cluster.RecoverLogReplay,
+		cluster.RecoverInterleaved,
+	}
+}
+
+// Degraded runs the degraded-mode recovery experiment: every engine × every
+// recovery protocol under a continuous foreground update load, reporting
+// recovery time, the foreground IOPS dip, and replayed log bytes — the
+// Fig. 8b comparison extended with the update/failure overlap the paper's
+// log-reliability argument is really about.
+func Degraded(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "== Degraded: recovery under foreground update load (SSD, Ali-Cloud, RS(6,4)) ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tmode\trecover(ms)\tbarrier(ms)\trebuild(ms)\treplay(ms)\tgated(ms)\treplayed(KB)\trebuild(MB/s)\tbase IOPS\tduring IOPS\tdip")
+	for _, eng := range update.Names() {
+		for _, mode := range degradedModes() {
+			cfg := baseRun(s)
+			cfg.Engine = eng
+			cfg.Clients = 16
+			cfg.Trace = s.traceProfile("ali")
+			r, err := RunDegraded(cfg, mode)
+			if err != nil {
+				return fmt.Errorf("degraded %s %s: %w", eng, mode, err)
+			}
+			rep := r.Report
+			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.0f\t%.0f\t%.0f%%\n",
+				eng, mode,
+				ms(rep.TotalTime), ms(rep.DrainTime), ms(rep.RebuildTime), ms(rep.ReplayTime), ms(rep.GatedTime),
+				float64(rep.ReplayedBytes)/1024,
+				rep.BandwidthBps/(1<<20),
+				r.BaselineIOPS, r.DuringIOPS, r.DipPct)
+		}
+	}
+	return tw.Flush()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -430,7 +430,7 @@ func Sweep(w io.Writer, s Scale) error {
 
 // All runs every experiment in paper order.
 func All(w io.Writer, s Scale) error {
-	steps := []func(io.Writer, Scale) error{Fig5, Fig6a, Fig6b, Fig7, Table1, Table2, Fig8a, Fig8b, Sweep}
+	steps := []func(io.Writer, Scale) error{Fig5, Fig6a, Fig6b, Fig7, Table1, Table2, Fig8a, Fig8b, Sweep, Degraded}
 	for _, f := range steps {
 		if err := f(w, s); err != nil {
 			return err
@@ -445,6 +445,6 @@ func Experiments() map[string]func(io.Writer, Scale) error {
 	return map[string]func(io.Writer, Scale) error{
 		"fig5": Fig5, "fig6a": Fig6a, "fig6b": Fig6b, "fig7": Fig7,
 		"table1": Table1, "table2": Table2, "fig8a": Fig8a, "fig8b": Fig8b,
-		"sweep": Sweep, "all": All,
+		"sweep": Sweep, "degraded": Degraded, "all": All,
 	}
 }

@@ -191,7 +191,7 @@ func RunRecovery(cfg RunConfig) (*cluster.RecoveryReport, error) {
 		// Fail an OSD chosen deterministically; recovery drains first, per
 		// the paper's consistency protocol.
 		victim := wire.NodeID(cfg.Seed%int64(cfg.OSDs) + 1)
-		rep, runErr = c.Recover(p, victim, 8, true, admin)
+		rep, runErr = c.Recover(p, victim, 8, cluster.RecoverDrainFirst, admin)
 		if runErr != nil {
 			return
 		}

@@ -314,6 +314,19 @@ func (p *Pool) Units() []*Unit { return p.units }
 // next Append).
 func (p *Pool) Tail() *Unit { return p.units[len(p.units)-1] }
 
+// PendingSealed reports whether any sealed unit is still waiting for (or
+// undergoing) recycling. Unlike Pending it ignores the active unit, so it
+// distinguishes in-flight merge work from replayable front-log overlay
+// state (the settle barrier of degraded-mode recovery).
+func (p *Pool) PendingSealed() bool {
+	for _, u := range p.units {
+		if u.State == Recyclable || u.State == Recycling {
+			return true
+		}
+	}
+	return false
+}
+
 // Pending reports whether any unit holds unrecycled data.
 func (p *Pool) Pending() bool {
 	for _, u := range p.units {

@@ -37,8 +37,11 @@ func newCord(h Host, o Options) *cord {
 	}
 }
 
+// Name returns "cord".
 func (*cord) Name() string { return "cord" }
 
+// Update overwrites the data block in place and ships the data delta to
+// the stripe's collector (first parity holder) in a single message.
 func (e *cord) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error {
 	e.lockBlock(p, blk)
 	delta, err := e.readModifyWrite(p, blk, off, data)
@@ -53,6 +56,8 @@ func (e *cord) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) err
 	return e.callAck(p, collector, req)
 }
 
+// Handle buffers incoming data deltas (collector role) and applies merged
+// parity deltas distributed by other collectors.
 func (e *cord) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool) {
 	switch v := m.(type) {
 	case *wire.DeltaAppend:
@@ -95,6 +100,16 @@ func (e *cord) append(p *sim.Proc, da *wire.DeltaAppend) {
 func (e *cord) recycleUnit(p *sim.Proc, u *logpool.Unit) {
 	e.recycling = true
 	e.pool.MarkRecycling(u)
+	defer func() {
+		e.pool.MarkRecycled(u, p.Now())
+		e.recycling = false
+		e.cond.Broadcast()
+	}()
+	// A dead collector's buffer is lost with it; recovery re-encodes the
+	// parity set of its stripes.
+	if !e.h.Alive(e.h.NodeID()) {
+		return
+	}
 	c := e.h.Code()
 	k, mm := c.K, c.M
 
@@ -124,6 +139,11 @@ func (e *cord) recycleUnit(p *sim.Proc, u *logpool.Unit) {
 		osds := e.h.Placement(s)
 		for j := 0; j < mm; j++ {
 			pblk := e.parityBlock(s, j)
+			// A dead parity holder's deltas are dropped: recovery rebuilds
+			// that parity block by re-encoding the (already updated) data.
+			if j > 0 && !e.h.Alive(osds[k+j]) {
+				continue
+			}
 			for _, ext := range st.perParity[j].Extents() {
 				if j == 0 {
 					if err := e.applyParityDelta(p, pblk, ext.Off, ext.Data); err != nil {
@@ -133,20 +153,22 @@ func (e *cord) recycleUnit(p *sim.Proc, u *logpool.Unit) {
 				}
 				req := &wire.ParityDelta{Blk: pblk, Off: ext.Off, Data: ext.Data}
 				if err := e.callAck(p, osds[k+j], req); err != nil {
+					if !e.h.Alive(osds[k+j]) || !e.h.Alive(e.h.NodeID()) {
+						break // one end died mid-distribution; recovery repairs
+					}
 					panic("cord: forward: " + err.Error())
 				}
 			}
 		}
 	}
-	e.pool.MarkRecycled(u, p.Now())
-	e.recycling = false
-	e.cond.Broadcast()
 }
 
+// Read serves straight from the block store (data blocks are in place).
 func (e *cord) Read(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error) {
 	return e.read(p, blk, off, size)
 }
 
+// Drain recycles the collector buffer to quiescence.
 func (e *cord) Drain(p *sim.Proc) error {
 	for e.recycling {
 		e.cond.Wait(p)
@@ -166,6 +188,18 @@ func (e *cord) Drain(p *sim.Proc) error {
 	return nil
 }
 
-func (e *cord) Dirty() bool         { return e.pool.Pending() }
-func (e *cord) MemBytes() int64     { return e.pool.Stats().MemBytes }
+// Settle is Drain: the collector buffer holds deltas for other parity
+// holders, so the raw stripe is only consistent once it distributes.
+func (e *cord) Settle(p *sim.Proc) error { return e.Drain(p) }
+
+// NeedsSettle reports whether the collector buffer still holds deltas.
+func (e *cord) NeedsSettle() bool { return e.Dirty() }
+
+// Dirty reports whether the collector buffer still holds deltas.
+func (e *cord) Dirty() bool { return e.pool.Pending() }
+
+// MemBytes returns the collector buffer's memory footprint.
+func (e *cord) MemBytes() int64 { return e.pool.Stats().MemBytes }
+
+// PeakMemBytes returns the high-water collector footprint.
 func (e *cord) PeakMemBytes() int64 { return e.peak }

@@ -54,6 +54,18 @@ type Engine interface {
 	// and scrub barrier). Cluster-wide drains repeat per-OSD drains until a
 	// full round is clean, since recycling forwards work downstream.
 	Drain(p *sim.Proc) error
+	// Settle brings the raw block stores this engine touches back to stripe
+	// consistency with the minimum merging: any log whose effects are
+	// partially applied (delta/parity pipelines, lazy parity logs) must
+	// merge, but pure-overlay state that recovery can replay from replicas —
+	// TSUE's active DataLog units — may be kept. For every in-place scheme
+	// Settle is simply Drain; the gap between the two is TSUE's §4.2
+	// log-reliability advantage during recovery.
+	Settle(p *sim.Proc) error
+	// NeedsSettle reports whether Settle still has work to do (the
+	// cluster-wide settle barrier repeats per-OSD settles until a full round
+	// is clean, like DrainAll).
+	NeedsSettle() bool
 	// Dirty reports whether the engine still holds unrecycled state.
 	Dirty() bool
 	// MemBytes is the engine's current log memory footprint.
@@ -329,4 +341,33 @@ func meanDur(sum time.Duration, n int64) time.Duration {
 // ResidencyReporter is implemented by TSUE for Table 2.
 type ResidencyReporter interface {
 	Residency() map[string]LayerStats
+}
+
+// Replayer is implemented by engines with a dedicated entry point for
+// recovery-replayed records (surrogate-journal and DataLog-replica items).
+// TSUE merges replays through its normal two-stage path — DataLog append,
+// replication, asynchronous recycle — while tracking them as recovery
+// traffic. Engines without the hook take replays through Update.
+type Replayer interface {
+	ReplayInto(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error
+}
+
+// Replay routes one recovered record into eng: through its ReplayInto hook
+// when implemented, otherwise through the ordinary update path (correct for
+// every in-place scheme, where replaying IS updating).
+func Replay(p *sim.Proc, eng Engine, blk wire.BlockID, off int64, data []byte) error {
+	if r, ok := eng.(Replayer); ok {
+		return r.ReplayInto(p, blk, off, data)
+	}
+	return eng.Update(p, blk, off, data)
+}
+
+// StripeResetter is implemented by engines that keep cross-update baseline
+// state per stripe which a block remap invalidates. PARIX tracks which
+// ranges already shipped their original value; after recovery rebuilds a
+// parity block on a fresh OSD, that coverage must be forgotten so the next
+// update reships the originals and the new holder can form correct deltas
+// against its re-encoded parity baseline (Equation (4)).
+type StripeResetter interface {
+	ResetStripe(s wire.StripeID)
 }

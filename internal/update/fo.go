@@ -18,8 +18,11 @@ type fo struct {
 
 func newFO(h Host) *fo { return &fo{base: newBase(h)} }
 
+// Name returns "fo".
 func (*fo) Name() string { return "fo" }
 
+// Update overwrites the data block in place and updates every parity
+// block in place, synchronously, one after another.
 func (e *fo) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error {
 	e.lockBlock(p, blk)
 	delta, err := e.readModifyWrite(p, blk, off, data)
@@ -30,20 +33,31 @@ func (e *fo) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error
 	if err != nil {
 		return err
 	}
-	// Sequentially update each parity block in place — the long path.
+	// Sequentially update each parity block in place — the long path. A
+	// dead parity holder is skipped, not an error: once the data RMW is
+	// applied, aborting mid-propagation would leave the remaining live
+	// parities torn with no log recording the difference. The dead holder's
+	// block is rebuilt by re-encoding the (updated) data at recovery.
 	s := blk.StripeID()
 	osds := e.h.Placement(s)
 	k := e.h.Code().K
 	for j := 0; j < e.h.Code().M; j++ {
+		if !e.h.Alive(osds[k+j]) {
+			continue
+		}
 		pd := mulDelta(e.h.Code(), j, int(blk.Index), delta)
 		req := &wire.ParityDelta{Blk: e.parityBlock(s, j), Off: off, Data: pd}
 		if err := e.callAck(p, osds[k+j], req); err != nil {
+			if !e.h.Alive(osds[k+j]) {
+				continue // died mid-propagation; recovery re-encodes
+			}
 			return fmt.Errorf("fo: parity %d: %w", j, err)
 		}
 	}
 	return nil
 }
 
+// Handle applies incoming parity deltas in place.
 func (e *fo) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool) {
 	pd, ok := m.(*wire.ParityDelta)
 	if !ok {
@@ -52,11 +66,25 @@ func (e *fo) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool) 
 	return errAck(e.applyParityDelta(p, pd.Blk, pd.Off, pd.Data)), true
 }
 
+// Read serves straight from the block store (FO keeps no overlays).
 func (e *fo) Read(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error) {
 	return e.read(p, blk, off, size)
 }
 
+// Drain is a no-op: FO keeps no logs.
 func (e *fo) Drain(*sim.Proc) error { return nil }
-func (e *fo) Dirty() bool           { return false }
-func (e *fo) MemBytes() int64       { return 0 }
-func (e *fo) PeakMemBytes() int64   { return 0 }
+
+// Settle is a no-op: FO's stores are always stripe-consistent.
+func (e *fo) Settle(*sim.Proc) error { return nil }
+
+// NeedsSettle always reports false.
+func (e *fo) NeedsSettle() bool { return false }
+
+// Dirty always reports false: there is nothing to recycle.
+func (e *fo) Dirty() bool { return false }
+
+// MemBytes is always zero: FO holds no log memory.
+func (e *fo) MemBytes() int64 { return 0 }
+
+// PeakMemBytes is always zero: FO holds no log memory.
+func (e *fo) PeakMemBytes() int64 { return 0 }

@@ -46,8 +46,12 @@ func newParix(h Host, o Options) *parix {
 	}
 }
 
+// Name returns "parix".
 func (*parix) Name() string { return "parix" }
 
+// Update overwrites the data block speculatively (no read-before-write)
+// and ships the new data — plus, on first overwrite, the original — to
+// every parity OSD's log.
 func (e *parix) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error {
 	e.lockBlock(p, blk)
 	sent, ok := e.sent[blk]
@@ -100,6 +104,8 @@ func (e *parix) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) er
 	})
 }
 
+// Handle appends incoming speculative records (new data and first-write
+// originals) to the local parity-side log.
 func (e *parix) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool) {
 	pa, ok := m.(*wire.ParixAppend)
 	if !ok {
@@ -196,15 +202,47 @@ func (e *parix) recycleAll(p *sim.Proc) {
 	e.mem = e.memBytes()
 }
 
+// Read serves straight from the block store (data blocks are in place).
 func (e *parix) Read(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error) {
 	return e.read(p, blk, off, size)
 }
 
+// Drain folds every pending speculative record into its parity block.
 func (e *parix) Drain(p *sim.Proc) error {
 	e.recycleAll(p)
 	return nil
 }
 
-func (e *parix) Dirty() bool         { return len(e.latest) > 0 }
-func (e *parix) MemBytes() int64     { return e.mem }
+// Settle is Drain: speculative logs must fold before raw stripes are
+// consistent (and folding advances the orig baselines, keeping them valid
+// against the settled parity).
+func (e *parix) Settle(p *sim.Proc) error { return e.Drain(p) }
+
+// NeedsSettle reports whether unfolded speculative records remain.
+func (e *parix) NeedsSettle() bool { return e.Dirty() }
+
+// Dirty reports whether unfolded speculative records remain.
+func (e *parix) Dirty() bool { return len(e.latest) > 0 }
+
+// MemBytes returns the in-memory speculative-log footprint.
+func (e *parix) MemBytes() int64 { return e.mem }
+
+// PeakMemBytes returns the high-water speculative-log footprint.
 func (e *parix) PeakMemBytes() int64 { return e.peak }
+
+// ResetStripe forgets the data-side "original already shipped" coverage for
+// every block of s. Recovery calls it on the stripe's data holders after a
+// parity block is rebuilt on a fresh OSD: the new holder has no orig
+// baselines, so the next update of each range must reship the original
+// value (which existing holders ignore — their first-value-wins gap fill
+// keeps the older baseline). Parity-side state is intentionally kept: live
+// holders' baselines remain valid against their settled parity blocks.
+func (e *parix) ResetStripe(s wire.StripeID) {
+	for blk := range e.sent {
+		if blk.StripeID() == s {
+			delete(e.sent, blk)
+		}
+	}
+}
+
+var _ StripeResetter = (*parix)(nil)

@@ -44,8 +44,11 @@ func newPL(h Host, o Options) *pl {
 	}
 }
 
+// Name returns "pl".
 func (*pl) Name() string { return "pl" }
 
+// Update overwrites the data block in place and appends the parity
+// deltas to each parity OSD's log in parallel.
 func (e *pl) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error {
 	e.lockBlock(p, blk)
 	delta, err := e.readModifyWrite(p, blk, off, data)
@@ -67,6 +70,8 @@ func (e *pl) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error
 	})
 }
 
+// Handle appends incoming parity deltas to the local log, recycling when
+// the space threshold is crossed.
 func (e *pl) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool) {
 	da, ok := m.(*wire.DeltaAppend)
 	if !ok {
@@ -120,17 +125,31 @@ func (e *pl) recycleAll(p *sim.Proc) {
 	e.logCursor = 0
 }
 
+// Read serves straight from the block store (data blocks are in place).
 func (e *pl) Read(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error) {
 	return e.read(p, blk, off, size)
 }
 
+// Drain merges every pending parity delta into its parity block.
 func (e *pl) Drain(p *sim.Proc) error {
 	e.recycleAll(p)
 	return nil
 }
 
-func (e *pl) Dirty() bool         { return len(e.records) > 0 }
-func (e *pl) MemBytes() int64     { return e.logBytes }
+// Settle is Drain: PL's lazy parity log must merge before the raw stripe is
+// consistent, which is exactly the recovery debt the paper charges it with.
+func (e *pl) Settle(p *sim.Proc) error { return e.Drain(p) }
+
+// NeedsSettle reports whether unmerged parity deltas remain.
+func (e *pl) NeedsSettle() bool { return e.Dirty() }
+
+// Dirty reports whether unmerged parity deltas remain.
+func (e *pl) Dirty() bool { return len(e.records) > 0 }
+
+// MemBytes returns the in-memory parity-log footprint.
+func (e *pl) MemBytes() int64 { return e.logBytes }
+
+// PeakMemBytes returns the high-water parity-log footprint.
 func (e *pl) PeakMemBytes() int64 { return e.peak }
 
 func less(a, b wire.BlockID) bool {

@@ -47,6 +47,7 @@ func newPLR(h Host, o Options) *plr {
 	}
 }
 
+// Name returns "plr".
 func (*plr) Name() string { return "plr" }
 
 func (e *plr) slot(blk wire.BlockID) int64 {
@@ -59,6 +60,8 @@ func (e *plr) slot(blk wire.BlockID) int64 {
 	return s
 }
 
+// Update overwrites the data block in place and appends the parity
+// deltas to each parity block's reserved log space in parallel.
 func (e *plr) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error {
 	e.lockBlock(p, blk)
 	delta, err := e.readModifyWrite(p, blk, off, data)
@@ -79,6 +82,8 @@ func (e *plr) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) erro
 	})
 }
 
+// Handle appends incoming parity deltas into the block's reserve,
+// recycling inline when the reserve fills (the update-path stall).
 func (e *plr) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool) {
 	da, ok := m.(*wire.DeltaAppend)
 	if !ok {
@@ -153,10 +158,12 @@ func (e *plr) recycleBlock(p *sim.Proc, pblk wire.BlockID, lg *plrLog) {
 	}
 }
 
+// Read serves straight from the block store (data blocks are in place).
 func (e *plr) Read(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error) {
 	return e.read(p, blk, off, size)
 }
 
+// Drain merges every parity block's reserve into the parity block.
 func (e *plr) Drain(p *sim.Proc) error {
 	blks := make([]wire.BlockID, 0, len(e.logs))
 	for b := range e.logs {
@@ -169,6 +176,14 @@ func (e *plr) Drain(p *sim.Proc) error {
 	return nil
 }
 
+// Settle is Drain: reserved-space logs must merge before raw stripes are
+// consistent.
+func (e *plr) Settle(p *sim.Proc) error { return e.Drain(p) }
+
+// NeedsSettle reports whether any reserve still holds unmerged deltas.
+func (e *plr) NeedsSettle() bool { return e.Dirty() }
+
+// Dirty reports whether any reserve still holds unmerged deltas.
 func (e *plr) Dirty() bool {
 	for _, lg := range e.logs {
 		if len(lg.recs) > 0 {
@@ -178,7 +193,10 @@ func (e *plr) Dirty() bool {
 	return false
 }
 
-func (e *plr) MemBytes() int64     { return e.mem }
+// MemBytes returns the in-memory reserve footprint.
+func (e *plr) MemBytes() int64 { return e.mem }
+
+// PeakMemBytes returns the high-water reserve footprint.
 func (e *plr) PeakMemBytes() int64 { return e.peak }
 
 func sortBlocks(b []wire.BlockID) {

@@ -44,6 +44,11 @@ type tsue struct {
 	replicaCursor int64
 	replicas      map[replicaKey][]replicaItem
 
+	// Recovery replays merged through ReplayInto (reported as the "replay"
+	// residency layer).
+	replayN     int64
+	replayBytes int64
+
 	idle *sim.Cond // broadcast after every unit recycle (drain support)
 }
 
@@ -122,6 +127,15 @@ func (l *tsueLayer) pending() bool {
 	return false
 }
 
+func (l *tsueLayer) pendingSealed() bool {
+	for _, p := range l.pools {
+		if p.PendingSealed() {
+			return true
+		}
+	}
+	return false
+}
+
 func hashBlk(b wire.BlockID) uint64 {
 	h := b.Ino*0x9e3779b97f4a7c15 + uint64(b.Stripe)*0x85ebca6b + uint64(b.Index)*0xc2b2ae35
 	h ^= h >> 33
@@ -157,6 +171,7 @@ func newTsue(h Host, o Options) *tsue {
 	return t
 }
 
+// Name returns "tsue".
 func (*tsue) Name() string { return "tsue" }
 
 // startRecyclers spawns one recycler process per pool. Each pass drains up
@@ -283,6 +298,9 @@ func (t *tsue) replicaTarget(i int) wire.NodeID {
 	return peers[(self+1+i)%len(peers)]
 }
 
+// Handle processes the scheme's internal pipeline messages: DataLog
+// replicas and their retirement, replica fetches at recovery, DeltaLog
+// appends and ParityLog appends.
 func (t *tsue) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool) {
 	switch v := m.(type) {
 	case *wire.LogReplica:
@@ -355,6 +373,11 @@ func (t *tsue) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool
 // forwarded delta is the XOR of old and merged-new content, which equals
 // the fold of the per-unit deltas (XOR is associative).
 func (t *tsue) recycleDataUnits(p *sim.Proc, poolIdx int, units []*logpool.Unit) {
+	// A dead node's recyclers discard their work: the store is lost and the
+	// unrecycled items live on in the replicas recovery replays.
+	if !t.h.Alive(t.h.NodeID()) {
+		return
+	}
 	c := t.h.Code()
 	k, mm := c.K, c.M
 	st := t.h.Store()
@@ -373,28 +396,30 @@ func (t *tsue) recycleDataUnits(p *sim.Proc, poolIdx int, units []*logpool.Unit)
 			if err := st.WriteRange(p, blk, ext.Off, ext.Data); err != nil {
 				panic("tsue: data recycle write: " + err.Error())
 			}
-			if t.delta != nil {
+			if t.delta != nil && t.h.Alive(osds[k]) {
 				// Primary delta to P1's DeltaLog; copy to P2 (if M >= 2).
 				req := &wire.DeltaAppend{Blk: blk, Off: ext.Off, Data: delta, Kind: wire.KindDataDelta}
 				if err := t.callAck(p, osds[k], req); err != nil {
-					panic("tsue: delta fwd: " + err.Error())
-				}
-				if mm >= 2 && t.o.Copies >= 2 {
+					if !t.h.Alive(t.h.NodeID()) {
+						return // we died mid-recycle; replicas replay
+					}
+					if t.h.Alive(osds[k]) {
+						panic("tsue: delta fwd: " + err.Error())
+					}
+					// The DeltaLog holder died mid-forward (nothing was
+					// appended): degrade to direct parity appends.
+					t.forwardParityDirect(p, s, blk, ext.Off, delta, osds)
+				} else if mm >= 2 && t.o.Copies >= 2 {
 					// Reliability copy; best effort — a dead holder only
 					// narrows the redundancy window.
 					cp := &wire.DeltaAppend{Blk: blk, Off: ext.Off, Data: delta, Kind: wire.KindDataDelta, Replica: true}
 					_ = t.callAck(p, osds[k+1], cp)
 				}
 			} else {
-				// No DeltaLog (HDD config / pre-O5): multiply locally and
-				// append straight to each ParityLog.
-				for j := 0; j < mm; j++ {
-					pd := mulDelta(c, j, int(blk.Index), delta)
-					req := &wire.ParityDelta{Blk: t.parityBlock(s, j), Off: ext.Off, Data: pd}
-					if err := t.callAck(p, osds[k+j], req); err != nil {
-						panic("tsue: parity fwd: " + err.Error())
-					}
-				}
+				// No DeltaLog (HDD config / pre-O5) or its holder is down:
+				// multiply locally and append straight to each live
+				// ParityLog.
+				t.forwardParityDirect(p, s, blk, ext.Off, delta, osds)
 			}
 			t.data.stats.RecycleN++
 		}
@@ -410,11 +435,39 @@ func (t *tsue) recycleDataUnits(p *sim.Proc, poolIdx int, units []*logpool.Unit)
 	}
 }
 
+// forwardParityDirect multiplies a data delta locally and appends it to
+// each live parity holder's ParityLog — the no-DeltaLog path, also the
+// degraded fallback when the DeltaLog holder is down. Deltas for a dead
+// parity holder are dropped: its block is rebuilt by re-encoding the
+// already-updated data (degraded-mode recovery).
+func (t *tsue) forwardParityDirect(p *sim.Proc, s wire.StripeID, blk wire.BlockID, off int64, delta []byte, osds []wire.NodeID) {
+	c := t.h.Code()
+	k, mm := c.K, c.M
+	for j := 0; j < mm; j++ {
+		if !t.h.Alive(osds[k+j]) {
+			continue
+		}
+		pd := mulDelta(c, j, int(blk.Index), delta)
+		req := &wire.ParityDelta{Blk: t.parityBlock(s, j), Off: off, Data: pd}
+		if err := t.callAck(p, osds[k+j], req); err != nil {
+			if !t.h.Alive(osds[k+j]) || !t.h.Alive(t.h.NodeID()) {
+				continue // one end died mid-forward; recovery repairs
+			}
+			panic("tsue: parity fwd: " + err.Error())
+		}
+	}
+}
+
 // recycleDeltaUnits folds a batch of DeltaLog units' data deltas into
 // per-parity staged deltas and ships them to the parity logs. Deltas XOR-
 // merge across units first, then each stripe's extents fold through the
 // codec's batched Equation (5) (rs.FoldDeltas) in one pass.
 func (t *tsue) recycleDeltaUnits(p *sim.Proc, poolIdx int, units []*logpool.Unit) {
+	// Dead node: buffered deltas are lost with it; the re-encode repair
+	// rebuilds the parities they were destined for.
+	if !t.h.Alive(t.h.NodeID()) {
+		return
+	}
 	c := t.h.Code()
 	k, mm := c.K, c.M
 	merged, order := logpool.MergeUnits(units, logpool.XOR, false)
@@ -434,10 +487,18 @@ func (t *tsue) recycleDeltaUnits(p *sim.Proc, poolIdx int, units []*logpool.Unit
 		folded := c.FoldDeltas(perStripe[s])
 		osds := t.h.Placement(s)
 		for j := 0; j < mm; j++ {
+			// Deltas for a dead parity holder are dropped; recovery rebuilds
+			// that block by re-encoding the data.
+			if !t.h.Alive(osds[k+j]) {
+				continue
+			}
 			pblk := t.parityBlock(s, j)
 			for _, ext := range folded[j] {
 				req := &wire.ParityDelta{Blk: pblk, Off: ext.Off, Data: ext.Data}
 				if err := t.callAck(p, osds[k+j], req); err != nil {
+					if !t.h.Alive(osds[k+j]) || !t.h.Alive(t.h.NodeID()) {
+						break // one end died mid-fold; recovery repairs
+					}
 					panic("tsue: parity delta fwd: " + err.Error())
 				}
 			}
@@ -505,6 +566,61 @@ func (t *tsue) Drain(p *sim.Proc) error {
 	}
 }
 
+// Settle drains the downstream pipeline — sealed DataLog units mid-recycle,
+// the DeltaLog and the ParityLog — but keeps active (unsealed) DataLog
+// units in place. Those are pure overlay: their extents have touched
+// neither the data block nor any parity, and every item is replicated, so
+// recovery can reconstruct the raw stripe and replay them (§4.2). This is
+// TSUE's structural advantage at recovery time: the merge debt a failure
+// must pay is bounded by the in-flight recycle window, not the log volume.
+// Settle is a barrier: the caller must fence appends (the recovery gate)
+// while it runs.
+func (t *tsue) Settle(p *sim.Proc) error {
+	for {
+		for _, l := range []*tsueLayer{t.delta, t.parity} {
+			if l == nil {
+				continue
+			}
+			for i, pool := range l.pools {
+				if u := pool.SealActive(p.Now()); u != nil {
+					l.queues[i].Put(u)
+				}
+			}
+		}
+		if !t.NeedsSettle() {
+			return nil
+		}
+		t.idle.Wait(p)
+	}
+}
+
+// NeedsSettle reports whether partially-applied pipeline state remains:
+// sealed DataLog units (their RMW may have started) or anything in the
+// delta/parity layers. Active DataLog units do not count — they are
+// replayable overlay.
+func (t *tsue) NeedsSettle() bool {
+	if t.data.pendingSealed() {
+		return true
+	}
+	if t.delta != nil && t.delta.pending() {
+		return true
+	}
+	return t.parity.pending()
+}
+
+// ReplayInto merges one recovered record (surrogate-journal or
+// DataLog-replica item) through the normal two-stage path: DataLog append
+// plus replication, then the asynchronous three-layer recycle. Replays are
+// tracked as the "replay" residency layer.
+func (t *tsue) ReplayInto(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error {
+	t.replayN++
+	t.replayBytes += int64(len(data))
+	return t.Update(p, blk, off, data)
+}
+
+var _ Replayer = (*tsue)(nil)
+
+// Dirty reports whether any layer holds unrecycled state.
 func (t *tsue) Dirty() bool {
 	for _, l := range []*tsueLayer{t.data, t.delta, t.parity} {
 		if l != nil && l.pending() {
@@ -514,6 +630,7 @@ func (t *tsue) Dirty() bool {
 	return false
 }
 
+// MemBytes sums the three layers' current log memory.
 func (t *tsue) MemBytes() int64 {
 	n := t.data.memBytes() + t.parity.memBytes()
 	if t.delta != nil {
@@ -522,6 +639,7 @@ func (t *tsue) MemBytes() int64 {
 	return n
 }
 
+// PeakMemBytes sums the three layers' peak log memory.
 func (t *tsue) PeakMemBytes() int64 {
 	n := t.data.peakBytes() + t.parity.peakBytes()
 	if t.delta != nil {
@@ -530,7 +648,9 @@ func (t *tsue) PeakMemBytes() int64 {
 	return n
 }
 
-// Residency reports per-layer timing for the paper's Table 2.
+// Residency reports per-layer timing for the paper's Table 2, plus a
+// synthetic "replay" layer counting records merged through ReplayInto
+// (AppendN = records, RecycleN = bytes).
 func (t *tsue) Residency() map[string]LayerStats {
 	out := map[string]LayerStats{
 		"data":   t.data.stats,
@@ -538,6 +658,9 @@ func (t *tsue) Residency() map[string]LayerStats {
 	}
 	if t.delta != nil {
 		out["delta"] = t.delta.stats
+	}
+	if t.replayN > 0 {
+		out["replay"] = LayerStats{AppendN: t.replayN, RecycleN: t.replayBytes}
 	}
 	return out
 }

@@ -109,7 +109,11 @@ func marshalPayload(buf []byte, m Msg) []byte {
 	case *Drain:
 		return buf
 	case *RecoverBlock:
-		return putBlockID(buf, v.Blk)
+		buf = putBlockID(buf, v.Blk)
+		if v.Reencode {
+			return append(buf, 1)
+		}
+		return append(buf, 0)
 	case *ReplicaFetch:
 		return binary.LittleEndian.AppendUint32(buf, uint32(v.Node))
 	case *ReplicaResp:
@@ -119,6 +123,29 @@ func marshalPayload(buf []byte, m Msg) []byte {
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(it.Off))
 			buf = putBytes(buf, it.Data)
 		}
+		return buf
+	case *DegradedUpdate:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
+		buf = putBlockID(buf, v.Blk)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
+		return putBytes(buf, v.Data)
+	case *DegradedRead:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
+		buf = putBlockID(buf, v.Blk)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
+		return binary.LittleEndian.AppendUint32(buf, uint32(v.Size))
+	case *JournalReplica:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
+		buf = putBlockID(buf, v.Blk)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
+		return putBytes(buf, v.Data)
+	case *JournalFetch:
+		return binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
+	case *ReplayUpdate:
+		buf = putBlockID(buf, v.Blk)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
+		return putBytes(buf, v.Data)
+	case *Settle:
 		return buf
 	default:
 		panic(fmt.Sprintf("wire: cannot marshal %T", m))
@@ -250,7 +277,7 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 	case TDrain:
 		m = &Drain{}
 	case TRecoverBlock:
-		m = &RecoverBlock{Blk: r.blockID()}
+		m = &RecoverBlock{Blk: r.blockID(), Reencode: r.u8() == 1}
 	case TReplicaFetch:
 		m = &ReplicaFetch{Node: NodeID(r.u32())}
 	case TReplicaResp:
@@ -260,6 +287,18 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 			v.Items = append(v.Items, ReplicaItem{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()})
 		}
 		m = v
+	case TDegradedUpdate:
+		m = &DegradedUpdate{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+	case TDegradedRead:
+		m = &DegradedRead{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32())}
+	case TJournalReplica:
+		m = &JournalReplica{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+	case TJournalFetch:
+		m = &JournalFetch{Failed: NodeID(r.u32())}
+	case TReplayUpdate:
+		m = &ReplayUpdate{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+	case TSettle:
+		m = &Settle{}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}

@@ -55,6 +55,12 @@ const (
 	TRecoverBlock
 	TReplicaFetch
 	TReplicaResp
+	TDegradedUpdate
+	TDegradedRead
+	TJournalReplica
+	TJournalFetch
+	TReplayUpdate
+	TSettle
 )
 
 var typeNames = map[Type]string{
@@ -65,7 +71,10 @@ var typeNames = map[Type]string{
 	TParityDelta: "ParityDelta", TLogReplica: "LogReplica",
 	TUnitDone: "UnitDone", TDrain: "Drain", THeartbeat: "Heartbeat",
 	TRecoverBlock: "RecoverBlock", TReplicaFetch: "ReplicaFetch",
-	TReplicaResp: "ReplicaResp",
+	TReplicaResp: "ReplicaResp", TDegradedUpdate: "DegradedUpdate",
+	TDegradedRead: "DegradedRead", TJournalReplica: "JournalReplica",
+	TJournalFetch: "JournalFetch", TReplayUpdate: "ReplayUpdate",
+	TSettle: "Settle",
 }
 
 func (t Type) String() string {
@@ -279,13 +288,18 @@ func (*Drain) Type() Type       { return TDrain }
 func (*Drain) PayloadSize() int { return 0 }
 
 // RecoverBlock asks an OSD to reconstruct and store one lost block, reading
-// the surviving blocks of the stripe from its peers.
+// the surviving blocks of the stripe from its peers. Reencode marks a lost
+// first-parity block whose engine buffered cross-parity deltas (TSUE's
+// DeltaLog, CoRD's collector) that died with the node: the target then
+// re-encodes ALL parity blocks of the stripe from the K data blocks and
+// repairs the stale live ones in place.
 type RecoverBlock struct {
-	Blk BlockID
+	Blk      BlockID
+	Reencode bool
 }
 
 func (*RecoverBlock) Type() Type       { return TRecoverBlock }
-func (*RecoverBlock) PayloadSize() int { return 14 }
+func (*RecoverBlock) PayloadSize() int { return 14 + 1 }
 
 // ReplicaItem is one unrecycled DataLog record replicated for reliability.
 type ReplicaItem struct {
@@ -316,3 +330,78 @@ func (r *ReplicaResp) PayloadSize() int {
 	}
 	return n
 }
+
+// ---- degraded mode ----
+
+// DegradedUpdate routes a client update for a degraded stripe (one whose
+// placement includes the failed node Failed) to the surrogate OSD, which
+// journals it until the stripe is rebuilt and the journal is replayed.
+type DegradedUpdate struct {
+	Failed NodeID
+	Blk    BlockID
+	Off    int64
+	Data   []byte
+}
+
+func (*DegradedUpdate) Type() Type         { return TDegradedUpdate }
+func (d *DegradedUpdate) PayloadSize() int { return 4 + 14 + 8 + 4 + len(d.Data) }
+
+// DegradedRead asks the surrogate OSD for [Off, Off+Size) of a block in a
+// degraded stripe. Lost blocks are reconstructed on the fly from surviving
+// shards; live blocks are read from their home OSD; either way the
+// surrogate's journal overlays newest-wins. Answered with a ReadResp.
+type DegradedRead struct {
+	Failed NodeID
+	Blk    BlockID
+	Off    int64
+	Size   int32
+}
+
+func (*DegradedRead) Type() Type       { return TDegradedRead }
+func (*DegradedRead) PayloadSize() int { return 4 + 14 + 8 + 4 }
+
+// JournalReplica copies one surrogate-journal record to the surrogate's own
+// replica holder (durability of the degraded-update journal, mirroring the
+// DataLog's replication).
+type JournalReplica struct {
+	Failed NodeID
+	Blk    BlockID
+	Off    int64
+	Data   []byte
+}
+
+func (*JournalReplica) Type() Type         { return TJournalReplica }
+func (j *JournalReplica) PayloadSize() int { return 4 + 14 + 8 + 4 + len(j.Data) }
+
+// JournalFetch steals the surrogate's journal for the given failed node:
+// the surrogate returns all journaled items (as a ReplicaResp, in append
+// order) and forgets them. Recovery's cutover loop calls this until the
+// journal stays empty.
+type JournalFetch struct {
+	Failed NodeID
+}
+
+func (*JournalFetch) Type() Type       { return TJournalFetch }
+func (*JournalFetch) PayloadSize() int { return 4 }
+
+// ReplayUpdate carries one recovered log/journal record to the (possibly
+// remapped) home OSD, which merges it through the engine's replay hook
+// (update.Replay) rather than the foreground update path.
+type ReplayUpdate struct {
+	Blk  BlockID
+	Off  int64
+	Data []byte
+}
+
+func (*ReplayUpdate) Type() Type         { return TReplayUpdate }
+func (r *ReplayUpdate) PayloadSize() int { return 14 + 8 + 4 + len(r.Data) }
+
+// Settle asks an OSD to bring its raw block stores to stripe consistency
+// with minimal merging: every engine drains the log state whose effects are
+// already partially applied (delta/parity pipelines, lazy parity logs), but
+// replayable pure-overlay state — TSUE's active DataLog units, which are
+// replicated and replayed at recovery — is kept (§4.2).
+type Settle struct{}
+
+func (*Settle) Type() Type       { return TSettle }
+func (*Settle) PayloadSize() int { return 0 }

@@ -31,6 +31,13 @@ func sampleMessages() []Msg {
 		&UnitDone{SrcNode: 3, Pool: 2, UnitSeq: 100},
 		&Drain{},
 		&RecoverBlock{Blk: BlockID{4, 4, 4}},
+		&RecoverBlock{Blk: BlockID{4, 4, 6}, Reencode: true},
+		&DegradedUpdate{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7, 7}},
+		&DegradedRead{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Size: 128},
+		&JournalReplica{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7}},
+		&JournalFetch{Failed: 5},
+		&ReplayUpdate{Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{9, 9, 9}},
+		&Settle{},
 	}
 }
 
