@@ -1,0 +1,9 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestReviewRepro(t *testing.T) {
+	runKillUpdateRecover(t, "parix", RecoverInterleaved, 11, 500, 100, nil)
+}
