@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"tsue/internal/harness"
@@ -23,6 +25,8 @@ func main() {
 	scale := flag.String("scale", "quick", "quick | full")
 	ops := flag.Int("ops", 0, "override total ops per run")
 	fileMB := flag.Int64("filemb", 0, "override working-set size (MiB)")
+	pgs := flag.String("pgs", "", "override the placement experiment's PG-count sweep (comma-separated, e.g. 2,16,128)")
+	files := flag.Int("files", 0, "override the placement experiment's file count")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -58,6 +62,21 @@ func main() {
 	}
 	if *fileMB > 0 {
 		s.FileMB = *fileMB
+	}
+	if *pgs != "" {
+		var counts []int
+		for _, f := range strings.Split(*pgs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "tsuebench: bad -pgs entry %q\n", f)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		s.PGCounts = counts
+	}
+	if *files > 0 {
+		s.Files = *files
 	}
 	start := time.Now()
 	if err := fn(os.Stdout, s); err != nil {

@@ -213,19 +213,37 @@ func (cl *Client) readBlock(p *sim.Proc, blk wire.BlockID, boff, n int64) ([]byt
 	}
 }
 
-// Lookup queries the MDS for a stripe's placement (the cached fast path
-// computes it locally; this exercises the metadata protocol).
-func (cl *Client) Lookup(p *sim.Proc, ino uint64, stripe uint32) ([]wire.NodeID, error) {
+// Lookup queries the MDS for a stripe's placement and the PG it resolved
+// through (the cached fast path computes placement locally from the shared
+// map; this exercises the metadata protocol).
+func (cl *Client) Lookup(p *sim.Proc, ino uint64, stripe uint32) ([]wire.NodeID, uint32, error) {
 	resp, err := cl.c.Fabric.Call(p, cl.id, mdsID, &wire.Lookup{Ino: ino, Stripe: stripe})
+	if err != nil {
+		return nil, 0, err
+	}
+	lr, ok := resp.(*wire.LookupResp)
+	if !ok {
+		return nil, 0, fmt.Errorf("lookup: unexpected response %T", resp)
+	}
+	if lr.Err != "" {
+		return nil, 0, fmt.Errorf("lookup: %s", lr.Err)
+	}
+	return lr.OSDs, lr.PG, nil
+}
+
+// LookupPG queries the MDS for a placement group's member OSDs (slot order,
+// before per-stripe role rotation).
+func (cl *Client) LookupPG(p *sim.Proc, pg uint32) ([]wire.NodeID, error) {
+	resp, err := cl.c.Fabric.Call(p, cl.id, mdsID, &wire.PGLookup{PG: pg})
 	if err != nil {
 		return nil, err
 	}
 	lr, ok := resp.(*wire.LookupResp)
 	if !ok {
-		return nil, fmt.Errorf("lookup: unexpected response %T", resp)
+		return nil, fmt.Errorf("pg lookup: unexpected response %T", resp)
 	}
 	if lr.Err != "" {
-		return nil, fmt.Errorf("lookup: %s", lr.Err)
+		return nil, fmt.Errorf("pg lookup: %s", lr.Err)
 	}
 	return lr.OSDs, nil
 }

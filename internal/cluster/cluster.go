@@ -12,6 +12,7 @@ import (
 
 	"tsue/internal/device"
 	"tsue/internal/netsim"
+	"tsue/internal/placement"
 	"tsue/internal/rs"
 	"tsue/internal/sim"
 	"tsue/internal/update"
@@ -29,6 +30,9 @@ type Config struct {
 	NetParams    netsim.Params
 	Engine       string
 	EngineOpts   update.Options
+	// PGs is the placement-group count for the CRUSH-like stripe placement
+	// (internal/placement). 0 defaults to 8 PGs per OSD.
+	PGs int
 	// HeartbeatInterval > 0 starts OSD→MDS heartbeats.
 	HeartbeatInterval time.Duration
 	// HeartbeatTimeout marks an OSD dead when its beat is older than this.
@@ -49,6 +53,7 @@ func DefaultConfig() Config {
 		NetParams:    netsim.Ethernet25G(),
 		Engine:       "tsue",
 		EngineOpts:   update.DefaultOptions(),
+		PGs:          128,
 	}
 }
 
@@ -67,16 +72,18 @@ type Cluster struct {
 	nextClient wire.NodeID
 	// remap overrides block placement after recovery moved a block.
 	remap map[wire.BlockID]wire.NodeID
-	files map[uint64]*fileMeta
 
 	// degraded routes per failed node (see degraded.go); gateClosed fences
 	// client updates and degraded reads during recovery consistency windows;
-	// updatesInFlight counts normal-path updates past the gate (fenceUpdates
-	// waits for them to land before a barrier runs).
+	// updatesInFlight counts normal-path updates past the gate and
+	// surrOpsInFlight counts surrogate-side degraded ops past it
+	// (fenceUpdates waits for both to land before a barrier runs, so no
+	// client op can straddle a settle or a journal cutover).
 	degraded        map[wire.NodeID]*degradedState
 	gateClosed      bool
 	gateCond        *sim.Cond
 	updatesInFlight int
+	surrOpsInFlight int
 }
 
 type fileMeta struct {
@@ -84,6 +91,10 @@ type fileMeta struct {
 	name    string
 	stripes uint32
 }
+
+// placementSeed fixes the placement map's hash epoch; determinism of the
+// simulation requires it constant across runs.
+const placementSeed = 0x75e5
 
 // New builds a cluster in a fresh simulation environment.
 func New(cfg Config) (*Cluster, error) {
@@ -94,6 +105,20 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	pgs := cfg.PGs
+	if pgs == 0 {
+		pgs = 8 * cfg.OSDs
+	}
+	ids := make([]wire.NodeID, cfg.OSDs)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	pmap, err := placement.New(placement.Config{
+		PGs: pgs, Width: cfg.K + cfg.M, OSDs: ids, Seed: placementSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
 	env := sim.NewEnv()
 	c := &Cluster{
 		Env:        env,
@@ -101,12 +126,11 @@ func New(cfg Config) (*Cluster, error) {
 		Cfg:        cfg,
 		Code:       code,
 		remap:      make(map[wire.BlockID]wire.NodeID),
-		files:      make(map[uint64]*fileMeta),
 		degraded:   make(map[wire.NodeID]*degradedState),
 		gateCond:   sim.NewCond(env),
 		nextClient: wire.NodeID(cfg.OSDs + 1),
 	}
-	c.MDS = newMDS(c)
+	c.MDS = newMDS(c, pmap)
 	c.Fabric.AddNode(mdsID, c.MDS.handle)
 	for i := 0; i < cfg.OSDs; i++ {
 		id := wire.NodeID(i + 1)
@@ -153,22 +177,28 @@ func (c *Cluster) osdIDs() []wire.NodeID {
 func (c *Cluster) OSDByID(id wire.NodeID) *OSD { return c.OSDs[int(id)-1] }
 
 // Placement returns the K+M OSD node IDs hosting a stripe, block i at
-// element i. Stripes rotate across OSDs for balance; recovery remaps take
-// precedence.
+// element i, resolved through the MDS-owned placement map: (file, stripe)
+// hashes to a placement group, the PG's straw-selected members host the
+// blocks, and per-stripe role rotation spreads the parity indices across
+// the group. Recovery remaps take precedence.
 func (c *Cluster) Placement(s wire.StripeID) []wire.NodeID {
-	n := len(c.OSDs)
-	base := int((s.Ino*1000003 + uint64(s.Stripe)*7919) % uint64(n))
-	out := make([]wire.NodeID, c.Cfg.K+c.Cfg.M)
+	out, err := c.MDS.place.Place(s, nil)
+	if err != nil {
+		// Unreachable: New validates Width <= OSDs and a nil liveness view
+		// cannot exhaust candidates.
+		panic(fmt.Sprintf("cluster: placement of %v: %v", s, err))
+	}
 	for i := range out {
 		blk := wire.BlockID{Ino: s.Ino, Stripe: s.Stripe, Index: uint16(i)}
 		if over, ok := c.remap[blk]; ok {
 			out[i] = over
-			continue
 		}
-		out[i] = c.OSDs[(base+i)%n].id
 	}
 	return out
 }
+
+// PG returns the placement group a stripe hashes to.
+func (c *Cluster) PG(s wire.StripeID) int { return c.MDS.place.PGOf(s) }
 
 // StripeWidth returns bytes of file data per stripe.
 func (c *Cluster) StripeWidth() int64 { return int64(c.Cfg.K) * c.Cfg.BlockSize }
@@ -241,7 +271,7 @@ func (c *Cluster) DrainAll(p *sim.Proc, via *Client) error {
 // DrainAll. It returns the number of stripes checked.
 func (c *Cluster) Scrub() (int, error) {
 	checked := 0
-	for ino, fm := range c.files {
+	for ino, fm := range c.MDS.files {
 		for s := uint32(0); s < fm.stripes; s++ {
 			sid := wire.StripeID{Ino: ino, Stripe: s}
 			osds := c.Placement(sid)
@@ -271,6 +301,39 @@ func (c *Cluster) Scrub() (int, error) {
 		}
 	}
 	return checked, nil
+}
+
+// resetRecoverySources zeroes the per-OSD reconstruction-source counters
+// (run at the start of every Recover so the report covers one window).
+func (c *Cluster) resetRecoverySources() {
+	for _, osd := range c.OSDs {
+		osd.recSrcReadBytes = 0
+	}
+}
+
+// recoverySources snapshots the per-OSD reconstruction-source bytes
+// (nonzero entries only).
+func (c *Cluster) recoverySources() map[wire.NodeID]int64 {
+	out := make(map[wire.NodeID]int64)
+	for _, osd := range c.OSDs {
+		if osd.recSrcReadBytes > 0 {
+			out[osd.id] = osd.recSrcReadBytes
+		}
+	}
+	return out
+}
+
+// JournalBytesPerOSD returns surrogate-journal bytes appended per OSD
+// (nonzero entries only) — the surrogate load spread the placement
+// experiment reports.
+func (c *Cluster) JournalBytesPerOSD() map[wire.NodeID]int64 {
+	out := make(map[wire.NodeID]int64)
+	for _, osd := range c.OSDs {
+		if n := osd.JournalBytes(); n > 0 {
+			out[osd.id] = n
+		}
+	}
+	return out
 }
 
 // DeviceStats aggregates all OSD device counters.

@@ -348,17 +348,39 @@ func TestLookupMatchesLocalPlacement(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := cl.Lookup(p, ino, 1)
+		got, pg, err := cl.Lookup(p, ino, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := c.Placement(wire.StripeID{Ino: ino, Stripe: 1})
+		sid := wire.StripeID{Ino: ino, Stripe: 1}
+		want := c.Placement(sid)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("lookup %v != local %v", got, want)
 			}
 		}
-		if _, err := cl.Lookup(p, ino, 99); err == nil {
+		if int(pg) != c.PG(sid) {
+			t.Fatalf("lookup PG %d != local %d", pg, c.PG(sid))
+		}
+		// PG-level addressing: the MDS-served member set must match the
+		// local map, and the stripe's placement must be a rotation of it.
+		mem, err := cl.LookupPG(p, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inMem := make(map[wire.NodeID]bool)
+		for _, id := range mem {
+			inMem[id] = true
+		}
+		for _, id := range want {
+			if !inMem[id] {
+				t.Fatalf("stripe host %d not in PG %d members %v", id, pg, mem)
+			}
+		}
+		if _, err := cl.LookupPG(p, 1<<30); err == nil {
+			t.Fatal("lookup of bogus PG succeeded")
+		}
+		if _, _, err := cl.Lookup(p, ino, 99); err == nil {
 			t.Fatal("lookup of bogus stripe succeeded")
 		}
 	})

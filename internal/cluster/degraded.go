@@ -48,10 +48,18 @@ func retryableRouteErr(err error) bool {
 	return strings.Contains(s, netsim.ErrNodeDown.Error()) || strings.Contains(s, errDegradedGone)
 }
 
-// degradedState tracks one failed OSD served in degraded mode.
+// degradedState tracks one failed OSD served in degraded mode. Surrogates
+// are assigned per placement group — each degraded PG routes to the
+// placement map's stable replacement for the failed node's slot — so the
+// journal and reconstruction load of a death spreads across the cluster
+// instead of piling onto one ring successor.
 type degradedState struct {
-	failed    wire.NodeID
-	surrogate wire.NodeID
+	failed wire.NodeID
+	// surr maps each degraded PG to its surrogate OSD.
+	surr map[int]wire.NodeID
+	// surrogates lists the distinct surrogate OSDs in deterministic order
+	// (cutover drains each one's journal).
+	surrogates []wire.NodeID
 	// stripes is every stripe whose placement includes the failed node.
 	stripes map[wire.StripeID]bool
 	// lost is every block the failed node hosted (one per degraded stripe).
@@ -68,16 +76,27 @@ type degradedState struct {
 
 func (c *Cluster) closeGate() { c.gateClosed = true }
 
-// fenceUpdates closes the gate and waits until every normal-path client
-// update that had already passed it has completed — i.e. fully propagated
-// through its engine's synchronous phase. A consistency barrier that runs
-// after this cannot race a half-propagated update. Degraded-path updates
-// are not counted: they only touch the surrogate journal (never engine
-// state), and they may themselves be blocked on this gate.
+// fenceUpdates closes the gate and waits until every client op that had
+// already passed it has completed: normal-path updates (fully propagated
+// through their engine's synchronous phase) AND surrogate-side degraded
+// ops. A consistency barrier that runs after this cannot race a
+// half-propagated update, and a journal cutover cannot steal the journal
+// out from under a degraded read that would then overlay nothing (the
+// stale-read race the stress suite pins).
 func (c *Cluster) fenceUpdates(p *sim.Proc) {
 	c.closeGate()
-	for c.updatesInFlight > 0 {
+	for c.updatesInFlight > 0 || c.surrOpsInFlight > 0 {
 		c.gateCond.Wait(p)
+	}
+}
+
+// surrOpDone retires one surrogate-side degraded op begun with
+// surrOpsInFlight++ (which must happen atomically with the post-waitGate
+// route re-check, i.e. with no yield in between).
+func (c *Cluster) surrOpDone() {
+	c.surrOpsInFlight--
+	if c.surrOpsInFlight == 0 {
+		c.gateCond.Broadcast()
 	}
 }
 
@@ -94,14 +113,21 @@ func (c *Cluster) waitGate(p *sim.Proc) {
 
 // ---- routing ----
 
-// degradedRoute returns the surrogate serving stripe s if s is degraded.
+// degradedRoute returns the surrogate serving stripe s if s is degraded:
+// the surrogate assigned to the stripe's placement group.
 func (c *Cluster) degradedRoute(s wire.StripeID) (failed, surrogate wire.NodeID, ok bool) {
 	for _, st := range c.degraded {
 		if st.stripes[s] {
-			return st.failed, st.surrogate, true
+			return st.failed, st.surr[c.PG(s)], true
 		}
 	}
 	return 0, 0, false
+}
+
+// servesDegraded reports whether this OSD is the surrogate for the block's
+// placement group under st (the surrogate-side route re-check).
+func (st *degradedState) servesDegraded(c *Cluster, id wire.NodeID, blk wire.BlockID) bool {
+	return st.surr[c.PG(blk.StripeID())] == id
 }
 
 // nextLive returns the first live OSD strictly after `after` in ring order,
@@ -120,13 +146,16 @@ func (c *Cluster) nextLive(after, exclude wire.NodeID) wire.NodeID {
 	return after
 }
 
-// registerDegraded publishes degraded routing for a failed node: it picks
-// the surrogate, seeds the surrogate's journal with the failed node's
-// replicated unrecycled DataLog items (so degraded reads see pre-failure
-// updates and the cutover replays them), and records the degraded stripe
-// and lost block sets. The registration plus in-memory seeding happen
-// atomically with respect to client routing, so no journaled update can
-// land ahead of an older seed.
+// registerDegraded publishes degraded routing for a failed node: it assigns
+// a surrogate per degraded placement group (the placement map's stable
+// replacement for the failed node's slot — which is also where the PG's
+// lost blocks will rebuild, so the journal lands next to its replay
+// targets), seeds each surrogate's journal with its PGs' share of the
+// failed node's replicated unrecycled DataLog items (so degraded reads see
+// pre-failure updates and the cutover replays them), and records the
+// degraded stripe and lost block sets. The registration plus in-memory
+// seeding happen atomically with respect to client routing, so no journaled
+// update can land ahead of an older seed.
 func (c *Cluster) registerDegraded(p *sim.Proc, failed wire.NodeID, via *Client) (*degradedState, error) {
 	if _, dup := c.degraded[failed]; dup {
 		return nil, fmt.Errorf("cluster: node %d already degraded", failed)
@@ -135,32 +164,63 @@ func (c *Cluster) registerDegraded(p *sim.Proc, failed wire.NodeID, via *Client)
 	if err != nil {
 		return nil, err
 	}
-	surrogate := c.nextLive(failed, failed)
-	if surrogate == failed {
-		return nil, fmt.Errorf("cluster: no live surrogate for node %d", failed)
-	}
 	st := &degradedState{
-		failed:    failed,
-		surrogate: surrogate,
-		stripes:   make(map[wire.StripeID]bool),
-		lost:      make(map[wire.BlockID]bool),
+		failed:  failed,
+		surr:    make(map[int]wire.NodeID),
+		stripes: make(map[wire.StripeID]bool),
+		lost:    make(map[wire.BlockID]bool),
 	}
+	dead := func(id wire.NodeID) bool { return c.Fabric.Down(id) }
+	pmap := c.MDS.place
+	seen := make(map[wire.NodeID]bool)
+	// store.Blocks is sorted, so surrogate discovery order — and with it
+	// st.surrogates and the cutover's drain order — is deterministic.
 	for _, blk := range c.OSDByID(failed).store.Blocks() {
-		st.stripes[blk.StripeID()] = true
+		s := blk.StripeID()
+		st.stripes[s] = true
 		st.lost[blk] = true
+		pg := pmap.PGOf(s)
+		if _, ok := st.surr[pg]; ok {
+			continue
+		}
+		slot := pmap.MemberSlot(pg, failed)
+		if slot < 0 {
+			// The block can only live off its baseline PG member under a
+			// pre-existing recovery remap; serve it from the slot-0 view.
+			slot = 0
+		}
+		mem, err := pmap.Members(pg, dead)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: no live surrogate for node %d pg %d: %w", failed, pg, err)
+		}
+		sur := mem[slot]
+		if sur == failed || c.Fabric.Down(sur) {
+			return nil, fmt.Errorf("cluster: surrogate %d for node %d pg %d not live", sur, failed, pg)
+		}
+		st.surr[pg] = sur
+		if !seen[sur] {
+			seen[sur] = true
+			st.surrogates = append(st.surrogates, sur)
+		}
 	}
 	c.degraded[failed] = st
-	surr := c.OSDByID(surrogate)
-	j := surr.journalFor(failed)
-	var total int64
+	// Partition the replica seeds by PG surrogate. Every seed's block was
+	// hosted by the failed node, so its stripe — and hence its PG — is
+	// registered above.
+	perSurr := make(map[wire.NodeID]int64)
 	for _, it := range items {
+		sur := st.surr[pmap.PGOf(it.Blk.StripeID())]
+		j := c.OSDByID(sur).journalFor(failed)
 		j.items = append(j.items, it)
-		total += int64(len(it.Data))
+		perSurr[sur] += int64(len(it.Data))
 	}
-	// Charge the journal persist after the fact; the seeds already have
+	// Charge the journal persists after the fact; the seeds already have
 	// replicas on their original holders, so they are not re-replicated.
-	if total > 0 {
-		surr.journalPersist(p, j, total)
+	for _, sur := range st.surrogates {
+		if n := perSurr[sur]; n > 0 {
+			osd := c.OSDByID(sur)
+			osd.journalPersist(p, osd.journalFor(failed), n)
+		}
 	}
 	return st, nil
 }
@@ -172,11 +232,15 @@ func (c *Cluster) unregisterDegraded(failed wire.NodeID) { delete(c.degraded, fa
 // journal is the surrogate's degraded-update log for one failed node: an
 // in-memory item list (replayed at cutover, overlaid on degraded reads)
 // persisted to a sequential device zone and replicated to the surrogate's
-// ring successor.
+// ring successor. cursor counts primary appends; replCursor counts
+// durability copies held for another surrogate (kept separate so the
+// placement experiment's surrogate-load accounting sees only primary
+// journal work, not ring-successor copies).
 type journal struct {
-	zone   int
-	cursor int64
-	items  []wire.ReplicaItem
+	zone       int
+	cursor     int64
+	replCursor int64
+	items      []wire.ReplicaItem
 }
 
 // journalSpan bounds the circular on-disk journal region (per failed node).
@@ -204,23 +268,36 @@ func (o *OSD) journalItems(failed wire.NodeID) []wire.ReplicaItem {
 }
 
 // journalPersist charges one sequential append of n payload bytes to the
-// journal's circular log zone.
+// journal's circular log zone (primary surrogate work).
 func (o *OSD) journalPersist(p *sim.Proc, j *journal, n int64) {
 	rec := n + 24
-	o.dev.Write(p, j.zone, j.cursor%journalSpan, rec, false)
+	o.dev.Write(p, j.zone, (j.cursor+j.replCursor)%journalSpan, rec, false)
 	j.cursor += rec
 }
 
+// journalPersistReplica charges a durability copy of a peer surrogate's
+// record; tracked apart from primary appends so JournalBytes reports only
+// surrogate load.
+func (o *OSD) journalPersistReplica(p *sim.Proc, j *journal, n int64) {
+	rec := n + 24
+	o.dev.Write(p, j.zone, (j.cursor+j.replCursor)%journalSpan, rec, false)
+	j.replCursor += rec
+}
+
 // handleDegradedUpdate journals one client update for a degraded stripe.
-// The memory append happens atomically with the registration re-check (no
-// blocking in between), so the cutover's steal loop can never miss it; the
-// device persist and the replication round trip are charged afterwards.
+// The memory append happens atomically with the registration re-check and
+// the in-flight registration (no blocking in between), so the cutover's
+// steal loop can never miss it; the device persist and the replication
+// round trip are charged afterwards, covered by the in-flight count so a
+// recovery fence waits them out.
 func (o *OSD) handleDegradedUpdate(p *sim.Proc, v *wire.DegradedUpdate) wire.Msg {
 	o.c.waitGate(p)
 	st := o.c.degraded[v.Failed]
-	if st == nil || st.surrogate != o.id {
+	if st == nil || !st.servesDegraded(o.c, o.id, v.Blk) {
 		return &wire.Ack{Err: errDegradedGone}
 	}
+	o.c.surrOpsInFlight++
+	defer o.c.surrOpDone()
 	j := o.journalFor(v.Failed)
 	j.items = append(j.items, wire.ReplicaItem{
 		Blk: v.Blk, Off: v.Off, Data: append([]byte(nil), v.Data...),
@@ -238,13 +315,19 @@ func (o *OSD) handleDegradedUpdate(p *sim.Proc, v *wire.DegradedUpdate) wire.Msg
 // handleDegradedRead serves [Off, Off+Size) of a degraded-stripe block:
 // lost blocks are reconstructed on the fly from K surviving shards, live
 // blocks are read (with engine semantics) from their home; the journal then
-// overlays newest-wins, which keeps degraded reads read-your-writes.
+// overlays newest-wins, which keeps degraded reads read-your-writes. The
+// whole read counts as in flight so a recovery fence (settle barrier or
+// journal cutover) cannot begin between the gate check and the overlay —
+// without that, a cutover could steal the journal mid-read and the overlay
+// would silently miss journaled updates.
 func (o *OSD) handleDegradedRead(p *sim.Proc, v *wire.DegradedRead) wire.Msg {
 	o.c.waitGate(p)
 	st := o.c.degraded[v.Failed]
-	if st == nil || st.surrogate != o.id {
+	if st == nil || !st.servesDegraded(o.c, o.id, v.Blk) {
 		return &wire.ReadResp{Err: errDegradedGone}
 	}
+	o.c.surrOpsInFlight++
+	defer o.c.surrOpDone()
 	var buf []byte
 	var err error
 	if st.lost[v.Blk] {
@@ -327,8 +410,11 @@ func (o *OSD) handleJournalFetch(p *sim.Proc, v *wire.JournalFetch) wire.Msg {
 // SettleAll brings every live OSD's raw stores to stripe consistency with
 // minimal merging (engine Settle), repeating rounds until a full round
 // reports nothing left to settle — the consistency barrier interleaved
-// recovery runs under the closed gate before reconstruction starts.
-func (c *Cluster) SettleAll(p *sim.Proc, via *Client) error {
+// recovery runs under the closed gate before reconstruction starts. The
+// failed node scopes the barrier: overlay state touching its stripes must
+// flush (their raw shards feed reconstruction), pure overlay elsewhere may
+// stay.
+func (c *Cluster) SettleAll(p *sim.Proc, via *Client, failed wire.NodeID) error {
 	for round := 0; round < 12; round++ {
 		busy := false
 		var firstErr error
@@ -337,14 +423,14 @@ func (c *Cluster) SettleAll(p *sim.Proc, via *Client) error {
 			if c.Fabric.Down(osd.id) {
 				continue
 			}
-			if osd.engine.NeedsSettle() {
+			if osd.engine.NeedsSettle(failed) {
 				busy = true
 			}
 			osd := osd
 			wg.Add(1)
 			c.Env.Go("settle", func(hp *sim.Proc) {
 				defer wg.Done()
-				resp, err := c.Fabric.Call(hp, via.id, osd.id, &wire.Settle{})
+				resp, err := c.Fabric.Call(hp, via.id, osd.id, &wire.Settle{Failed: failed})
 				if err == nil {
 					if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
 						err = fmt.Errorf("%s", a.Err)

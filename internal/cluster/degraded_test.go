@@ -11,6 +11,7 @@ package cluster
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -45,20 +46,40 @@ func degradedConfig(engine string) Config {
 	return cfg
 }
 
-// runKillUpdateRecover drives ops random updates/reads, killing `victim` at
-// op killAt and recovering it in a concurrent process under `mode` while
-// the client keeps going. It returns the recovery report.
-func runKillUpdateRecover(t *testing.T, engine string, mode RecoverMode, seed int64, ops, killAt int, mod func(*Config)) *RecoveryReport {
+// killRecoverRun parameterizes one kill-update-recover-verify run.
+type killRecoverRun struct {
+	engine     string
+	mode       RecoverMode
+	seed       int64
+	ops        int
+	killAt     int
+	files      int         // number of files (1 = the classic single-volume run)
+	stripesPer int         // stripes per file
+	victim     wire.NodeID // 0 = fail the most-loaded OSD
+	mod        func(*Config)
+}
+
+// runKillRecover drives r.ops random updates/reads over r.files files,
+// killing the victim at op r.killAt and recovering it in a concurrent
+// process under r.mode while the client keeps going. Reads are verified
+// against the per-file reference at every step, and the run ends with
+// drain + scrub + byte-exact read-back of every file. It returns the
+// recovery report.
+//
+// RNG-stream compatibility: with files == 1 no per-op file pick is drawn,
+// so single-file seeds replay the exact op sequences the pinned regression
+// tests were minimized against.
+func runKillRecover(t *testing.T, r killRecoverRun) *RecoveryReport {
 	t.Helper()
-	cfg := degradedConfig(engine)
-	if mod != nil {
-		mod(&cfg)
+	cfg := degradedConfig(r.engine)
+	if r.mod != nil {
+		r.mod(&cfg)
 	}
 	c := MustNew(cfg)
 	defer c.Env.Close()
 	cl := c.NewClient()
 	admin := c.NewClient()
-	victim := wire.NodeID(3)
+	victim := r.victim
 
 	var rep *RecoveryReport
 	trigger, clientDone, allDone := false, false, false
@@ -67,39 +88,58 @@ func runKillUpdateRecover(t *testing.T, engine string, mode RecoverMode, seed in
 			p.Sleep(200 * time.Microsecond)
 		}
 		var err error
-		rep, err = c.Recover(p, victim, 2, mode, admin)
+		rep, err = c.Recover(p, victim, 2, r.mode, admin)
 		if err != nil {
-			t.Errorf("recover (%s): %v", mode, err)
+			t.Errorf("recover (%s/%s): %v", r.engine, r.mode, err)
 		}
 	})
 	c.Env.Go("workload", func(p *sim.Proc) {
-		rng := rand.New(rand.NewSource(seed))
-		fileSize := 6 * c.StripeWidth()
-		content := make([]byte, fileSize)
-		rng.Read(content)
-		ino, err := cl.Create(p, "f", fileSize)
-		if err != nil {
-			t.Error(err)
-			return
+		rng := rand.New(rand.NewSource(r.seed))
+		fileSize := int64(r.stripesPer) * c.StripeWidth()
+		inos := make([]uint64, r.files)
+		content := make([][]byte, r.files)
+		for f := 0; f < r.files; f++ {
+			content[f] = make([]byte, fileSize)
+			rng.Read(content[f])
+			ino, err := cl.Create(p, fmt.Sprintf("f%d", f), fileSize)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := cl.WriteFile(p, ino, content[f]); err != nil {
+				t.Error(err)
+				return
+			}
+			inos[f] = ino
 		}
-		if err := cl.WriteFile(p, ino, content); err != nil {
-			t.Error(err)
-			return
+		if victim == 0 {
+			// Fail the most-loaded OSD so the degraded set is representative.
+			most := -1
+			for _, osd := range c.OSDs {
+				if n := osd.Store().Len(); n > most {
+					most = n
+					victim = osd.NodeID()
+				}
+			}
 		}
-		for i := 0; i < ops; i++ {
-			if i == killAt {
+		for i := 0; i < r.ops; i++ {
+			if i == r.killAt {
 				trigger = true
+			}
+			f := 0
+			if r.files > 1 {
+				f = rng.Intn(r.files)
 			}
 			if rng.Intn(6) == 0 {
 				off := int64(rng.Intn(int(fileSize - 512)))
 				n := int64(1 + rng.Intn(512))
-				got, err := cl.Read(p, ino, off, n)
+				got, err := cl.Read(p, inos[f], off, n)
 				if err != nil {
-					t.Errorf("read at op %d: %v", i, err)
+					t.Errorf("read f%d at op %d: %v", f, i, err)
 					return
 				}
-				if !bytes.Equal(got, content[off:off+n]) {
-					t.Errorf("stale read at op %d (off=%d len=%d)", i, off, n)
+				if !bytes.Equal(got, content[f][off:off+n]) {
+					t.Errorf("stale read f%d at op %d (off=%d len=%d)", f, i, off, n)
 					return
 				}
 				continue
@@ -108,11 +148,11 @@ func runKillUpdateRecover(t *testing.T, engine string, mode RecoverMode, seed in
 			n := 1 + rng.Intn(4096)
 			buf := make([]byte, n)
 			rng.Read(buf)
-			if err := cl.Update(p, ino, off, buf); err != nil {
-				t.Errorf("update %d: %v", i, err)
+			if err := cl.Update(p, inos[f], off, buf); err != nil {
+				t.Errorf("update f%d op %d: %v", f, i, err)
 				return
 			}
-			copy(content[off:], buf)
+			copy(content[f][off:], buf)
 		}
 		clientDone = true
 		// Recovery may still be running (it owns some stripes' routing);
@@ -132,18 +172,20 @@ func runKillUpdateRecover(t *testing.T, engine string, mode RecoverMode, seed in
 			t.Errorf("scrub: %v", err)
 			return
 		}
-		if n != 6 {
-			t.Errorf("scrubbed %d stripes, want 6", n)
+		if want := r.files * r.stripesPer; n != want {
+			t.Errorf("scrubbed %d stripes, want %d", n, want)
 			return
 		}
-		got, err := cl.Read(p, ino, 0, fileSize)
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		if !bytes.Equal(got, content) {
-			t.Error("content mismatch after kill-update-recover")
-			return
+		for f := 0; f < r.files; f++ {
+			got, err := cl.Read(p, inos[f], 0, fileSize)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, content[f]) {
+				t.Errorf("content mismatch in file %d after kill-update-recover", f)
+				return
+			}
 		}
 		allDone = true
 	})
@@ -158,6 +200,45 @@ func runKillUpdateRecover(t *testing.T, engine string, mode RecoverMode, seed in
 		t.Fatal("victim hosted no blocks?")
 	}
 	return rep
+}
+
+// runKillUpdateRecover is the classic single-volume run: 6 stripes, one
+// client stream, fixed victim.
+func runKillUpdateRecover(t *testing.T, engine string, mode RecoverMode, seed int64, ops, killAt int, mod func(*Config)) *RecoveryReport {
+	t.Helper()
+	return runKillRecover(t, killRecoverRun{
+		engine: engine, mode: mode, seed: seed, ops: ops, killAt: killAt,
+		files: 1, stripesPer: 6, victim: wire.NodeID(3), mod: mod,
+	})
+}
+
+// runKillUpdateRecoverMulti is the multi-file variant: `files` files of
+// `stripesPer` stripes each, so the workload's stripes — and the failure's
+// degraded set — spread across placement groups; the most-loaded OSD dies.
+func runKillUpdateRecoverMulti(t *testing.T, engine string, mode RecoverMode, seed int64, ops, killAt, files, stripesPer int) *RecoveryReport {
+	t.Helper()
+	return runKillRecover(t, killRecoverRun{
+		engine: engine, mode: mode, seed: seed, ops: ops, killAt: killAt,
+		files: files, stripesPer: stripesPer,
+	})
+}
+
+// TestKillUpdateRecoverMultiFile runs the randomized multi-file
+// kill-update-recover-verify grid over PG-spread stripes: all six engines
+// under every recovery protocol (interleaved only under -short).
+func TestKillUpdateRecoverMultiFile(t *testing.T) {
+	modes := []RecoverMode{RecoverInterleaved}
+	if !testing.Short() {
+		modes = []RecoverMode{RecoverInterleaved, RecoverDrainFirst, RecoverLogReplay}
+	}
+	for _, engine := range update.Names() {
+		for _, mode := range modes {
+			engine, mode := engine, mode
+			t.Run(fmt.Sprintf("%s/%s", engine, mode), func(t *testing.T) {
+				runKillUpdateRecoverMulti(t, engine, mode, 7001+int64(len(engine)), 400, 150, 3, 3)
+			})
+		}
+	}
 }
 
 // TestKillUpdateRecoverInterleavedAllEngines is the headline degraded-mode

@@ -3,27 +3,37 @@ package cluster
 import (
 	"time"
 
+	"tsue/internal/placement"
 	"tsue/internal/sim"
 	"tsue/internal/wire"
 )
 
-// MDS is the metadata server: file namespace, stripe placement authority,
-// heartbeat tracking, and recovery orchestration (§4).
+// MDS is the metadata server: file namespace, the placement authority (it
+// owns the CRUSH-like placement map clients and OSDs resolve stripe homes
+// through), heartbeat tracking, and recovery orchestration (§4).
 type MDS struct {
 	c        *Cluster
+	place    *placement.Map
 	nextIno  uint64
 	byName   map[string]uint64
+	files    map[uint64]*fileMeta
 	lastBeat map[wire.NodeID]time.Duration
 }
 
-func newMDS(c *Cluster) *MDS {
+func newMDS(c *Cluster, place *placement.Map) *MDS {
 	return &MDS{
 		c:        c,
+		place:    place,
 		nextIno:  1,
 		byName:   make(map[string]uint64),
+		files:    make(map[uint64]*fileMeta),
 		lastBeat: make(map[wire.NodeID]time.Duration),
 	}
 }
+
+// PlacementMap exposes the MDS-owned placement map (read-only authority for
+// recovery targeting, degraded surrogate selection, and tests).
+func (m *MDS) PlacementMap() *placement.Map { return m.place }
 
 func (m *MDS) handle(p *sim.Proc, from wire.NodeID, msg wire.Msg) wire.Msg {
 	switch v := msg.(type) {
@@ -34,14 +44,24 @@ func (m *MDS) handle(p *sim.Proc, from wire.NodeID, msg wire.Msg) wire.Msg {
 		ino := m.nextIno
 		m.nextIno++
 		m.byName[v.Name] = ino
-		m.c.files[ino] = &fileMeta{ino: ino, name: v.Name, stripes: v.Stripes}
+		m.files[ino] = &fileMeta{ino: ino, name: v.Name, stripes: v.Stripes}
 		return &wire.CreateResp{Ino: ino}
 	case *wire.Lookup:
-		fm, ok := m.c.files[v.Ino]
+		fm, ok := m.files[v.Ino]
 		if !ok || v.Stripe >= fm.stripes {
 			return &wire.LookupResp{Err: "no such stripe"}
 		}
-		return &wire.LookupResp{OSDs: m.c.Placement(wire.StripeID{Ino: v.Ino, Stripe: v.Stripe})}
+		sid := wire.StripeID{Ino: v.Ino, Stripe: v.Stripe}
+		return &wire.LookupResp{
+			OSDs: m.c.Placement(sid),
+			PG:   uint32(m.place.PGOf(sid)),
+		}
+	case *wire.PGLookup:
+		mem, err := m.place.Members(int(v.PG), nil)
+		if err != nil {
+			return &wire.LookupResp{Err: err.Error()}
+		}
+		return &wire.LookupResp{OSDs: mem, PG: v.PG}
 	case *wire.Heartbeat:
 		m.lastBeat[v.From] = p.Now()
 		return wire.OK

@@ -23,6 +23,11 @@ type OSD struct {
 	// journals holds degraded-update journals this OSD keeps as surrogate
 	// for failed peers (see degraded.go).
 	journals map[wire.NodeID]*journal
+	// recSrcReadBytes counts bytes this OSD served as a reconstruction
+	// source (rebuild fan-in and degraded on-the-fly reads) since the last
+	// recovery-counter reset — the fan-out measure of the placement
+	// experiment.
+	recSrcReadBytes int64
 }
 
 func newOSD(c *Cluster, id wire.NodeID) *OSD {
@@ -70,6 +75,18 @@ func (o *OSD) Engine() update.Engine { return o.engine }
 // Device exposes the OSD's disk (harness and tests).
 func (o *OSD) Device() *device.Disk { return o.dev }
 
+// JournalBytes returns the total bytes this OSD ever appended to surrogate
+// journals as the PRIMARY surrogate (cursors survive cutover; ring-successor
+// durability copies are excluded) — the surrogate-load measure of the
+// placement experiment.
+func (o *OSD) JournalBytes() int64 {
+	var n int64
+	for _, j := range o.journals {
+		n += j.cursor
+	}
+	return n
+}
+
 // ---- RPC dispatch ----
 
 func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
@@ -102,7 +119,7 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 		}
 		return wire.OK
 	case *wire.Settle:
-		if err := o.engine.Settle(p); err != nil {
+		if err := o.engine.Settle(p, v.Failed); err != nil {
 			return &wire.Ack{Err: err.Error()}
 		}
 		return wire.OK
@@ -124,7 +141,7 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 		// Durability copy of a surrogate-journal record: persist and ack
 		// (never read back; the primary journal drives replay).
 		j := o.journalFor(v.Failed)
-		o.journalPersist(p, j, int64(len(v.Data)))
+		o.journalPersistReplica(p, j, int64(len(v.Data)))
 		return wire.OK
 	case *wire.JournalFetch:
 		return o.handleJournalFetch(p, v)
@@ -177,6 +194,7 @@ func (o *OSD) readSurvivingShards(p *sim.Proc, blk wire.BlockID, off, size int64
 				}
 				return
 			}
+			o.c.OSDByID(osds[idx]).recSrcReadBytes += int64(len(rr.Data))
 			shards[idx] = rr.Data
 		})
 	}

@@ -80,10 +80,19 @@ type RecoveryReport struct {
 	BandwidthBps float64
 	// RemappedBlocks counts placement overrides installed.
 	RemappedBlocks int
+	// TargetBlocks counts rebuilt blocks per destination OSD — with PG
+	// placement the targets are the per-PG stable replacements, so the
+	// write side of recovery spreads across the cluster.
+	TargetBlocks map[wire.NodeID]int
+	// SourceReadBytes counts reconstruction bytes read per source OSD
+	// during the recovery window (rebuild fan-in plus degraded on-the-fly
+	// reconstruction) — the recovery fan-out the placement experiment
+	// reports.
+	SourceReadBytes map[wire.NodeID]int64
 }
 
 // Recover handles the failure of one OSD under the given mode. All modes
-// end with every lost block rebuilt on a surviving OSD (round robin),
+// end with every lost block rebuilt on its PG's stable replacement OSD,
 // placement remapped, and — for modes that replay — the failed node's
 // unrecycled updates and any degraded-mode journal merged back through the
 // engines, so a subsequent drain + scrub is byte-exact.
@@ -91,8 +100,9 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode Re
 	if parallel < 1 {
 		parallel = 1
 	}
-	rep := &RecoveryReport{Mode: mode}
+	rep := &RecoveryReport{Mode: mode, TargetBlocks: make(map[wire.NodeID]int)}
 	start := p.Now()
+	c.resetRecoverySources()
 
 	switch mode {
 	case RecoverDrainFirst:
@@ -116,13 +126,20 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode Re
 		}
 
 	case RecoverLogReplay:
+		// The degraded route is published only after the gate has closed:
+		// were it published against an open gate, a degraded read could
+		// slip through and reconstruct from raw shards the settle barrier
+		// has not yet made stripe-consistent. Registering before the settle
+		// (but under the gate) lets client ops to the dead node's stripes
+		// block at the gate instead of burning their bounded node-down
+		// retry budget for the whole barrier.
 		c.Fabric.SetDown(failed, true)
-		if _, err := c.registerDegraded(p, failed, via); err != nil {
-			return nil, err
-		}
 		gateStart := p.Now()
 		c.fenceUpdates(p)
-		err := c.SettleAll(p, via)
+		_, err := c.registerDegraded(p, failed, via)
+		if err == nil {
+			err = c.SettleAll(p, via, failed)
+		}
 		rep.DrainTime = p.Now() - gateStart
 		if err == nil {
 			var lost []wire.BlockID
@@ -143,14 +160,16 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode Re
 
 	case RecoverInterleaved:
 		c.Fabric.SetDown(failed, true)
-		if _, err := c.registerDegraded(p, failed, via); err != nil {
-			return nil, err
-		}
-		// Brief fence: restore raw stripe consistency, then let foreground
-		// I/O flow again while blocks rebuild.
+		// Brief fence: publish the degraded routes under the closed gate
+		// and restore raw stripe consistency (see RecoverLogReplay for the
+		// ordering rationale), then let foreground I/O flow again while
+		// blocks rebuild.
 		gateStart := p.Now()
 		c.fenceUpdates(p)
-		err := c.SettleAll(p, via)
+		_, err := c.registerDegraded(p, failed, via)
+		if err == nil {
+			err = c.SettleAll(p, via, failed)
+		}
 		c.openGate()
 		rep.DrainTime = p.Now() - gateStart
 		rep.GatedTime = p.Now() - gateStart
@@ -162,10 +181,12 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode Re
 			return nil, err
 		}
 		c.resetStripeState(lost)
-		// Second fence: replay the journal and cut clients back over to the
-		// rebuilt placement.
+		// Second fence: wait out in-flight surrogate ops (a degraded read
+		// that already passed the gate must finish its journal overlay
+		// before the steal), replay the journal, and cut clients back over
+		// to the rebuilt placement.
 		gateStart = p.Now()
-		c.closeGate()
+		c.fenceUpdates(p)
 		err = c.cutover(p, failed, via, rep)
 		c.openGate()
 		rep.GatedTime += p.Now() - gateStart
@@ -177,6 +198,7 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode Re
 		return nil, fmt.Errorf("cluster: unknown recover mode %d", mode)
 	}
 
+	rep.SourceReadBytes = c.recoverySources()
 	rep.TotalTime = p.Now() - start
 	if rep.TotalTime > 0 {
 		rep.BandwidthBps = float64(rep.Bytes) / rep.TotalTime.Seconds()
@@ -185,25 +207,43 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode Re
 }
 
 // rebuild reconstructs every block the failed node hosted onto surviving
-// OSDs (round robin), `parallel` blocks at a time, remapping placement as
-// it goes. It returns the lost block list. With repair set, blocks whose
-// plain reconstruction could bake a torn stripe in (stripeRepair) get the
-// full parity re-encode instead; drain-first recovery passes false, since
-// a fully drained, gated cluster cannot hold a torn stripe.
+// OSDs, `parallel` blocks at a time, remapping placement as it goes. Each
+// block's target is its PG's stable replacement for the failed slot
+// (placement.Replacement), so a single death moves only the dead node's
+// PGs and the rebuild writes spread exactly as the CRUSH-like map dictates
+// — excluding any OSD already hosting another block of the same stripe, so
+// a stripe never doubles up. It returns the lost block list. With repair
+// set, blocks whose plain reconstruction could bake a torn stripe in
+// (stripeRepair) get the full parity re-encode instead; drain-first
+// recovery passes false, since a fully drained, gated cluster cannot hold
+// a torn stripe.
 func (c *Cluster) rebuild(p *sim.Proc, failed wire.NodeID, parallel int, via *Client, rep *RecoveryReport, repair bool) ([]wire.BlockID, error) {
 	failedOSD := c.OSDByID(failed)
 	lost := failedOSD.store.Blocks()
 
-	// Round-robin targets among live survivors (earlier failures stay
-	// excluded).
-	var survivors []wire.NodeID
-	for _, osd := range c.OSDs {
-		if osd.id != failed && !c.Fabric.Down(osd.id) {
-			survivors = append(survivors, osd.id)
-		}
+	if rep.TargetBlocks == nil {
+		rep.TargetBlocks = make(map[wire.NodeID]int)
 	}
-	if len(survivors) == 0 {
-		return nil, fmt.Errorf("cluster: no live recovery targets")
+	dead := func(id wire.NodeID) bool { return c.Fabric.Down(id) }
+	targets := make([]wire.NodeID, len(lost))
+	for i, blk := range lost {
+		cur := c.Placement(blk.StripeID())
+		target, err := c.MDS.place.Replacement(blk.StripeID(), int(blk.Index), dead,
+			func(id wire.NodeID) bool {
+				for j, m := range cur {
+					if j != int(blk.Index) && m == id {
+						return true
+					}
+				}
+				return false
+			})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: no recovery target for %v: %w", blk, err)
+		}
+		targets[i] = target
+		c.remap[blk] = target
+		rep.RemappedBlocks++
+		rep.TargetBlocks[target]++
 	}
 	rebuildStart := p.Now()
 	sem := c.Env.NewResource("recover-sem", parallel)
@@ -212,9 +252,7 @@ func (c *Cluster) rebuild(p *sim.Proc, failed wire.NodeID, parallel int, via *Cl
 	var firstErr error
 	for i, blk := range lost {
 		blk := blk
-		target := survivors[i%len(survivors)]
-		c.remap[blk] = target
-		rep.RemappedBlocks++
+		target := targets[i]
 		reencode := repair && c.stripeRepair(blk)
 		if reencode {
 			rep.ReencodedStripes++
@@ -278,47 +316,57 @@ func (c *Cluster) stripeRepair(blk wire.BlockID) bool {
 	return false
 }
 
-// cutover replays the surrogate journal — the failed node's replicated
+// cutover replays the surrogate journals — the failed node's replicated
 // unrecycled DataLog items followed by every update journaled while the
 // node was degraded — through the engines' replay hook at the (remapped)
-// home OSDs, then atomically retires the degraded route. It must run under
-// the closed gate so the journal cannot grow behind the steal and degraded
-// reads cannot observe mid-replay stripes.
+// home OSDs, then atomically retires the degraded route. With per-PG
+// surrogates there is one journal per surrogate OSD; a stripe's records
+// all live on its PG's surrogate, so draining surrogates in deterministic
+// order preserves per-range replay order. It must run under the closed
+// gate (after a fence, so no degraded op is mid-flight) so the journals
+// cannot grow behind the steal and degraded reads cannot observe
+// mid-replay stripes.
 func (c *Cluster) cutover(p *sim.Proc, failed wire.NodeID, via *Client, rep *RecoveryReport) error {
 	st := c.degraded[failed]
 	if st == nil {
 		return nil
 	}
 	replayStart := p.Now()
-	surr := c.OSDByID(st.surrogate)
 	for {
-		// Atomic with the steal below: with the gate closed nothing can
-		// append, so an empty journal stays empty until we unregister.
-		if len(surr.journalItems(failed)) == 0 {
+		// Atomic with the steals below: with the gate closed nothing can
+		// append, so journals found empty stay empty until we unregister.
+		remaining := false
+		for _, sur := range st.surrogates {
+			if len(c.OSDByID(sur).journalItems(failed)) == 0 {
+				continue
+			}
+			remaining = true
+			resp, err := c.Fabric.Call(p, via.id, sur, &wire.JournalFetch{Failed: failed})
+			if err != nil {
+				return fmt.Errorf("journal fetch @%d: %w", sur, err)
+			}
+			rr, ok := resp.(*wire.ReplicaResp)
+			if !ok {
+				return fmt.Errorf("journal fetch @%d: unexpected response %T", sur, resp)
+			}
+			// Strictly in journal order: replayed records must not reorder
+			// against each other (overwrites of the same range).
+			for _, it := range rr.Items {
+				osds := c.Placement(it.Blk.StripeID())
+				resp, err := c.Fabric.Call(p, via.id, osds[it.Blk.Index], &wire.ReplayUpdate{Blk: it.Blk, Off: it.Off, Data: it.Data})
+				if err != nil {
+					return fmt.Errorf("replay %v: %w", it.Blk, err)
+				}
+				if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+					return fmt.Errorf("replay %v: %s", it.Blk, a.Err)
+				}
+				rep.ReplayedItems++
+				rep.ReplayedBytes += int64(len(it.Data))
+			}
+		}
+		if !remaining {
 			c.unregisterDegraded(failed)
 			break
-		}
-		resp, err := c.Fabric.Call(p, via.id, st.surrogate, &wire.JournalFetch{Failed: failed})
-		if err != nil {
-			return fmt.Errorf("journal fetch: %w", err)
-		}
-		rr, ok := resp.(*wire.ReplicaResp)
-		if !ok {
-			return fmt.Errorf("journal fetch: unexpected response %T", resp)
-		}
-		// Strictly in journal order: replayed records must not reorder
-		// against each other (overwrites of the same range).
-		for _, it := range rr.Items {
-			osds := c.Placement(it.Blk.StripeID())
-			resp, err := c.Fabric.Call(p, via.id, osds[it.Blk.Index], &wire.ReplayUpdate{Blk: it.Blk, Off: it.Off, Data: it.Data})
-			if err != nil {
-				return fmt.Errorf("replay %v: %w", it.Blk, err)
-			}
-			if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
-				return fmt.Errorf("replay %v: %s", it.Blk, a.Err)
-			}
-			rep.ReplayedItems++
-			rep.ReplayedBytes += int64(len(it.Data))
 		}
 	}
 	rep.ReplayTime = p.Now() - replayStart

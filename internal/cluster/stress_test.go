@@ -1,0 +1,70 @@
+package cluster
+
+// Stress suite: long randomized kill-update-recover-verify sweeps on top of
+// the directed cases in degraded_test.go. The pinned regression seeds stay
+// in every run; the randomized grid (engine x mode x seed, single- and
+// multi-file) is guarded behind -short so quick CI loops stay fast.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStressFenceRegression pins the surrogate-read fence race: a degraded
+// read that had passed the gate could have its journal stolen by a
+// concurrent cutover mid-read (or reconstruct from unsettled shards),
+// returning stale bytes. PARIX under interleaved recovery at this exact
+// seed reproduced it before surrogate-side ops were counted in-flight and
+// the degraded route registration moved under the settle gate.
+func TestStressFenceRegression(t *testing.T) {
+	runKillUpdateRecover(t, "parix", RecoverInterleaved, 11, 500, 100, nil)
+}
+
+// TestStressSettleScopeRegression pins the degraded-aware settle scope:
+// TSUE's retained active DataLog units could hold pre-failure items for
+// degraded stripes; when foreground appends sealed such a unit mid-rebuild,
+// its recycle mutated raw shards reconstruction was concurrently reading.
+// A multi-file spread over placement groups with constant foreground load
+// reproduced it before Settle learned to flush overlay touching the failed
+// node's stripes.
+func TestStressSettleScopeRegression(t *testing.T) {
+	runKillUpdateRecoverMulti(t, "tsue", RecoverInterleaved, 5, 600, 120, 6, 3)
+}
+
+// TestStressRandomizedGrid drives every engine through every recovery mode
+// at several seeds, single-file, with the kill landing mid-workload while
+// recyclers are mid-flight. Long; skipped under -short.
+func TestStressRandomizedGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress grid skipped in -short mode")
+	}
+	modes := []RecoverMode{RecoverInterleaved, RecoverDrainFirst, RecoverLogReplay}
+	seeds := []int64{11, 5077}
+	for _, engine := range []string{"fo", "pl", "plr", "parix", "cord", "tsue"} {
+		for _, mode := range modes {
+			for _, seed := range seeds {
+				engine, mode, seed := engine, mode, seed
+				t.Run(fmt.Sprintf("%s/%s/seed%d", engine, mode, seed), func(t *testing.T) {
+					runKillUpdateRecover(t, engine, mode, seed, 400, 130, nil)
+				})
+			}
+		}
+	}
+}
+
+// TestStressMultiFileRandomized is the multi-file counterpart at a second
+// seed set, so PG-spread degraded sets get the same soak. Skipped under
+// -short (TestKillUpdateRecoverMultiFile covers the quick path).
+func TestStressMultiFileRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-file stress skipped in -short mode")
+	}
+	for _, seed := range []int64{31337, 40487} {
+		for _, engine := range []string{"tsue", "parix", "cord"} {
+			engine, seed := engine, seed
+			t.Run(fmt.Sprintf("%s/seed%d", engine, seed), func(t *testing.T) {
+				runKillUpdateRecoverMulti(t, engine, RecoverInterleaved, seed, 450, 140, 3, 3)
+			})
+		}
+	}
+}

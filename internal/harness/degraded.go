@@ -36,6 +36,9 @@ type DegradedResult struct {
 	BaselineIOPS float64
 	DuringIOPS   float64
 	DipPct       float64
+	// JournalBytes is surrogate-journal bytes appended per OSD during the
+	// degraded window (the placement experiment's surrogate-load spread).
+	JournalBytes map[wire.NodeID]int64
 	// Stripes is the number of stripes scrubbed clean after the run.
 	Stripes int
 }
@@ -55,18 +58,11 @@ func RunDegraded(cfg RunConfig, mode cluster.RecoverMode) (*DegradedResult, erro
 	res := &DegradedResult{Cfg: cfg, Mode: mode}
 	var runErr error
 	c.Env.Go("degraded-harness", func(p *sim.Proc) {
-		content := make([]byte, cfg.FileBytes)
-		rand.New(rand.NewSource(cfg.Seed)).Read(content)
-		ino, err := admin.Create(p, "vol0", cfg.FileBytes)
+		inos, perFile, err := preload(p, c, admin, cfg)
 		if err != nil {
 			runErr = err
 			return
 		}
-		if err := admin.WriteFile(p, ino, content); err != nil {
-			runErr = err
-			return
-		}
-		content = nil
 		c.ResetStats()
 
 		payload := make([]byte, 1<<20)
@@ -91,7 +87,10 @@ func RunDegraded(cfg RunConfig, mode cluster.RecoverMode) (*DegradedResult, erro
 		for ci := 0; ci < nClients; ci++ {
 			ci := ci
 			cl := c.NewClient()
-			gen := trace.MustGenerator(cfg.Trace, cfg.Seed+int64(ci)*7919)
+			ino := inos[ci%len(inos)]
+			prof := cfg.Trace
+			prof.WorkingSet = perFile
+			gen := trace.MustGenerator(prof, cfg.Seed+int64(ci)*7919)
 			c.Env.Go(fmt.Sprintf("fg%d", ci), func(cp *sim.Proc) {
 				defer wg.Done()
 				for j := 0; j < opsPer && !stop; j++ {
@@ -103,8 +102,8 @@ func RunDegraded(cfg RunConfig, mode cluster.RecoverMode) (*DegradedResult, erro
 						op = gen.Next()
 					}
 					off := op.Off
-					if off+int64(op.Size) > cfg.FileBytes {
-						off = cfg.FileBytes - int64(op.Size)
+					if off+int64(op.Size) > perFile {
+						off = perFile - int64(op.Size)
 					}
 					pstart := int(off) % (len(payload) - int(op.Size))
 					if err := cl.Update(cp, ino, off, payload[pstart:pstart+int(op.Size)]); err != nil {
@@ -158,6 +157,7 @@ func RunDegraded(cfg RunConfig, mode cluster.RecoverMode) (*DegradedResult, erro
 		}
 
 		res.Report = rep
+		res.JournalBytes = c.JournalBytesPerOSD()
 		if d := (t0 - start).Seconds(); d > 0 {
 			res.BaselineIOPS = float64(preOps) / d
 		}

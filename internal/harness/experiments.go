@@ -18,6 +18,10 @@ type Scale struct {
 	FileMB    int64
 	Clients   []int // client counts swept in Fig. 5
 	RSConfigs [][2]int
+	// PGCounts is the placement-group sweep of the placement experiment;
+	// Files is its multi-file working-set split.
+	PGCounts []int
+	Files    int
 }
 
 // QuickScale finishes the whole suite in minutes (bench default).
@@ -27,6 +31,8 @@ func QuickScale() Scale {
 		FileMB:    24,
 		Clients:   []int{4, 16, 64},
 		RSConfigs: [][2]int{{6, 2}, {6, 4}},
+		PGCounts:  []int{2, 16, 128},
+		Files:     8,
 	}
 }
 
@@ -37,6 +43,8 @@ func FullScale() Scale {
 		FileMB:    96,
 		Clients:   []int{4, 8, 16, 32, 64},
 		RSConfigs: [][2]int{{6, 2}, {12, 2}, {6, 3}, {12, 3}, {6, 4}, {12, 4}},
+		PGCounts:  []int{4, 32, 256, 1024},
+		Files:     16,
 	}
 }
 
@@ -430,7 +438,7 @@ func Sweep(w io.Writer, s Scale) error {
 
 // All runs every experiment in paper order.
 func All(w io.Writer, s Scale) error {
-	steps := []func(io.Writer, Scale) error{Fig5, Fig6a, Fig6b, Fig7, Table1, Table2, Fig8a, Fig8b, Sweep, Degraded}
+	steps := []func(io.Writer, Scale) error{Fig5, Fig6a, Fig6b, Fig7, Table1, Table2, Fig8a, Fig8b, Sweep, Degraded, Placement}
 	for _, f := range steps {
 		if err := f(w, s); err != nil {
 			return err
@@ -445,6 +453,6 @@ func Experiments() map[string]func(io.Writer, Scale) error {
 	return map[string]func(io.Writer, Scale) error{
 		"fig5": Fig5, "fig6a": Fig6a, "fig6b": Fig6b, "fig7": Fig7,
 		"table1": Table1, "table2": Table2, "fig8a": Fig8a, "fig8b": Fig8b,
-		"sweep": Sweep, "degraded": Degraded, "all": All,
+		"sweep": Sweep, "degraded": Degraded, "placement": Placement, "all": All,
 	}
 }

@@ -27,11 +27,20 @@ type RunConfig struct {
 	OSDs      int
 	Clients   int
 	Ops       int   // total ops across all clients
-	FileBytes int64 // preloaded file size == trace working set
+	FileBytes int64 // total preloaded volume == trace working set
 	BlockSize int64
 	Device    device.Kind
 	Opts      update.Options
 	Seed      int64
+	// Files splits the working set across this many files (0/1 = one
+	// volume). Each client works against file (client index mod Files), so
+	// stripes — and with them recovery fan-out, surrogate load and
+	// degraded-journal pressure — spread across placement groups the way a
+	// multi-tenant cluster's would.
+	Files int
+	// PGs overrides the cluster's placement-group count (0 = cluster
+	// default).
+	PGs int
 	// MaxTime caps the replay in virtual time (0 = ops only).
 	MaxTime time.Duration
 	// SkipVerify disables the drain+scrub gate (never set in experiments;
@@ -125,7 +134,39 @@ func buildCluster(cfg RunConfig) (*cluster.Cluster, error) {
 		ccfg.DeviceParams.BlockPages = 64
 	}
 	ccfg.MatrixKind = rs.Vandermonde
+	ccfg.PGs = cfg.PGs
 	return cluster.New(ccfg)
+}
+
+// preload creates the run's file set ("vol0"..) and writes deterministic
+// content through the normal encoded write path, returning the inodes and
+// the per-file byte size. The working set splits evenly across cfg.Files,
+// rounded up to whole stripes.
+func preload(p *sim.Proc, c *cluster.Cluster, admin *cluster.Client, cfg RunConfig) ([]uint64, int64, error) {
+	nFiles := cfg.Files
+	if nFiles < 1 {
+		nFiles = 1
+	}
+	sw := c.StripeWidth()
+	perFile := cfg.FileBytes / int64(nFiles)
+	if perFile < sw {
+		perFile = sw
+	}
+	perFile = (perFile + sw - 1) / sw * sw
+	inos := make([]uint64, nFiles)
+	content := make([]byte, perFile)
+	for f := 0; f < nFiles; f++ {
+		rand.New(rand.NewSource(cfg.Seed + int64(f)*104729)).Read(content)
+		ino, err := admin.Create(p, fmt.Sprintf("vol%d", f), perFile)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := admin.WriteFile(p, ino, content); err != nil {
+			return nil, 0, err
+		}
+		inos[f] = ino
+	}
+	return inos, perFile, nil
 }
 
 // Run executes one trace replay and verifies the stripe-consistency
@@ -209,17 +250,11 @@ func RunRecovery(cfg RunConfig) (*cluster.RecoveryReport, error) {
 }
 
 func replay(p *sim.Proc, c *cluster.Cluster, admin *cluster.Client, cfg RunConfig, res *Result) error {
-	// Preload the volume through the normal encoded write path.
-	content := make([]byte, cfg.FileBytes)
-	rand.New(rand.NewSource(cfg.Seed)).Read(content)
-	ino, err := admin.Create(p, "vol0", cfg.FileBytes)
+	// Preload the file set through the normal encoded write path.
+	inos, perFile, err := preload(p, c, admin, cfg)
 	if err != nil {
 		return err
 	}
-	if err := admin.WriteFile(p, ino, content); err != nil {
-		return err
-	}
-	content = nil
 	c.ResetStats()
 
 	// Payload source for updates: deterministic pseudo-random bytes.
@@ -243,7 +278,11 @@ func replay(p *sim.Proc, c *cluster.Cluster, admin *cluster.Client, cfg RunConfi
 	for ci := 0; ci < nClients; ci++ {
 		ci := ci
 		cl := c.NewClient()
-		gen := trace.MustGenerator(cfg.Trace, cfg.Seed+int64(ci)*7919)
+		ino := inos[ci%len(inos)]
+		// Scope the generator's address space to the client's file.
+		prof := cfg.Trace
+		prof.WorkingSet = perFile
+		gen := trace.MustGenerator(prof, cfg.Seed+int64(ci)*7919)
 		c.Env.Go(fmt.Sprintf("client%d", ci), func(cp *sim.Proc) {
 			defer wg.Done()
 			for j := 0; j < opsPer; j++ {
@@ -252,8 +291,8 @@ func replay(p *sim.Proc, c *cluster.Cluster, admin *cluster.Client, cfg RunConfi
 				}
 				op := gen.Next()
 				off := op.Off
-				if off+int64(op.Size) > cfg.FileBytes {
-					off = cfg.FileBytes - int64(op.Size)
+				if off+int64(op.Size) > perFile {
+					off = perFile - int64(op.Size)
 				}
 				var err error
 				if op.Kind == trace.Write {

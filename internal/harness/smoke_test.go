@@ -8,17 +8,32 @@ import (
 	"tsue/internal/update"
 )
 
+// shapeConfig is the shared small-scale configuration of the shape tests.
+// Blocks are 256 KiB so the working set spans 16 stripes: with the
+// CRUSH-like pseudo-random placement a handful of stripes can land
+// hash-unluckily (hot blocks and parity roles piling onto few OSDs, which
+// swings every engine's throughput by several x in either direction), and
+// the paper's comparative shapes only emerge once the stripe population is
+// large enough for the placement to even out — as on the paper's testbed,
+// where stripes vastly outnumber OSDs.
+func shapeConfig(eng string, m int) RunConfig {
+	cfg := DefaultRunConfig()
+	cfg.Engine = eng
+	cfg.Ops = 2000
+	cfg.Clients = 16
+	cfg.K, cfg.M = 6, m
+	cfg.BlockSize = 256 << 10
+	cfg.FileBytes = 24 << 20
+	return cfg
+}
+
 // TestShapeTSUEFastest checks the paper's headline shape at small scale:
 // TSUE has the highest update throughput of all six engines on the
 // Ten-Cloud trace under RS(6,4).
 func TestShapeTSUEFastest(t *testing.T) {
 	iops := map[string]float64{}
 	for _, eng := range update.Names() {
-		cfg := DefaultRunConfig()
-		cfg.Engine = eng
-		cfg.Ops = 2000
-		cfg.Clients = 16
-		cfg.FileBytes = 24 << 20
+		cfg := shapeConfig(eng, 4)
 		cfg.Trace = trace.TenCloud(cfg.FileBytes)
 		r, err := Run(cfg)
 		if err != nil {
@@ -40,12 +55,7 @@ func TestShapeAdvantageGrowsWithM(t *testing.T) {
 	adv := func(m int) float64 {
 		var tsue, pl float64
 		for _, eng := range []string{"tsue", "pl"} {
-			cfg := DefaultRunConfig()
-			cfg.Engine = eng
-			cfg.Ops = 2000
-			cfg.Clients = 16
-			cfg.K, cfg.M = 6, m
-			cfg.FileBytes = 24 << 20
+			cfg := shapeConfig(eng, m)
 			cfg.Trace = trace.AliCloud(cfg.FileBytes)
 			r, err := Run(cfg)
 			if err != nil {

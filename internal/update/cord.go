@@ -190,10 +190,10 @@ func (e *cord) Drain(p *sim.Proc) error {
 
 // Settle is Drain: the collector buffer holds deltas for other parity
 // holders, so the raw stripe is only consistent once it distributes.
-func (e *cord) Settle(p *sim.Proc) error { return e.Drain(p) }
+func (e *cord) Settle(p *sim.Proc, _ wire.NodeID) error { return e.Drain(p) }
 
 // NeedsSettle reports whether the collector buffer still holds deltas.
-func (e *cord) NeedsSettle() bool { return e.Dirty() }
+func (e *cord) NeedsSettle(wire.NodeID) bool { return e.Dirty() }
 
 // Dirty reports whether the collector buffer still holds deltas.
 func (e *cord) Dirty() bool { return e.pool.Pending() }

@@ -58,14 +58,18 @@ type Engine interface {
 	// consistency with the minimum merging: any log whose effects are
 	// partially applied (delta/parity pipelines, lazy parity logs) must
 	// merge, but pure-overlay state that recovery can replay from replicas —
-	// TSUE's active DataLog units — may be kept. For every in-place scheme
-	// Settle is simply Drain; the gap between the two is TSUE's §4.2
-	// log-reliability advantage during recovery.
-	Settle(p *sim.Proc) error
-	// NeedsSettle reports whether Settle still has work to do (the
-	// cluster-wide settle barrier repeats per-OSD settles until a full round
-	// is clean, like DrainAll).
-	NeedsSettle() bool
+	// TSUE's active DataLog units — may be kept, EXCEPT state touching the
+	// failed node's stripes: reconstruction reads those stripes' raw shards
+	// during the degraded window, so any retained overlay item for them
+	// would race the rebuild when its unit later seals and recycles
+	// (failed == 0 means no node is down and pure overlay may stay). For
+	// every in-place scheme Settle is simply Drain; the gap between the two
+	// is TSUE's §4.2 log-reliability advantage during recovery.
+	Settle(p *sim.Proc, failed wire.NodeID) error
+	// NeedsSettle reports whether Settle still has work to do under the
+	// same liveness view (the cluster-wide settle barrier repeats per-OSD
+	// settles until a full round is clean, like DrainAll).
+	NeedsSettle(failed wire.NodeID) bool
 	// Dirty reports whether the engine still holds unrecycled state.
 	Dirty() bool
 	// MemBytes is the engine's current log memory footprint.

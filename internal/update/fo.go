@@ -75,10 +75,10 @@ func (e *fo) Read(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error
 func (e *fo) Drain(*sim.Proc) error { return nil }
 
 // Settle is a no-op: FO's stores are always stripe-consistent.
-func (e *fo) Settle(*sim.Proc) error { return nil }
+func (e *fo) Settle(*sim.Proc, wire.NodeID) error { return nil }
 
 // NeedsSettle always reports false.
-func (e *fo) NeedsSettle() bool { return false }
+func (e *fo) NeedsSettle(wire.NodeID) bool { return false }
 
 // Dirty always reports false: there is nothing to recycle.
 func (e *fo) Dirty() bool { return false }

@@ -216,10 +216,10 @@ func (e *parix) Drain(p *sim.Proc) error {
 // Settle is Drain: speculative logs must fold before raw stripes are
 // consistent (and folding advances the orig baselines, keeping them valid
 // against the settled parity).
-func (e *parix) Settle(p *sim.Proc) error { return e.Drain(p) }
+func (e *parix) Settle(p *sim.Proc, _ wire.NodeID) error { return e.Drain(p) }
 
 // NeedsSettle reports whether unfolded speculative records remain.
-func (e *parix) NeedsSettle() bool { return e.Dirty() }
+func (e *parix) NeedsSettle(wire.NodeID) bool { return e.Dirty() }
 
 // Dirty reports whether unfolded speculative records remain.
 func (e *parix) Dirty() bool { return len(e.latest) > 0 }

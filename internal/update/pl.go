@@ -138,10 +138,10 @@ func (e *pl) Drain(p *sim.Proc) error {
 
 // Settle is Drain: PL's lazy parity log must merge before the raw stripe is
 // consistent, which is exactly the recovery debt the paper charges it with.
-func (e *pl) Settle(p *sim.Proc) error { return e.Drain(p) }
+func (e *pl) Settle(p *sim.Proc, _ wire.NodeID) error { return e.Drain(p) }
 
 // NeedsSettle reports whether unmerged parity deltas remain.
-func (e *pl) NeedsSettle() bool { return e.Dirty() }
+func (e *pl) NeedsSettle(wire.NodeID) bool { return e.Dirty() }
 
 // Dirty reports whether unmerged parity deltas remain.
 func (e *pl) Dirty() bool { return len(e.records) > 0 }

@@ -178,10 +178,10 @@ func (e *plr) Drain(p *sim.Proc) error {
 
 // Settle is Drain: reserved-space logs must merge before raw stripes are
 // consistent.
-func (e *plr) Settle(p *sim.Proc) error { return e.Drain(p) }
+func (e *plr) Settle(p *sim.Proc, _ wire.NodeID) error { return e.Drain(p) }
 
 // NeedsSettle reports whether any reserve still holds unmerged deltas.
-func (e *plr) NeedsSettle() bool { return e.Dirty() }
+func (e *plr) NeedsSettle(wire.NodeID) bool { return e.Dirty() }
 
 // Dirty reports whether any reserve still holds unmerged deltas.
 func (e *plr) Dirty() bool {

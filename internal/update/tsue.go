@@ -573,10 +573,27 @@ func (t *tsue) Drain(p *sim.Proc) error {
 // recovery can reconstruct the raw stripe and replay them (§4.2). This is
 // TSUE's structural advantage at recovery time: the merge debt a failure
 // must pay is bounded by the in-flight recycle window, not the log volume.
+//
+// The exception is items for the failed node's stripes: their raw shards
+// are reconstruction's input and must stay frozen through the degraded
+// window, but a retained item would apply whenever its unit later seals
+// under foreground appends — an RMW racing the rebuild. Settle therefore
+// force-seals (and drains through) every active DataLog unit holding an
+// item for a degraded stripe; unrelated active units stay as overlay.
+//
 // Settle is a barrier: the caller must fence appends (the recovery gate)
 // while it runs.
-func (t *tsue) Settle(p *sim.Proc) error {
+func (t *tsue) Settle(p *sim.Proc, failed wire.NodeID) error {
 	for {
+		if failed != 0 {
+			for i, pool := range t.data.pools {
+				if u := pool.Active(); u != nil && t.unitTouchesStripesOf(u, failed) {
+					if su := pool.SealActive(p.Now()); su != nil {
+						t.data.queues[i].Put(su)
+					}
+				}
+			}
+		}
 		for _, l := range []*tsueLayer{t.delta, t.parity} {
 			if l == nil {
 				continue
@@ -587,20 +604,43 @@ func (t *tsue) Settle(p *sim.Proc) error {
 				}
 			}
 		}
-		if !t.NeedsSettle() {
+		if !t.NeedsSettle(failed) {
 			return nil
 		}
 		t.idle.Wait(p)
 	}
 }
 
+// unitTouchesStripesOf reports whether any of the unit's blocks belongs to
+// a stripe whose placement includes the given (failed) node — the stripes
+// recovery will read raw and therefore must not be mutated by a later
+// recycle of this unit.
+func (t *tsue) unitTouchesStripesOf(u *logpool.Unit, node wire.NodeID) bool {
+	for _, blk := range u.Blocks() {
+		for _, id := range t.h.Placement(blk.StripeID()) {
+			if id == node {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // NeedsSettle reports whether partially-applied pipeline state remains:
-// sealed DataLog units (their RMW may have started) or anything in the
-// delta/parity layers. Active DataLog units do not count — they are
-// replayable overlay.
-func (t *tsue) NeedsSettle() bool {
+// sealed DataLog units (their RMW may have started), anything in the
+// delta/parity layers, or — under a failure — active DataLog units
+// touching the failed node's stripes. Other active DataLog units do not
+// count: they are replayable overlay.
+func (t *tsue) NeedsSettle(failed wire.NodeID) bool {
 	if t.data.pendingSealed() {
 		return true
+	}
+	if failed != 0 {
+		for _, pool := range t.data.pools {
+			if u := pool.Active(); u != nil && t.unitTouchesStripesOf(u, failed) {
+				return true
+			}
+		}
 	}
 	if t.delta != nil && t.delta.pending() {
 		return true

@@ -54,7 +54,10 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		for _, id := range v.OSDs {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
 		}
+		buf = binary.LittleEndian.AppendUint32(buf, v.PG)
 		return putString(buf, v.Err)
+	case *PGLookup:
+		return binary.LittleEndian.AppendUint32(buf, v.PG)
 	case *Heartbeat:
 		return binary.LittleEndian.AppendUint32(buf, uint32(v.From))
 	case *PutBlock:
@@ -146,7 +149,7 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		return putBytes(buf, v.Data)
 	case *Settle:
-		return buf
+		return binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
 	default:
 		panic(fmt.Sprintf("wire: cannot marshal %T", m))
 	}
@@ -249,8 +252,11 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 		for i := 0; i < n; i++ {
 			v.OSDs[i] = NodeID(r.u32())
 		}
+		v.PG = r.u32()
 		v.Err = r.str()
 		m = v
+	case TPGLookup:
+		m = &PGLookup{PG: r.u32()}
 	case THeartbeat:
 		m = &Heartbeat{From: NodeID(r.u32())}
 	case TPutBlock:
@@ -298,7 +304,7 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 	case TReplayUpdate:
 		m = &ReplayUpdate{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
 	case TSettle:
-		m = &Settle{}
+		m = &Settle{Failed: NodeID(r.u32())}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}

@@ -61,6 +61,7 @@ const (
 	TJournalFetch
 	TReplayUpdate
 	TSettle
+	TPGLookup
 )
 
 var typeNames = map[Type]string{
@@ -74,7 +75,7 @@ var typeNames = map[Type]string{
 	TReplicaResp: "ReplicaResp", TDegradedUpdate: "DegradedUpdate",
 	TDegradedRead: "DegradedRead", TJournalReplica: "JournalReplica",
 	TJournalFetch: "JournalFetch", TReplayUpdate: "ReplayUpdate",
-	TSettle: "Settle",
+	TSettle: "Settle", TPGLookup: "PGLookup",
 }
 
 func (t Type) String() string {
@@ -141,14 +142,26 @@ type Lookup struct {
 func (*Lookup) Type() Type       { return TLookup }
 func (*Lookup) PayloadSize() int { return 12 }
 
-// LookupResp carries the K+M block locations of a stripe.
+// LookupResp carries the K+M block locations of a stripe (or of a whole
+// placement group, when answering a PGLookup) plus the PG the MDS resolved
+// them through — the PG-aware address clients cache and cite in telemetry.
 type LookupResp struct {
 	OSDs []NodeID
+	PG   uint32
 	Err  string
 }
 
 func (*LookupResp) Type() Type         { return TLookupResp }
-func (l *LookupResp) PayloadSize() int { return 2 + 4*len(l.OSDs) + 2 + len(l.Err) }
+func (l *LookupResp) PayloadSize() int { return 2 + 4*len(l.OSDs) + 4 + 2 + len(l.Err) }
+
+// PGLookup asks the MDS for a placement group's member OSDs (slot order,
+// before per-stripe role rotation). Answered with a LookupResp.
+type PGLookup struct {
+	PG uint32
+}
+
+func (*PGLookup) Type() Type       { return TPGLookup }
+func (*PGLookup) PayloadSize() int { return 4 }
 
 // Heartbeat is the OSD -> MDS liveness beacon.
 type Heartbeat struct {
@@ -400,8 +413,12 @@ func (r *ReplayUpdate) PayloadSize() int { return 14 + 8 + 4 + len(r.Data) }
 // with minimal merging: every engine drains the log state whose effects are
 // already partially applied (delta/parity pipelines, lazy parity logs), but
 // replayable pure-overlay state — TSUE's active DataLog units, which are
-// replicated and replayed at recovery — is kept (§4.2).
-type Settle struct{}
+// replicated and replayed at recovery — is kept (§4.2), except state
+// touching the stripes of the Failed node (0 = none): those raw shards
+// feed reconstruction and must stay frozen through the degraded window.
+type Settle struct {
+	Failed NodeID
+}
 
 func (*Settle) Type() Type       { return TSettle }
-func (*Settle) PayloadSize() int { return 0 }
+func (*Settle) PayloadSize() int { return 4 }

@@ -16,7 +16,8 @@ func sampleMessages() []Msg {
 		&CreateFile{Name: "vol0", Stripes: 42},
 		&CreateResp{Ino: 7, Err: ""},
 		&Lookup{Ino: 9, Stripe: 3},
-		&LookupResp{OSDs: []NodeID{1, 2, 3, 4}, Err: ""},
+		&LookupResp{OSDs: []NodeID{1, 2, 3, 4}, PG: 17, Err: ""},
+		&PGLookup{PG: 9},
 		&Heartbeat{From: 11},
 		&PutBlock{Blk: BlockID{1, 2, 3}, Data: []byte{9, 8, 7}},
 		&ReadBlock{Blk: BlockID{1, 2, 3}, Off: 4096, Size: 512},
@@ -37,7 +38,7 @@ func sampleMessages() []Msg {
 		&JournalReplica{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7}},
 		&JournalFetch{Failed: 5},
 		&ReplayUpdate{Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{9, 9, 9}},
-		&Settle{},
+		&Settle{Failed: 3},
 	}
 }
 
