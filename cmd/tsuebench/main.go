@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,9 @@ func main() {
 	fileMB := flag.Int64("filemb", 0, "override working-set size (MiB)")
 	pgs := flag.String("pgs", "", "override the placement experiment's PG-count sweep (comma-separated, e.g. 2,16,128)")
 	files := flag.Int("files", 0, "override the placement experiment's file count")
+	addOSD := flag.Int("addosd", 0, "override how many OSDs the rebalance experiment adds online")
+	rebalanceRate := flag.Int64("rebalance-rate", -1, "rebalance copy throttle in MB/s (0 = unthrottled)")
+	jsonOut := flag.Bool("json", false, "also write machine-readable results to BENCH_<exp>.json")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -78,10 +82,59 @@ func main() {
 	if *files > 0 {
 		s.Files = *files
 	}
+	if *addOSD > 0 {
+		s.AddOSDs = *addOSD
+	}
+	if *rebalanceRate >= 0 {
+		s.RebalanceRateBps = *rebalanceRate << 20
+	}
+	if *jsonOut {
+		s.Sink = &harness.Sink{}
+	}
 	start := time.Now()
 	if err := fn(os.Stdout, s); err != nil {
 		fmt.Fprintf(os.Stderr, "tsuebench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n(%s scale, wall time %v)\n", *scale, time.Since(start).Round(time.Millisecond))
+	wall := time.Since(start)
+	if *jsonOut {
+		if err := writeJSON(*exp, *scale, s, wall); err != nil {
+			fmt.Fprintf(os.Stderr, "tsuebench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("\n(%s scale, wall time %v)\n", *scale, wall.Round(time.Millisecond))
+}
+
+// benchFile is the machine-readable result envelope: one BENCH_<exp>.json
+// per invocation, so successive runs of the same experiment can be diffed
+// into a perf trajectory.
+type benchFile struct {
+	Experiment string           `json:"experiment"`
+	Scale      string           `json:"scale"`
+	Ops        int              `json:"ops"`
+	FileMB     int64            `json:"file_mb"`
+	WallMs     int64            `json:"wall_ms"`
+	Metrics    []harness.Metric `json:"metrics"`
+}
+
+func writeJSON(exp, scale string, s harness.Scale, wall time.Duration) error {
+	out := benchFile{
+		Experiment: exp,
+		Scale:      scale,
+		Ops:        s.Ops,
+		FileMB:     s.FileMB,
+		WallMs:     wall.Milliseconds(),
+		Metrics:    s.Sink.Metrics,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("BENCH_%s.json", exp)
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\n(wrote %s: %d metrics)\n", path, len(out.Metrics))
+	return nil
 }

@@ -26,6 +26,10 @@ type Store struct {
 type entry struct {
 	slot int64
 	data []byte
+	// ver counts writes to the block (Put and WriteRange). Migration uses
+	// it to detect blocks dirtied between the bulk copy and the cutover
+	// fence, so only those pay a catch-up re-copy.
+	ver uint64
 }
 
 // New creates a store on dev with fixed blockSize.
@@ -71,8 +75,19 @@ func (s *Store) Put(p *sim.Proc, blk wire.BlockID, data []byte) error {
 		s.blocks[blk] = e
 	}
 	copy(e.data, data)
+	e.ver++
 	s.dev.Write(p, s.zone, s.offset(e, 0), s.blockSize, exists)
 	return nil
+}
+
+// Version returns the block's write counter (0 for absent blocks). Any
+// write — full-block Put or in-place WriteRange — bumps it.
+func (s *Store) Version(blk wire.BlockID) uint64 {
+	e, ok := s.blocks[blk]
+	if !ok {
+		return 0
+	}
+	return e.ver
 }
 
 // ReadRange reads [off, off+size) of blk, charging a device read at the
@@ -100,6 +115,7 @@ func (s *Store) WriteRange(p *sim.Proc, blk wire.BlockID, off int64, data []byte
 		return fmt.Errorf("blockstore: WriteRange %v [%d,%d) out of range", blk, off, off+int64(len(data)))
 	}
 	copy(e.data[off:], data)
+	e.ver++
 	s.dev.Write(p, s.zone, s.offset(e, off), int64(len(data)), true)
 	return nil
 }

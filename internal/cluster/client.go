@@ -14,6 +14,12 @@ import (
 type Client struct {
 	c  *Cluster
 	id wire.NodeID
+	// view is the placement-map epoch this client has learned. Requests
+	// carry the epoch the route was resolved under; when a PG has moved on
+	// (online rebalance cutover), the OSD bounces the request with a
+	// retryable stale-epoch error and the client refreshes the view from
+	// the MDS — the same fetch-newer-map loop Ceph clients run.
+	view uint64
 }
 
 // ID returns the client's node ID.
@@ -122,7 +128,8 @@ func (cl *Client) Update(p *sim.Proc, ino uint64, off int64, data []byte) error 
 }
 
 // updateBlock routes one block-local update, retrying through route
-// transitions (failure detection, degraded registration, cutover).
+// transitions (failure detection, degraded registration, recovery cutover,
+// rebalance cutover).
 func (cl *Client) updateBlock(p *sim.Proc, blk wire.BlockID, boff int64, data []byte) error {
 	for attempt := 0; ; attempt++ {
 		cl.c.waitGate(p)
@@ -135,8 +142,9 @@ func (cl *Client) updateBlock(p *sim.Proc, blk wire.BlockID, boff int64, data []
 			// Counted so recovery's fenceUpdates can wait out in-flight
 			// engine updates before a consistency barrier.
 			cl.c.updatesInFlight++
-			osds := cl.c.Placement(blk.StripeID())
-			resp, err = cl.c.Fabric.Call(p, cl.id, osds[blk.Index], &wire.Update{Blk: blk, Off: boff, Data: data})
+			osds, epoch := cl.c.ResolveView(blk.StripeID(), cl.view)
+			resp, err = cl.c.Fabric.Call(p, cl.id, osds[blk.Index],
+				&wire.Update{Blk: blk, Off: boff, Data: data, Epoch: epoch})
 			cl.c.updatesInFlight--
 			if cl.c.updatesInFlight == 0 {
 				cl.c.gateCond.Broadcast()
@@ -153,7 +161,11 @@ func (cl *Client) updateBlock(p *sim.Proc, blk wire.BlockID, boff int64, data []
 		if attempt >= routeRetries || !retryableRouteErr(err) {
 			return fmt.Errorf("update %v: %w", blk, err)
 		}
-		p.Sleep(routeRetryDelay)
+		if staleEpochErr(err) {
+			cl.refreshView(p, blk)
+		} else {
+			p.Sleep(routeRetryDelay)
+		}
 	}
 }
 
@@ -188,13 +200,21 @@ func (cl *Client) readBlock(p *sim.Proc, blk wire.BlockID, boff, n int64) ([]byt
 		var err error
 		if failed, surrogate, ok := cl.c.degradedRoute(blk.StripeID()); ok {
 			// Degraded reads wait out recovery's consistency fences; normal
-			// reads are never gated.
+			// reads are gated only by a rebalance cutover fence on their
+			// own PG (below).
 			cl.c.waitGate(p)
 			resp, err = cl.c.Fabric.Call(p, cl.id, surrogate,
 				&wire.DegradedRead{Failed: failed, Blk: blk, Off: boff, Size: int32(n)})
 		} else {
-			osds := cl.c.Placement(blk.StripeID())
-			resp, err = cl.c.Fabric.Call(p, cl.id, osds[blk.Index], &wire.ReadBlock{Blk: blk, Off: boff, Size: int32(n)})
+			// A read of a PG mid-cutover must not observe the window where
+			// overlay logs left the old home but have not landed at the
+			// new one; the fence is short (settle + catch-up + replay).
+			if cl.c.migrationFenced(blk) {
+				cl.c.waitGate(p)
+			}
+			osds, epoch := cl.c.ResolveView(blk.StripeID(), cl.view)
+			resp, err = cl.c.Fabric.Call(p, cl.id, osds[blk.Index],
+				&wire.ReadBlock{Blk: blk, Off: boff, Size: int32(n), Epoch: epoch})
 		}
 		if err == nil {
 			rr, ok := resp.(*wire.ReadResp)
@@ -209,7 +229,25 @@ func (cl *Client) readBlock(p *sim.Proc, blk wire.BlockID, boff, n int64) ([]byt
 		if attempt >= routeRetries || !retryableRouteErr(err) {
 			return nil, fmt.Errorf("read %v: %w", blk, err)
 		}
-		p.Sleep(routeRetryDelay)
+		if staleEpochErr(err) {
+			cl.refreshView(p, blk)
+		} else {
+			p.Sleep(routeRetryDelay)
+		}
+	}
+}
+
+// refreshView re-resolves the client's placement view from the MDS after a
+// stale-epoch bounce — one metadata round trip, after which ResolveView
+// routes through the newest map (and, mid-transition, the shipped per-PG
+// cutover state).
+func (cl *Client) refreshView(p *sim.Proc, blk wire.BlockID) {
+	resp, err := cl.c.Fabric.Call(p, cl.id, mdsID, &wire.Lookup{Ino: blk.Ino, Stripe: blk.Stripe})
+	if err != nil {
+		return // next attempt bounces again
+	}
+	if lr, ok := resp.(*wire.LookupResp); ok && lr.Err == "" && lr.Epoch > cl.view {
+		cl.view = lr.Epoch
 	}
 }
 

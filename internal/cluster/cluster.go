@@ -70,8 +70,13 @@ type Cluster struct {
 	OSDs   []*OSD
 
 	nextClient wire.NodeID
+	// byID indexes OSDs by node ID (IDs are no longer dense once expansion
+	// adds nodes above the client range).
+	byID map[wire.NodeID]*OSD
 	// remap overrides block placement after recovery moved a block.
 	remap map[wire.BlockID]wire.NodeID
+	// cutMu serializes PG cutover fences across concurrent migrations.
+	cutMu *sim.Resource
 
 	// degraded routes per failed node (see degraded.go); gateClosed fences
 	// client updates and degraded reads during recovery consistency windows;
@@ -98,8 +103,17 @@ const placementSeed = 0x75e5
 
 // New builds a cluster in a fresh simulation environment.
 func New(cfg Config) (*Cluster, error) {
+	if cfg.OSDs < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 OSD, got %d", cfg.OSDs)
+	}
 	if cfg.OSDs < cfg.K+cfg.M {
 		return nil, fmt.Errorf("cluster: %d OSDs cannot host RS(%d,%d) stripes", cfg.OSDs, cfg.K, cfg.M)
+	}
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("cluster: block size must be positive, got %d", cfg.BlockSize)
+	}
+	if cfg.PGs < 0 {
+		return nil, fmt.Errorf("cluster: PG count must not be negative, got %d", cfg.PGs)
 	}
 	code, err := rs.New(cfg.K, cfg.M, cfg.MatrixKind)
 	if err != nil {
@@ -125,17 +139,20 @@ func New(cfg Config) (*Cluster, error) {
 		Fabric:     netsim.New(env, cfg.NetParams),
 		Cfg:        cfg,
 		Code:       code,
+		byID:       make(map[wire.NodeID]*OSD),
 		remap:      make(map[wire.BlockID]wire.NodeID),
 		degraded:   make(map[wire.NodeID]*degradedState),
 		gateCond:   sim.NewCond(env),
 		nextClient: wire.NodeID(cfg.OSDs + 1),
 	}
+	c.cutMu = env.NewResource("cutover-mu", 1)
 	c.MDS = newMDS(c, pmap)
 	c.Fabric.AddNode(mdsID, c.MDS.handle)
 	for i := 0; i < cfg.OSDs; i++ {
 		id := wire.NodeID(i + 1)
 		osd := newOSD(c, id)
 		c.OSDs = append(c.OSDs, osd)
+		c.byID[id] = osd
 		c.Fabric.AddNode(id, osd.handle)
 	}
 	// Engines spawn background recyclers, so they are created after the
@@ -174,15 +191,12 @@ func (c *Cluster) osdIDs() []wire.NodeID {
 }
 
 // OSDByID returns the OSD with the given node ID.
-func (c *Cluster) OSDByID(id wire.NodeID) *OSD { return c.OSDs[int(id)-1] }
+func (c *Cluster) OSDByID(id wire.NodeID) *OSD { return c.byID[id] }
 
-// Placement returns the K+M OSD node IDs hosting a stripe, block i at
-// element i, resolved through the MDS-owned placement map: (file, stripe)
-// hashes to a placement group, the PG's straw-selected members host the
-// blocks, and per-stripe role rotation spreads the parity indices across
-// the group. Recovery remaps take precedence.
-func (c *Cluster) Placement(s wire.StripeID) []wire.NodeID {
-	out, err := c.MDS.place.Place(s, nil)
+// placeUnder resolves a stripe's hosts under the given epoch's map with
+// recovery remaps overlaid (remaps are physical truth, valid in any view).
+func (c *Cluster) placeUnder(s wire.StripeID, epoch uint64) []wire.NodeID {
+	out, err := c.MDS.epochs.At(epoch).Place(s, nil)
 	if err != nil {
 		// Unreachable: New validates Width <= OSDs and a nil liveness view
 		// cannot exhaust candidates.
@@ -197,8 +211,79 @@ func (c *Cluster) Placement(s wire.StripeID) []wire.NodeID {
 	return out
 }
 
-// PG returns the placement group a stripe hashes to.
-func (c *Cluster) PG(s wire.StripeID) int { return c.MDS.place.PGOf(s) }
+// Placement returns the K+M OSD node IDs hosting a stripe, block i at
+// element i, resolved through the MDS-owned placement map: (file, stripe)
+// hashes to a placement group, the PG's straw-selected members host the
+// blocks, and per-stripe role rotation spreads the parity indices across
+// the group. During a rebalance transition the PG's authoritative epoch
+// decides which map applies; recovery remaps take precedence either way.
+func (c *Cluster) Placement(s wire.StripeID) []wire.NodeID {
+	return c.placeUnder(s, c.MDS.authEpochOf(s))
+}
+
+// ResolveView resolves a stripe's placement as a client holding map view
+// `view` would, returning the hosts and the epoch tag to carry on the
+// request. Clients at the staged epoch resolve per PG through the cutover
+// set (the MDS ships incremental PG flips with the map, as Ceph does with
+// OSDMap incrementals); older clients resolve under their stale map and
+// carry its epoch tag, which OSDs bounce with ErrStaleEpoch once the PG
+// has moved on.
+func (c *Cluster) ResolveView(s wire.StripeID, view uint64) ([]wire.NodeID, uint64) {
+	m := c.MDS
+	if newest := m.view(); view > newest {
+		view = newest
+	}
+	ep := view
+	if t := m.trans; t != nil && view >= t.next {
+		ep = m.authEpochOf(s)
+	} else if view > m.committed {
+		ep = m.committed
+	}
+	return c.placeUnder(s, ep), ep
+}
+
+// epochOK reports whether a request tagged with the given epoch may touch
+// the block: its routing view must match the block's PG's authoritative
+// epoch exactly (older = routed by a retired map, newer = routed ahead of
+// the PG's cutover).
+func (c *Cluster) epochOK(blk wire.BlockID, epoch uint64) bool {
+	return epoch == c.MDS.authEpochOf(blk.StripeID())
+}
+
+// migrationFenced reports whether the block's (staged-epoch) PG is inside
+// a cutover fence right now — the window where its overlay logs are being
+// extracted and replayed at the new homes, which reads must wait out.
+func (c *Cluster) migrationFenced(blk wire.BlockID) bool {
+	t := c.MDS.trans
+	return t != nil && t.fencing[c.MDS.epochs.At(t.next).PGOf(blk.StripeID())]
+}
+
+// PG returns the placement group a stripe hashes to under the committed
+// map.
+func (c *Cluster) PG(s wire.StripeID) int { return c.MDS.PlacementMap().PGOf(s) }
+
+// AddOSDNode creates and wires a brand-new OSD — fabric node, device,
+// block store, update engine, heartbeat — WITHOUT putting it on the
+// placement map: staging the epoch that adopts it is the rebalance
+// engine's job (Expand). The node ID is allocated above every existing
+// node, so OSD IDs are no longer dense once a cluster has grown.
+func (c *Cluster) AddOSDNode() (*OSD, error) {
+	id := c.nextClient
+	c.nextClient++
+	osd := newOSD(c, id)
+	eng, err := update.New(c.Cfg.Engine, osd, c.Cfg.EngineOpts)
+	if err != nil {
+		return nil, err
+	}
+	osd.engine = eng
+	c.OSDs = append(c.OSDs, osd)
+	c.byID[id] = osd
+	c.Fabric.AddNode(id, osd.handle)
+	if c.Cfg.HeartbeatInterval > 0 {
+		osd.startHeartbeat(c.Cfg.HeartbeatInterval)
+	}
+	return osd, nil
+}
 
 // StripeWidth returns bytes of file data per stripe.
 func (c *Cluster) StripeWidth() int64 { return int64(c.Cfg.K) * c.Cfg.BlockSize }

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigValidation pins cluster.New's input checks: nonsensical sizes
+// and counts fail with a clear error instead of a downstream panic.
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero OSDs", func(c *Config) { c.OSDs = 0 }, "OSD"},
+		{"too few OSDs", func(c *Config) { c.OSDs = c.K + c.M - 1 }, "cannot host"},
+		{"zero block size", func(c *Config) { c.BlockSize = 0 }, "block size"},
+		{"negative block size", func(c *Config) { c.BlockSize = -4096 }, "block size"},
+		{"negative PGs", func(c *Config) { c.PGs = -1 }, "PG count"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		_, err := New(cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// The documented zero-PGs default (8 per OSD) still applies.
+	cfg := DefaultConfig()
+	cfg.PGs = 0
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Env.Close()
+	if got := c.MDS.PlacementMap().Config().PGs; got != 8*cfg.OSDs {
+		t.Fatalf("zero-PGs default = %d, want %d", got, 8*cfg.OSDs)
+	}
+}

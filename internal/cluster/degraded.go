@@ -38,14 +38,36 @@ import (
 // re-resolves and retries on the normal path.
 const errDegradedGone = "cluster: degraded route gone"
 
+// errStaleEpoch is the retryable error OSDs return for a request routed
+// under a placement-map view that no longer matches the block's PG's
+// authoritative epoch; the client refreshes its view from the MDS and
+// retries against the re-resolved home.
+const errStaleEpoch = "cluster: stale placement epoch"
+
+// errMigrating is the retryable error OSDs return for a read that arrives
+// inside its PG's cutover fence — the window where overlay logs have been
+// extracted from the old home but not yet replayed at the new one. The
+// client waits out the fence and retries.
+const errMigrating = "cluster: pg cutover in progress"
+
 // retryableRouteErr reports whether a client op failed only because its
-// route is mid-transition (node just failed, registration in flight, or
-// cutover just completed) and should be retried after a short wait. Errors
-// cross OSD hops as Ack strings, so this matches substrings rather than
-// wrapped error values.
+// route is mid-transition (node just failed, registration in flight,
+// degraded or epoch cutover just completed, or a PG cutover fence) and
+// should be retried after a short wait. Errors cross OSD hops as Ack
+// strings, so this matches substrings rather than wrapped error values.
 func retryableRouteErr(err error) bool {
 	s := err.Error()
-	return strings.Contains(s, netsim.ErrNodeDown.Error()) || strings.Contains(s, errDegradedGone)
+	return strings.Contains(s, netsim.ErrNodeDown.Error()) ||
+		strings.Contains(s, errDegradedGone) ||
+		strings.Contains(s, errStaleEpoch) ||
+		strings.Contains(s, errMigrating)
+}
+
+// staleEpochErr reports whether the failure was a stale-epoch bounce
+// specifically — the one retryable class where the client must refresh its
+// map view before retrying, not merely wait.
+func staleEpochErr(err error) bool {
+	return strings.Contains(err.Error(), errStaleEpoch)
 }
 
 // degradedState tracks one failed OSD served in degraded mode. Surrogates
@@ -171,7 +193,7 @@ func (c *Cluster) registerDegraded(p *sim.Proc, failed wire.NodeID, via *Client)
 		lost:    make(map[wire.BlockID]bool),
 	}
 	dead := func(id wire.NodeID) bool { return c.Fabric.Down(id) }
-	pmap := c.MDS.place
+	pmap := c.MDS.PlacementMap()
 	seen := make(map[wire.NodeID]bool)
 	// store.Blocks is sorted, so surrogate discovery order — and with it
 	// st.surrogates and the cutover's drain order — is deterministic.
@@ -335,7 +357,10 @@ func (o *OSD) handleDegradedRead(p *sim.Proc, v *wire.DegradedRead) wire.Msg {
 	} else {
 		var resp wire.Msg
 		home := o.c.Placement(v.Blk.StripeID())[v.Blk.Index]
-		resp, err = o.Call(p, home, &wire.ReadBlock{Blk: v.Blk, Off: v.Off, Size: v.Size})
+		resp, err = o.Call(p, home, &wire.ReadBlock{
+			Blk: v.Blk, Off: v.Off, Size: v.Size,
+			Epoch: o.c.MDS.authEpochOf(v.Blk.StripeID()),
+		})
 		if err == nil {
 			rr, ok := resp.(*wire.ReadResp)
 			if !ok || rr.Err != "" {

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+	"sort"
 	"time"
 
 	"tsue/internal/placement"
@@ -9,21 +11,41 @@ import (
 )
 
 // MDS is the metadata server: file namespace, the placement authority (it
-// owns the CRUSH-like placement map clients and OSDs resolve stripe homes
-// through), heartbeat tracking, and recovery orchestration (§4).
+// owns the epoch chain of CRUSH-like placement maps that clients and OSDs
+// resolve stripe homes through), heartbeat tracking, and recovery
+// orchestration (§4). During an online rebalance the MDS also owns the
+// transition state: which staged-epoch PGs have cut over to their new
+// homes, and which are inside a cutover fence right now.
 type MDS struct {
-	c        *Cluster
-	place    *placement.Map
+	c      *Cluster
+	epochs *placement.Epochs
+	// committed is the epoch every PG resolves under outside a transition;
+	// during one, PGs flip from committed to trans.next as they cut over.
+	committed uint64
+	// trans is the in-flight transition (nil when none).
+	trans    *transition
 	nextIno  uint64
 	byName   map[string]uint64
 	files    map[uint64]*fileMeta
 	lastBeat map[wire.NodeID]time.Duration
 }
 
+// transition tracks one staged epoch mid-migration. Indexed by staged-epoch
+// PG id (the cutover unit).
+type transition struct {
+	next    uint64
+	cutover map[int]bool
+	// fencing marks PGs whose cutover fence is active: client reads of
+	// their blocks bounce (retryable) instead of observing the window where
+	// overlay logs have been extracted but not yet replayed at the new
+	// homes.
+	fencing map[int]bool
+}
+
 func newMDS(c *Cluster, place *placement.Map) *MDS {
 	return &MDS{
 		c:        c,
-		place:    place,
+		epochs:   placement.NewEpochs(place),
 		nextIno:  1,
 		byName:   make(map[string]uint64),
 		files:    make(map[uint64]*fileMeta),
@@ -31,9 +53,52 @@ func newMDS(c *Cluster, place *placement.Map) *MDS {
 	}
 }
 
-// PlacementMap exposes the MDS-owned placement map (read-only authority for
-// recovery targeting, degraded surrogate selection, and tests).
-func (m *MDS) PlacementMap() *placement.Map { return m.place }
+// PlacementMap exposes the committed placement map (read-only authority for
+// recovery targeting, degraded surrogate selection, and tests). Recovery
+// and transitions are mutually exclusive, so within a degraded window the
+// committed map is THE map.
+func (m *MDS) PlacementMap() *placement.Map { return m.epochs.At(m.committed) }
+
+// Epochs exposes the epoch chain (rebalance planning, tests).
+func (m *MDS) Epochs() *placement.Epochs { return m.epochs }
+
+// CommittedEpoch returns the committed epoch number.
+func (m *MDS) CommittedEpoch() uint64 { return m.committed }
+
+// view returns the newest map version a client can learn from the MDS: the
+// staged epoch during a transition, else the committed one.
+func (m *MDS) view() uint64 {
+	if m.trans != nil {
+		return m.trans.next
+	}
+	return m.committed
+}
+
+// authEpochOf returns the authoritative epoch of the stripe's PG: the
+// staged epoch once the PG has cut over, the committed epoch before.
+func (m *MDS) authEpochOf(s wire.StripeID) uint64 {
+	if t := m.trans; t != nil && t.cutover[m.epochs.At(t.next).PGOf(s)] {
+		return t.next
+	}
+	return m.committed
+}
+
+// allStripes enumerates every stripe of every file in deterministic order —
+// the population a transition's diff and minimal-remap bound cover.
+func (m *MDS) allStripes() []wire.StripeID {
+	inos := make([]uint64, 0, len(m.files))
+	for ino := range m.files {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	var out []wire.StripeID
+	for _, ino := range inos {
+		for s := uint32(0); s < m.files[ino].stripes; s++ {
+			out = append(out, wire.StripeID{Ino: ino, Stripe: s})
+		}
+	}
+	return out
+}
 
 func (m *MDS) handle(p *sim.Proc, from wire.NodeID, msg wire.Msg) wire.Msg {
 	switch v := msg.(type) {
@@ -53,20 +118,65 @@ func (m *MDS) handle(p *sim.Proc, from wire.NodeID, msg wire.Msg) wire.Msg {
 		}
 		sid := wire.StripeID{Ino: v.Ino, Stripe: v.Stripe}
 		return &wire.LookupResp{
-			OSDs: m.c.Placement(sid),
-			PG:   uint32(m.place.PGOf(sid)),
+			OSDs:  m.c.Placement(sid),
+			PG:    uint32(m.PlacementMap().PGOf(sid)),
+			Epoch: m.view(),
 		}
 	case *wire.PGLookup:
-		mem, err := m.place.Members(int(v.PG), nil)
+		mem, err := m.PlacementMap().Members(int(v.PG), nil)
 		if err != nil {
 			return &wire.LookupResp{Err: err.Error()}
 		}
-		return &wire.LookupResp{OSDs: mem, PG: v.PG}
+		return &wire.LookupResp{OSDs: mem, PG: v.PG, Epoch: m.view()}
+	case *wire.EpochUpdate:
+		return m.handleEpochUpdate(v)
+	case *wire.PGCutover:
+		t := m.trans
+		if t == nil || v.Epoch != t.next {
+			return &wire.Ack{Err: fmt.Sprintf("mds: cutover for epoch %d outside transition", v.Epoch)}
+		}
+		t.cutover[int(v.PG)] = true
+		return wire.OK
 	case *wire.Heartbeat:
 		m.lastBeat[v.From] = p.Now()
 		return wire.OK
 	}
 	return &wire.Ack{Err: "mds: unhandled message " + msg.Type().String()}
+}
+
+// handleEpochUpdate stages or commits a placement epoch. One transition at
+// a time: staging while another is in flight is refused, as is committing
+// with none.
+func (m *MDS) handleEpochUpdate(v *wire.EpochUpdate) wire.Msg {
+	switch v.Kind {
+	case wire.EpochCommit:
+		if m.trans == nil {
+			return &wire.EpochResp{Err: "mds: no transition to commit"}
+		}
+		m.committed = m.trans.next
+		m.trans = nil
+		return &wire.EpochResp{Epoch: m.committed}
+	case wire.EpochStageAddOSD, wire.EpochStageRemoveOSD, wire.EpochStageSplitPGs:
+		if m.trans != nil {
+			return &wire.EpochResp{Err: fmt.Sprintf("mds: transition to epoch %d already in flight", m.trans.next)}
+		}
+		var next uint64
+		var err error
+		switch v.Kind {
+		case wire.EpochStageAddOSD:
+			next, err = m.epochs.AddOSD(v.OSD)
+		case wire.EpochStageRemoveOSD:
+			next, err = m.epochs.RemoveOSD(v.OSD)
+		case wire.EpochStageSplitPGs:
+			next, err = m.epochs.SplitPGs(int(v.Factor))
+		}
+		if err != nil {
+			return &wire.EpochResp{Err: err.Error()}
+		}
+		m.trans = &transition{next: next, cutover: make(map[int]bool), fencing: make(map[int]bool)}
+		return &wire.EpochResp{Epoch: next}
+	}
+	return &wire.EpochResp{Err: fmt.Sprintf("mds: unknown epoch op %d", v.Kind)}
 }
 
 // DeadOSDs returns OSDs whose last heartbeat is older than timeout at the

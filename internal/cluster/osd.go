@@ -100,8 +100,19 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 		var buf []byte
 		var err error
 		if v.Raw {
+			// Server-internal path (recovery fan-in, block migration):
+			// exempt from routing checks by design.
 			buf, err = o.store.ReadRange(p, v.Blk, v.Off, int64(v.Size))
 		} else {
+			// A read that raced into a cutover fence must not observe the
+			// extract-replay gap; one that raced past a finished cutover
+			// must re-resolve.
+			if o.c.migrationFenced(v.Blk) {
+				return &wire.ReadResp{Err: errMigrating}
+			}
+			if !o.c.epochOK(v.Blk, v.Epoch) {
+				return &wire.ReadResp{Err: errStaleEpoch}
+			}
 			buf, err = o.engine.Read(p, v.Blk, v.Off, int64(v.Size))
 		}
 		if err != nil {
@@ -109,6 +120,9 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 		}
 		return &wire.ReadResp{Data: buf}
 	case *wire.Update:
+		if !o.c.epochOK(v.Blk, v.Epoch) {
+			return &wire.Ack{Err: errStaleEpoch}
+		}
 		if err := o.engine.Update(p, v.Blk, v.Off, v.Data); err != nil {
 			return &wire.Ack{Err: err.Error()}
 		}
@@ -145,12 +159,64 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 		return wire.OK
 	case *wire.JournalFetch:
 		return o.handleJournalFetch(p, v)
+	case *wire.MigrateBlock:
+		return o.handleMigrateBlock(p, v)
+	case *wire.MigrateLog:
+		return o.handleMigrateLog(p, v)
 	default:
 		if resp, handled := o.engine.Handle(p, from, m); handled {
 			return resp
 		}
 		return &wire.Ack{Err: fmt.Sprintf("osd %d: unhandled message %v", o.id, m.Type())}
 	}
+}
+
+// handleMigrateBlock runs at a migrating block's NEW home: pull the raw
+// block from its old home and store it locally. Raw is correct by
+// contract with the migration engine — either the old home's logs were
+// settled under the fence before the authoritative copy, or a catch-up
+// re-copy and a log replay follow.
+func (o *OSD) handleMigrateBlock(p *sim.Proc, v *wire.MigrateBlock) wire.Msg {
+	resp, err := o.Call(p, v.From, &wire.ReadBlock{
+		Blk: v.Blk, Off: 0, Size: int32(o.c.Cfg.BlockSize), Raw: true,
+	})
+	if err != nil {
+		return &wire.Ack{Err: fmt.Sprintf("migrate pull %v from %d: %v", v.Blk, v.From, err)}
+	}
+	rr, ok := resp.(*wire.ReadResp)
+	if !ok || rr.Err != "" {
+		return &wire.Ack{Err: fmt.Sprintf("migrate pull %v from %d: %v", v.Blk, v.From, resp)}
+	}
+	if err := o.store.Put(p, v.Blk, rr.Data); err != nil {
+		return &wire.Ack{Err: err.Error()}
+	}
+	return wire.OK
+}
+
+// handleMigrateLog runs at a migrating block's OLD home: extract the
+// replayable pure-overlay log records still held for the block (TSUE's
+// active DataLog items; in-place engines have none — they drained at the
+// settle barrier) and retire their reliability replicas cluster-wide, so a
+// later failure of this node cannot replay pre-migration state over the
+// block's new home. The records return to the migration engine, which
+// replays them at the new home.
+func (o *OSD) handleMigrateLog(p *sim.Proc, v *wire.MigrateLog) wire.Msg {
+	lm, ok := o.engine.(update.LogMigrator)
+	if !ok {
+		return &wire.ReplicaResp{}
+	}
+	items := lm.ExtractBlockLog(p, v.Blk)
+	if len(items) > 0 {
+		for _, peer := range o.c.osdIDs() {
+			if peer == o.id || o.c.Fabric.Down(peer) {
+				continue
+			}
+			// Best effort: a holder that is already gone has nothing to
+			// retire anyway.
+			_, _ = o.Call(p, peer, &wire.ReplicaRetire{Node: o.id, Blk: v.Blk})
+		}
+	}
+	return &wire.ReplicaResp{Items: items}
 }
 
 // readSurvivingShards reads [off, off+size) of the first K live shards of

@@ -1,0 +1,292 @@
+package cluster
+
+// Online rebalance: the cluster-side mechanics under internal/rebalance's
+// scheduler. A placement transition migrates each affected PG in three
+// phases:
+//
+//  1. Bulk copy, foreground flowing: the new home pulls each moving
+//     block's raw bytes (wire.MigrateBlock), paced by the shared throttle.
+//     The source's per-block write version is recorded first, so anything
+//     dirtied afterwards is caught below.
+//  2. Fenced cutover (serialized cluster-wide): close the update gate,
+//     settle engines (in-place schemes drain their whole log debt — the
+//     paper's recovery-consistency argument applied to migration; TSUE
+//     keeps its replayable active DataLog), re-copy blocks whose raw
+//     content changed since phase 1, then extract the pure-overlay log
+//     records of the moving blocks from their old homes
+//     (wire.MigrateLog).
+//  3. Flip the PG at the MDS (wire.PGCutover) and replay the extracted
+//     records into the new homes through the engines' replay hook — the
+//     log follows the block. Old copies, stale recovery remaps and
+//     per-stripe engine baselines are retired, the fence opens, and
+//     stale-epoch clients bounce once to re-resolve.
+//
+// Recovery and rebalance are mutually exclusive: Expand refuses while any
+// node is degraded and Recover refuses during a transition.
+
+import (
+	"fmt"
+
+	"tsue/internal/placement"
+	"tsue/internal/rebalance"
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// Expand grows the cluster by one OSD online: it wires a fresh node into
+// the fabric, stages the adopting placement epoch at the MDS, migrates
+// every moving PG under the rebalance scheduler, and commits the epoch.
+// Foreground I/O keeps flowing except inside each PG's brief cutover
+// fence. It returns the migration report and the new OSD's node ID.
+//
+// Error contract: a failure mid-migration leaves the cluster stuck in the
+// transition — the staged epoch stays, the new node stays wired, and both
+// Recover and further Expands refuse. Like the engines' internal pipeline
+// invariants (which panic), a failed migration is fatal to the run: the
+// cluster must be discarded. Aborting/rolling back a partially cut-over
+// transition is future work (ROADMAP: rebalance × failure composition).
+func (c *Cluster) Expand(p *sim.Proc, via *Client, rcfg rebalance.Config) (*rebalance.Report, wire.NodeID, error) {
+	if len(c.degraded) > 0 {
+		return nil, 0, fmt.Errorf("cluster: cannot expand while a node is degraded")
+	}
+	if t := c.MDS.trans; t != nil {
+		return nil, 0, fmt.Errorf("cluster: placement transition to epoch %d already in flight", t.next)
+	}
+	osd, err := c.AddOSDNode()
+	if err != nil {
+		return nil, 0, err
+	}
+	next, err := c.stageEpoch(p, via, &wire.EpochUpdate{Kind: wire.EpochStageAddOSD, OSD: osd.id})
+	if err != nil {
+		return nil, osd.id, err
+	}
+	rep, err := c.migrate(p, via, next, rcfg)
+	if err != nil {
+		return nil, osd.id, err
+	}
+	return rep, osd.id, nil
+}
+
+// SplitPGs re-epochs the cluster with factor× the placement groups — a
+// movement-free transition (child PGs inherit their parents' members) that
+// buys finer granularity for later expansions. It still runs the full
+// stage→migrate→commit protocol so epoch bookkeeping and client views
+// advance uniformly.
+func (c *Cluster) SplitPGs(p *sim.Proc, via *Client, factor int, rcfg rebalance.Config) (*rebalance.Report, error) {
+	if len(c.degraded) > 0 {
+		return nil, fmt.Errorf("cluster: cannot re-epoch while a node is degraded")
+	}
+	if t := c.MDS.trans; t != nil {
+		return nil, fmt.Errorf("cluster: placement transition to epoch %d already in flight", t.next)
+	}
+	next, err := c.stageEpoch(p, via, &wire.EpochUpdate{Kind: wire.EpochStageSplitPGs, Factor: uint32(factor)})
+	if err != nil {
+		return nil, err
+	}
+	return c.migrate(p, via, next, rcfg)
+}
+
+// stageEpoch sends the staging request to the MDS and returns the staged
+// epoch number.
+func (c *Cluster) stageEpoch(p *sim.Proc, via *Client, req *wire.EpochUpdate) (uint64, error) {
+	resp, err := c.Fabric.Call(p, via.id, mdsID, req)
+	if err != nil {
+		return 0, err
+	}
+	er, ok := resp.(*wire.EpochResp)
+	if !ok {
+		return 0, fmt.Errorf("cluster: stage epoch: unexpected response %T", resp)
+	}
+	if er.Err != "" {
+		return 0, fmt.Errorf("cluster: stage epoch: %s", er.Err)
+	}
+	return er.Epoch, nil
+}
+
+// migrate plans and executes the committed→next migration, then commits
+// the epoch at the MDS.
+func (c *Cluster) migrate(p *sim.Proc, via *Client, next uint64, rcfg rebalance.Config) (*rebalance.Report, error) {
+	m := c.MDS
+	stripes := m.allStripes()
+	moves := placement.Diff(m.epochs.At(next-1), m.epochs.At(next), stripes)
+	// Overlay physical remaps from past recoveries: a block's true source
+	// is wherever it lives now, and a move whose destination already hosts
+	// it is a no-op.
+	kept := moves[:0]
+	for _, mv := range moves {
+		if over, ok := c.remap[mv.Blk]; ok {
+			mv.From = over
+		}
+		if mv.From != mv.To {
+			kept = append(kept, mv)
+		}
+	}
+	plan := rebalance.BuildPlan(next-1, next, kept, m.epochs.MinimalBound(next, stripes))
+	rep, err := rebalance.Run(c.Env, p, plan, rcfg, &pgMover{c: c, via: via})
+	if err != nil {
+		// No rollback: extracted overlay may already be gone from old homes
+		// and some PGs already cut over. See Expand's error contract.
+		return nil, fmt.Errorf("cluster: migration to epoch %d failed mid-transition (cluster must be discarded): %w", next, err)
+	}
+	// Commit: every moving PG has cut over; the remaining PGs' placement is
+	// identical under both maps (or they hold no blocks), so the flip needs
+	// no fence. In-flight requests tagged with the retiring epoch bounce
+	// once and re-resolve.
+	resp, err := c.Fabric.Call(p, via.id, mdsID, &wire.EpochUpdate{Kind: wire.EpochCommit})
+	if err != nil {
+		return nil, err
+	}
+	if er, ok := resp.(*wire.EpochResp); !ok || er.Err != "" {
+		return nil, fmt.Errorf("cluster: commit epoch: %v", resp)
+	}
+	return rep, nil
+}
+
+// pgMover is the cluster's rebalance.Mover.
+type pgMover struct {
+	c   *Cluster
+	via *Client
+}
+
+// MigratePG migrates one PG's moving blocks end to end (see the package
+// comment for the phase protocol).
+func (pm *pgMover) MigratePG(p *sim.Proc, pg rebalance.PGMoves, th *rebalance.Throttle) (rebalance.PGResult, error) {
+	c := pm.c
+	res := rebalance.PGResult{PG: pg.PG}
+	blockSize := c.Cfg.BlockSize
+
+	// Phase 1: throttled bulk copy with foreground I/O flowing. Versions
+	// are read immediately before each pull so any later write is caught by
+	// the fenced catch-up.
+	vers := make([]uint64, len(pg.Moves))
+	for i, mv := range pg.Moves {
+		th.Take(p, blockSize)
+		vers[i] = c.OSDByID(mv.From).store.Version(mv.Blk)
+		if err := pm.copyBlock(p, mv); err != nil {
+			return res, err
+		}
+		res.CopiedBlocks++
+		res.CopiedBytes += blockSize
+	}
+
+	// Phase 2+3: fenced cutover, serialized across concurrent migrations.
+	c.cutMu.Acquire(p)
+	defer c.cutMu.Release()
+	stallStart := p.Now()
+	c.fenceUpdates(p)
+	t := c.MDS.trans
+	t.fencing[pg.PG] = true
+	err := pm.cutoverLocked(p, pg, vers, &res)
+	t.fencing[pg.PG] = false
+	c.openGate()
+	res.Stall = p.Now() - stallStart
+	return res, err
+}
+
+// cutoverLocked runs the fenced part of a PG migration: settle, catch-up
+// re-copy, overlay extraction, MDS cutover, replay, retirement. The caller
+// holds the cutover mutex and the closed update gate.
+func (pm *pgMover) cutoverLocked(p *sim.Proc, pg rebalance.PGMoves, vers []uint64, res *rebalance.PGResult) error {
+	c := pm.c
+	// Settle: bring raw shards to stripe consistency with minimal merging.
+	// In-place engines drain their whole debt here (the "in-place schemes
+	// drain" half of the cutover); TSUE retains its replayable overlay.
+	if err := c.SettleAll(p, pm.via, 0); err != nil {
+		return err
+	}
+	// Catch-up: re-copy blocks whose raw bytes changed since phase 1 —
+	// foreground RMWs for in-place engines, recycle/settle-applied log
+	// merges for log-structured ones.
+	for i, mv := range pg.Moves {
+		if c.OSDByID(mv.From).store.Version(mv.Blk) == vers[i] {
+			continue
+		}
+		if err := pm.copyBlock(p, mv); err != nil {
+			return err
+		}
+		res.RecopiedBlocks++
+		res.CopiedBytes += c.Cfg.BlockSize
+	}
+	// Extract the moving blocks' replayable overlay records from their old
+	// homes (empty for in-place engines). Reads of this PG are fenced, so
+	// the extract→replay gap is unobservable.
+	items := make([][]wire.ReplicaItem, len(pg.Moves))
+	for i, mv := range pg.Moves {
+		got, err := pm.extractLog(p, mv)
+		if err != nil {
+			return err
+		}
+		items[i] = got
+	}
+	// Flip the PG: from here the new homes are authoritative, so the
+	// replays below route (and their engines' later recycles resolve)
+	// under the new map.
+	if err := pm.cutover(p, pg.PG); err != nil {
+		return err
+	}
+	for i, mv := range pg.Moves {
+		for _, it := range items[i] {
+			if err := pm.replay(p, mv.To, it); err != nil {
+				return err
+			}
+			res.ReplayedItems++
+			res.ReplayedBytes += int64(len(it.Data))
+		}
+	}
+	// Retire the old copies, stale recovery remaps, and per-stripe engine
+	// baselines (PARIX's orig coverage) the move invalidated. Control-plane
+	// metadata; the FTL sees the dropped blocks as trimmed space.
+	blks := make([]wire.BlockID, 0, len(pg.Moves))
+	for _, mv := range pg.Moves {
+		c.OSDByID(mv.From).store.Delete(mv.Blk)
+		delete(c.remap, mv.Blk)
+		blks = append(blks, mv.Blk)
+	}
+	c.resetStripeState(blks)
+	return nil
+}
+
+func (pm *pgMover) copyBlock(p *sim.Proc, mv placement.Move) error {
+	resp, err := pm.c.Fabric.Call(p, pm.via.id, mv.To, &wire.MigrateBlock{Blk: mv.Blk, From: mv.From})
+	if err != nil {
+		return fmt.Errorf("migrate copy %v: %w", mv.Blk, err)
+	}
+	if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+		return fmt.Errorf("migrate copy %v: %s", mv.Blk, a.Err)
+	}
+	return nil
+}
+
+func (pm *pgMover) extractLog(p *sim.Proc, mv placement.Move) ([]wire.ReplicaItem, error) {
+	resp, err := pm.c.Fabric.Call(p, pm.via.id, mv.From, &wire.MigrateLog{Blk: mv.Blk})
+	if err != nil {
+		return nil, fmt.Errorf("migrate log %v: %w", mv.Blk, err)
+	}
+	rr, ok := resp.(*wire.ReplicaResp)
+	if !ok {
+		return nil, fmt.Errorf("migrate log %v: unexpected response %T", mv.Blk, resp)
+	}
+	return rr.Items, nil
+}
+
+func (pm *pgMover) replay(p *sim.Proc, to wire.NodeID, it wire.ReplicaItem) error {
+	resp, err := pm.c.Fabric.Call(p, pm.via.id, to, &wire.ReplayUpdate{Blk: it.Blk, Off: it.Off, Data: it.Data})
+	if err != nil {
+		return fmt.Errorf("migrate replay %v: %w", it.Blk, err)
+	}
+	if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+		return fmt.Errorf("migrate replay %v: %s", it.Blk, a.Err)
+	}
+	return nil
+}
+
+func (pm *pgMover) cutover(p *sim.Proc, pg int) error {
+	resp, err := pm.c.Fabric.Call(p, pm.via.id, mdsID, &wire.PGCutover{PG: uint32(pg), Epoch: pm.c.MDS.trans.next})
+	if err != nil {
+		return fmt.Errorf("pg %d cutover: %w", pg, err)
+	}
+	if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+		return fmt.Errorf("pg %d cutover: %s", pg, a.Err)
+	}
+	return nil
+}

@@ -97,6 +97,13 @@ type RecoveryReport struct {
 // unrecycled updates and any degraded-mode journal merged back through the
 // engines, so a subsequent drain + scrub is byte-exact.
 func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode RecoverMode, via *Client) (*RecoveryReport, error) {
+	if t := c.MDS.trans; t != nil {
+		// Failure handling and online rebalance are mutually exclusive
+		// control-plane operations (Expand refuses symmetrically): recovery
+		// targets, surrogate selection and the settle barrier all assume one
+		// authoritative map.
+		return nil, fmt.Errorf("cluster: cannot recover node %d during placement transition to epoch %d", failed, t.next)
+	}
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -228,7 +235,7 @@ func (c *Cluster) rebuild(p *sim.Proc, failed wire.NodeID, parallel int, via *Cl
 	targets := make([]wire.NodeID, len(lost))
 	for i, blk := range lost {
 		cur := c.Placement(blk.StripeID())
-		target, err := c.MDS.place.Replacement(blk.StripeID(), int(blk.Index), dead,
+		target, err := c.MDS.PlacementMap().Replacement(blk.StripeID(), int(blk.Index), dead,
 			func(id wire.NodeID) bool {
 				for j, m := range cur {
 					if j != int(blk.Index) && m == id {

@@ -22,29 +22,41 @@ type Scale struct {
 	// Files is its multi-file working-set split.
 	PGCounts []int
 	Files    int
+	// AddOSDs is how many OSDs the rebalance experiment adds (sequential
+	// online transitions); RebalanceRateBps throttles its block copies
+	// (0 = unthrottled).
+	AddOSDs          int
+	RebalanceRateBps int64
+	// Sink, when non-nil, collects machine-readable metrics alongside the
+	// human tables (tsuebench -json writes them to BENCH_*.json).
+	Sink *Sink
 }
 
 // QuickScale finishes the whole suite in minutes (bench default).
 func QuickScale() Scale {
 	return Scale{
-		Ops:       3000,
-		FileMB:    24,
-		Clients:   []int{4, 16, 64},
-		RSConfigs: [][2]int{{6, 2}, {6, 4}},
-		PGCounts:  []int{2, 16, 128},
-		Files:     8,
+		Ops:              3000,
+		FileMB:           24,
+		Clients:          []int{4, 16, 64},
+		RSConfigs:        [][2]int{{6, 2}, {6, 4}},
+		PGCounts:         []int{2, 16, 128},
+		Files:            8,
+		AddOSDs:          1,
+		RebalanceRateBps: 64 << 20,
 	}
 }
 
 // FullScale mirrors the paper's grid (minus absolute trace length).
 func FullScale() Scale {
 	return Scale{
-		Ops:       20000,
-		FileMB:    96,
-		Clients:   []int{4, 8, 16, 32, 64},
-		RSConfigs: [][2]int{{6, 2}, {12, 2}, {6, 3}, {12, 3}, {6, 4}, {12, 4}},
-		PGCounts:  []int{4, 32, 256, 1024},
-		Files:     16,
+		Ops:              20000,
+		FileMB:           96,
+		Clients:          []int{4, 8, 16, 32, 64},
+		RSConfigs:        [][2]int{{6, 2}, {12, 2}, {6, 3}, {12, 3}, {6, 4}, {12, 4}},
+		PGCounts:         []int{4, 32, 256, 1024},
+		Files:            16,
+		AddOSDs:          2,
+		RebalanceRateBps: 256 << 20,
 	}
 }
 
@@ -93,6 +105,10 @@ func Fig5(w io.Writer, s Scale) error {
 						return fmt.Errorf("fig5 %s rs(%d,%d) %s c=%d: %w", eng, rsCfg[0], rsCfg[1], tr, nc, err)
 					}
 					iops[eng] = r.IOPS
+					s.Sink.Record("fig5", "iops", map[string]string{
+						"engine": eng, "rs": fmt.Sprintf("%d_%d", rsCfg[0], rsCfg[1]),
+						"trace": tr, "clients": fmt.Sprintf("%d", nc),
+					}, r.IOPS)
 				}
 				best := 0.0
 				for _, eng := range update.Names() {
@@ -438,7 +454,7 @@ func Sweep(w io.Writer, s Scale) error {
 
 // All runs every experiment in paper order.
 func All(w io.Writer, s Scale) error {
-	steps := []func(io.Writer, Scale) error{Fig5, Fig6a, Fig6b, Fig7, Table1, Table2, Fig8a, Fig8b, Sweep, Degraded, Placement}
+	steps := []func(io.Writer, Scale) error{Fig5, Fig6a, Fig6b, Fig7, Table1, Table2, Fig8a, Fig8b, Sweep, Degraded, Placement, Rebalance}
 	for _, f := range steps {
 		if err := f(w, s); err != nil {
 			return err
@@ -453,6 +469,7 @@ func Experiments() map[string]func(io.Writer, Scale) error {
 	return map[string]func(io.Writer, Scale) error{
 		"fig5": Fig5, "fig6a": Fig6a, "fig6b": Fig6b, "fig7": Fig7,
 		"table1": Table1, "table2": Table2, "fig8a": Fig8a, "fig8b": Fig8b,
-		"sweep": Sweep, "degraded": Degraded, "placement": Placement, "all": All,
+		"sweep": Sweep, "degraded": Degraded, "placement": Placement,
+		"rebalance": Rebalance, "all": All,
 	}
 }

@@ -32,14 +32,14 @@ type RunConfig struct {
 	Device    device.Kind
 	Opts      update.Options
 	Seed      int64
-	// Files splits the working set across this many files (0/1 = one
-	// volume). Each client works against file (client index mod Files), so
-	// stripes — and with them recovery fan-out, surrogate load and
-	// degraded-journal pressure — spread across placement groups the way a
-	// multi-tenant cluster's would.
+	// Files splits the working set across this many files (>= 1; Validate
+	// rejects zero). Each client works against file (client index mod
+	// Files), so stripes — and with them recovery fan-out, surrogate load
+	// and degraded-journal pressure — spread across placement groups the
+	// way a multi-tenant cluster's would.
 	Files int
-	// PGs overrides the cluster's placement-group count (0 = cluster
-	// default).
+	// PGs is the cluster's placement-group count (>= 1; Validate rejects
+	// zero — DefaultRunConfig carries the 8-per-OSD default explicitly).
 	PGs int
 	// MaxTime caps the replay in virtual time (0 = ops only).
 	MaxTime time.Duration
@@ -69,7 +69,44 @@ func DefaultRunConfig() RunConfig {
 		Device:    device.SSD,
 		Opts:      opts,
 		Seed:      1,
+		Files:     1,
+		PGs:       128,
 	}
+}
+
+// Validate rejects nonsensical run parameters with a clear error instead
+// of a downstream panic or a silent default. Everything that counts
+// something must be positive; worker bounds must not be negative.
+func (cfg RunConfig) Validate() error {
+	switch {
+	case cfg.Engine == "":
+		return fmt.Errorf("harness: Engine must be set")
+	case cfg.K < 1 || cfg.M < 1:
+		return fmt.Errorf("harness: RS(%d,%d) needs K >= 1 and M >= 1", cfg.K, cfg.M)
+	case cfg.OSDs < cfg.K+cfg.M:
+		return fmt.Errorf("harness: %d OSDs cannot host RS(%d,%d) stripes", cfg.OSDs, cfg.K, cfg.M)
+	case cfg.Clients < 1:
+		return fmt.Errorf("harness: Clients must be >= 1, got %d", cfg.Clients)
+	case cfg.Ops < 1:
+		return fmt.Errorf("harness: Ops must be >= 1, got %d", cfg.Ops)
+	case cfg.FileBytes < 1:
+		return fmt.Errorf("harness: FileBytes must be >= 1, got %d", cfg.FileBytes)
+	case cfg.BlockSize < 1:
+		return fmt.Errorf("harness: BlockSize must be >= 1, got %d", cfg.BlockSize)
+	case cfg.Files < 1:
+		return fmt.Errorf("harness: Files must be >= 1, got %d", cfg.Files)
+	case cfg.PGs < 1:
+		return fmt.Errorf("harness: PGs must be >= 1, got %d", cfg.PGs)
+	case cfg.MaxTime < 0:
+		return fmt.Errorf("harness: MaxTime must not be negative, got %v", cfg.MaxTime)
+	case cfg.Opts.CodecWorkers < 0:
+		return fmt.Errorf("harness: CodecWorkers must not be negative, got %d", cfg.Opts.CodecWorkers)
+	case cfg.Opts.RecycleBatch < 0:
+		return fmt.Errorf("harness: RecycleBatch must not be negative, got %d", cfg.Opts.RecycleBatch)
+	case cfg.Opts.Pools < 0 || cfg.Opts.MaxUnits < 0 || cfg.Opts.Copies < 0:
+		return fmt.Errorf("harness: engine pool/unit/copy counts must not be negative")
+	}
+	return nil
 }
 
 // Result captures one run's measurements.
@@ -113,6 +150,9 @@ func (r *Result) Timeline(n int) []float64 {
 
 // buildCluster translates a RunConfig into a live simulated cluster.
 func buildCluster(cfg RunConfig) (*cluster.Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	ccfg := cluster.DefaultConfig()
 	ccfg.OSDs = cfg.OSDs
 	ccfg.K, ccfg.M = cfg.K, cfg.M

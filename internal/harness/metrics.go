@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"sort"
+	"time"
+)
+
+// Metric is one machine-readable measurement emitted by an experiment —
+// the unit of the perf trajectory tsuebench -json persists (BENCH_*.json)
+// so future changes can be compared against past runs without re-parsing
+// the human tables.
+type Metric struct {
+	Experiment string            `json:"experiment"`
+	Name       string            `json:"name"`
+	Labels     map[string]string `json:"labels,omitempty"`
+	Value      float64           `json:"value"`
+}
+
+// Sink collects metrics across experiments. A nil *Sink discards records,
+// so experiments can emit unconditionally.
+type Sink struct {
+	Metrics []Metric
+}
+
+// Record appends one measurement (no-op on a nil sink). labels is copied.
+func (s *Sink) Record(experiment, name string, labels map[string]string, value float64) {
+	if s == nil {
+		return
+	}
+	var cp map[string]string
+	if len(labels) > 0 {
+		cp = make(map[string]string, len(labels))
+		for k, v := range labels {
+			cp[k] = v
+		}
+	}
+	s.Metrics = append(s.Metrics, Metric{Experiment: experiment, Name: name, Labels: cp, Value: value})
+}
+
+// percentile returns the p-quantile (0..1) of the samples by
+// nearest-rank on a sorted copy; 0 for an empty set.
+func percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,255 @@
+package harness
+
+// The rebalance experiment (beyond the paper, after its ROADMAP item
+// "placement epochs ... measure the resulting data movement against the
+// minimal-remap bound"): run a multi-file foreground update workload, add
+// one or more OSDs mid-run, and migrate online under the throttled
+// rebalance engine. Reported per engine: blocks actually moved vs the
+// minimal-remap lower bound, catch-up re-copies (raw bytes dirtied during
+// the bulk copy), overlay records that followed their blocks (TSUE's
+// log-follows-block cutover; in-place schemes drain instead and show up as
+// re-copies and longer stalls), the per-PG cutover stall, and the
+// foreground IOPS dip while the expansion runs — the migration-bandwidth
+// cost Kermarrec et al. and the Facebook warehouse study identify as the
+// dominant operational burden.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"tsue/internal/rebalance"
+	"tsue/internal/sim"
+	"tsue/internal/trace"
+	"tsue/internal/update"
+	"tsue/internal/wire"
+)
+
+// RebalanceResult captures one online-expansion run.
+type RebalanceResult struct {
+	Cfg RunConfig
+	// Reports holds one migration report per added OSD (sequential
+	// transitions).
+	Reports []*rebalance.Report
+	// NewOSDs lists the added node IDs.
+	NewOSDs []wire.NodeID
+	// BaselineIOPS is foreground update throughput before the expansion;
+	// DuringIOPS covers the expansion window; DipPct is the relative drop.
+	BaselineIOPS float64
+	DuringIOPS   float64
+	DipPct       float64
+	// Stripes is the number of stripes scrubbed clean after the run.
+	Stripes int
+}
+
+// MovedBlocks sums blocks moved across all transitions.
+func (r *RebalanceResult) MovedBlocks() int {
+	n := 0
+	for _, rep := range r.Reports {
+		n += rep.MovedBlocks
+	}
+	return n
+}
+
+// BoundBlocks sums the per-transition minimal-remap bounds.
+func (r *RebalanceResult) BoundBlocks() float64 {
+	var b float64
+	for _, rep := range r.Reports {
+		b += rep.BoundBlocks
+	}
+	return b
+}
+
+// RunRebalance preloads a multi-file working set, runs a continuous
+// foreground update workload, and a third of the way through adds addOSDs
+// OSDs one after another, each with a full online migration under rcfg.
+// The run ends with a drain and a full scrub.
+func RunRebalance(cfg RunConfig, rcfg rebalance.Config, addOSDs int) (*RebalanceResult, error) {
+	if addOSDs < 1 {
+		return nil, fmt.Errorf("harness: addOSDs must be >= 1, got %d", addOSDs)
+	}
+	c, err := buildCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Env.Close()
+	admin := c.NewClient()
+	res := &RebalanceResult{Cfg: cfg}
+	var runErr error
+	c.Env.Go("rebalance-harness", func(p *sim.Proc) {
+		inos, perFile, err := preload(p, c, admin, cfg)
+		if err != nil {
+			runErr = err
+			return
+		}
+		c.ResetStats()
+
+		payload := make([]byte, 1<<20)
+		rand.New(rand.NewSource(cfg.Seed + 999)).Read(payload)
+
+		nClients := cfg.Clients
+		opsPer := 20 * cfg.Ops / nClients
+		stop := false
+		done := 0
+		start := p.Now()
+		wg := sim.NewWaitGroup(c.Env)
+		wg.Add(nClients)
+		var clientErr error
+		for ci := 0; ci < nClients; ci++ {
+			ci := ci
+			cl := c.NewClient()
+			ino := inos[ci%len(inos)]
+			prof := cfg.Trace
+			prof.WorkingSet = perFile
+			gen := trace.MustGenerator(prof, cfg.Seed+int64(ci)*7919)
+			c.Env.Go(fmt.Sprintf("fg%d", ci), func(cp *sim.Proc) {
+				defer wg.Done()
+				for j := 0; j < opsPer && !stop; j++ {
+					op := gen.Next()
+					for op.Kind != trace.Write {
+						op = gen.Next()
+					}
+					off := op.Off
+					if off+int64(op.Size) > perFile {
+						off = perFile - int64(op.Size)
+					}
+					pstart := int(off) % (len(payload) - int(op.Size))
+					if err := cl.Update(cp, ino, off, payload[pstart:pstart+int(op.Size)]); err != nil {
+						if clientErr == nil {
+							clientErr = fmt.Errorf("foreground client %d op %d: %w", ci, j, err)
+						}
+						return
+					}
+					done++
+				}
+			})
+		}
+
+		warmTarget := cfg.Ops / 3
+		if warmTarget < 1 {
+			warmTarget = 1
+		}
+		for done < warmTarget && clientErr == nil {
+			p.Sleep(100 * time.Microsecond)
+		}
+		if clientErr != nil {
+			runErr = clientErr
+			return
+		}
+		preOps := done
+		t0 := p.Now()
+		for i := 0; i < addOSDs; i++ {
+			rep, id, err := c.Expand(p, admin, rcfg)
+			if err != nil {
+				runErr = fmt.Errorf("expand %d: %w", i, err)
+				return
+			}
+			res.Reports = append(res.Reports, rep)
+			res.NewOSDs = append(res.NewOSDs, id)
+		}
+		t1 := p.Now()
+		duringOps := done - preOps
+		stop = true
+		wg.Wait(p)
+		if clientErr != nil {
+			runErr = clientErr
+			return
+		}
+
+		if d := (t0 - start).Seconds(); d > 0 {
+			res.BaselineIOPS = float64(preOps) / d
+		}
+		if d := (t1 - t0).Seconds(); d > 0 {
+			res.DuringIOPS = float64(duringOps) / d
+		}
+		if res.BaselineIOPS > 0 {
+			res.DipPct = 100 * (1 - res.DuringIOPS/res.BaselineIOPS)
+		}
+
+		if err := c.DrainAll(p, admin); err != nil {
+			runErr = err
+			return
+		}
+		if !cfg.SkipVerify {
+			n, err := c.Scrub()
+			if err != nil {
+				runErr = fmt.Errorf("post-expansion scrub failed: %w", err)
+				return
+			}
+			res.Stripes = n
+		}
+	})
+	c.Env.Run(0)
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// Rebalance runs the online-expansion experiment across all six engines:
+// data moved vs the minimal-remap bound, the foreground IOPS dip during
+// the expansion, and the cutover stall profile.
+func Rebalance(w io.Writer, s Scale) error {
+	rate := "unthrottled"
+	if s.RebalanceRateBps > 0 {
+		rate = fmt.Sprintf("%dMB/s", s.RebalanceRateBps>>20)
+	}
+	fmt.Fprintf(w, "== Rebalance: online expansion (+%d OSD, copy rate %s, SSD, Ali-Cloud, RS(6,4), %d files) ==\n",
+		s.AddOSDs, rate, s.Files)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tmoved blks\tbound\tx bound\tmoved MB\trecopied\treplayed KB\tpgs\tmigrate(ms)\tstall(ms)\tmax stall(ms)\tbase IOPS\tduring IOPS\tdip")
+	for _, eng := range update.Names() {
+		cfg := baseRun(s)
+		cfg.Engine = eng
+		cfg.Clients = 16
+		cfg.Files = s.Files
+		cfg.PGs = 64
+		// Smaller blocks -> more stripes, so per-PG moves and the bound are
+		// well populated (same reasoning as the placement experiment).
+		cfg.BlockSize = 256 << 10
+		cfg.Trace = s.traceProfile("ali")
+		rcfg := rebalance.Config{RateBps: s.RebalanceRateBps, MaxInFlightPGs: 2}
+		r, err := RunRebalance(cfg, rcfg, s.AddOSDs)
+		if err != nil {
+			return fmt.Errorf("rebalance %s: %w", eng, err)
+		}
+		var movedMB float64
+		var recopied, replayedKB, pgs int
+		var migrate, stall, maxStall time.Duration
+		for _, rep := range r.Reports {
+			movedMB += float64(rep.MovedBytes) / (1 << 20)
+			recopied += rep.RecopiedBlocks
+			replayedKB += int(rep.ReplayedBytes >> 10)
+			pgs += rep.PGsMigrated
+			migrate += rep.MigrateTime
+			stall += rep.StallTime
+			if rep.MaxStall > maxStall {
+				maxStall = rep.MaxStall
+			}
+		}
+		moved, bound := r.MovedBlocks(), r.BoundBlocks()
+		ratio := 0.0
+		if bound > 0 {
+			ratio = float64(moved) / bound
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.2fx\t%.1f\t%d\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.0f\t%.0f\t%.0f%%\n",
+			eng, moved, bound, ratio, movedMB, recopied, replayedKB, pgs,
+			ms(migrate), ms(stall), ms(maxStall),
+			r.BaselineIOPS, r.DuringIOPS, r.DipPct)
+		labels := map[string]string{"engine": eng}
+		s.Sink.Record("rebalance", "moved_blocks", labels, float64(moved))
+		s.Sink.Record("rebalance", "bound_blocks", labels, bound)
+		s.Sink.Record("rebalance", "actual_over_bound", labels, ratio)
+		s.Sink.Record("rebalance", "recopied_blocks", labels, float64(recopied))
+		s.Sink.Record("rebalance", "replayed_kb", labels, float64(replayedKB))
+		s.Sink.Record("rebalance", "migrate_ms", labels, ms(migrate))
+		s.Sink.Record("rebalance", "stall_ms_total", labels, ms(stall))
+		s.Sink.Record("rebalance", "stall_ms_max", labels, ms(maxStall))
+		s.Sink.Record("rebalance", "base_iops", labels, r.BaselineIOPS)
+		s.Sink.Record("rebalance", "during_iops", labels, r.DuringIOPS)
+		s.Sink.Record("rebalance", "dip_pct", labels, r.DipPct)
+	}
+	return tw.Flush()
+}

@@ -356,6 +356,27 @@ func (p *Pool) updateMem() {
 // Stats returns a snapshot of pool counters.
 func (p *Pool) Stats() Stats { return p.stats }
 
+// ExtractActive removes and returns blk's merged extents from the active
+// (unsealed) unit, in offset order, or nil when the active unit holds
+// nothing for blk. Sealed and recycling units are untouched — they are
+// in-flight pipeline state the caller must drain first — and recycled
+// (retained) units keep their read-cache copies, whose content is already
+// applied to the block. The unit's fill level is not reduced: the space the
+// records occupied in the on-disk log is consumed either way.
+func (p *Pool) ExtractActive(blk wire.BlockID) []Extent {
+	u := p.Active()
+	if u == nil {
+		return nil
+	}
+	b := u.Lookup(blk)
+	if b == nil {
+		return nil
+	}
+	delete(u.blocks, blk)
+	p.updateMem()
+	return b.Extents()
+}
+
 // Covers reports whether [off, off+size) of blk is fully present across the
 // pool's retained units (read-cache hit test).
 func (p *Pool) Covers(blk wire.BlockID, off, size int64) bool {

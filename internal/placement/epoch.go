@@ -1,0 +1,320 @@
+package placement
+
+// Epoch-versioned placement. The static Map of placement.go assumes fixed
+// membership; cluster expansion needs a *sequence* of maps plus a precise
+// account of which blocks each transition moves. Epochs is that sequence:
+// an append-only chain of maps where each successor is derived from its
+// parent by one transition (AddOSD, RemoveOSD or SplitPGs) that changes as
+// few PG slots as possible:
+//
+//   - AddOSD: per PG, the new OSD takes over exactly one slot — the
+//     weakest-scored current member's — and only when it outranks that
+//     member; every other slot keeps its OSD. The resulting member set is
+//     the straw top-Width of the grown candidate list, so repeated adds
+//     converge to the from-scratch map, but only ~Width/(N+1) of the PGs
+//     change at all and each changed PG moves one slot's blocks.
+//   - RemoveOSD: PGs containing the removed OSD replace it in its slot by
+//     the best-ranked non-member; all other PGs are untouched, so actual
+//     movement equals the lower bound (the removed node's blocks).
+//   - SplitPGs: the PG count multiplies by an integer factor. PGOf is
+//     modulo-based, so a stripe's new PG is congruent to its old PG and
+//     each child PG inherits its parent's slot assignment — a split moves
+//     nothing by itself; it buys finer cutover/diff granularity for later
+//     transitions.
+//
+// Diff enumerates the (PG, block) moves between two maps for a given
+// stripe population, and MinimalBound reports the information-theoretic
+// floor any placement scheme must move for the transition — the yardstick
+// the rebalance experiment measures actual movement against.
+
+import (
+	"fmt"
+
+	"tsue/internal/wire"
+)
+
+// TransitionKind enumerates epoch transitions.
+type TransitionKind int
+
+const (
+	// TransAddOSD grows the cluster by one OSD.
+	TransAddOSD TransitionKind = iota + 1
+	// TransRemoveOSD shrinks the cluster by one OSD (planned decommission,
+	// not failure — failures are handled by liveness views, not epochs).
+	TransRemoveOSD
+	// TransSplitPGs multiplies the PG count by Factor.
+	TransSplitPGs
+)
+
+// String returns the transition kind's wire/report name.
+func (k TransitionKind) String() string {
+	switch k {
+	case TransAddOSD:
+		return "add-osd"
+	case TransRemoveOSD:
+		return "remove-osd"
+	case TransSplitPGs:
+		return "split-pgs"
+	}
+	return fmt.Sprintf("TransitionKind(%d)", int(k))
+}
+
+// Transition records how one epoch was derived from its predecessor.
+type Transition struct {
+	Kind   TransitionKind
+	OSD    wire.NodeID // AddOSD / RemoveOSD
+	Factor int         // SplitPGs
+}
+
+// Move is one block relocation a transition requires.
+type Move struct {
+	Blk wire.BlockID
+	// PG is the block's placement group under the new map (the cutover
+	// unit of the migration engine).
+	PG       int
+	From, To wire.NodeID
+}
+
+// Epochs is the append-only chain of placement maps. Epoch 0 is the
+// initial map; epoch i>0 was produced from epoch i-1 by Transitions()[i-1].
+// Like Map it is pure computation: staging, cutover and commit semantics
+// live with the map's owner (the MDS).
+type Epochs struct {
+	maps  []*Map
+	trans []Transition
+}
+
+// NewEpochs starts a chain at epoch 0 with the given initial map.
+func NewEpochs(initial *Map) *Epochs {
+	return &Epochs{maps: []*Map{initial}}
+}
+
+// Epoch returns the newest epoch number.
+func (e *Epochs) Epoch() uint64 { return uint64(len(e.maps) - 1) }
+
+// Current returns the newest map.
+func (e *Epochs) Current() *Map { return e.maps[len(e.maps)-1] }
+
+// At returns the map of the given epoch.
+func (e *Epochs) At(epoch uint64) *Map {
+	if epoch >= uint64(len(e.maps)) {
+		panic(fmt.Sprintf("placement: epoch %d out of range [0,%d]", epoch, len(e.maps)-1))
+	}
+	return e.maps[epoch]
+}
+
+// Transition returns the transition that produced epoch `to` (to >= 1).
+func (e *Epochs) Transition(to uint64) Transition {
+	if to == 0 || to >= uint64(len(e.maps)) {
+		panic(fmt.Sprintf("placement: no transition produced epoch %d", to))
+	}
+	return e.trans[to-1]
+}
+
+// AddOSD derives a new epoch with id joined, returning the epoch number.
+func (e *Epochs) AddOSD(id wire.NodeID) (uint64, error) {
+	next, err := deriveAddOSD(e.Current(), id)
+	if err != nil {
+		return 0, err
+	}
+	e.maps = append(e.maps, next)
+	e.trans = append(e.trans, Transition{Kind: TransAddOSD, OSD: id})
+	return e.Epoch(), nil
+}
+
+// RemoveOSD derives a new epoch with id decommissioned.
+func (e *Epochs) RemoveOSD(id wire.NodeID) (uint64, error) {
+	next, err := deriveRemoveOSD(e.Current(), id)
+	if err != nil {
+		return 0, err
+	}
+	e.maps = append(e.maps, next)
+	e.trans = append(e.trans, Transition{Kind: TransRemoveOSD, OSD: id})
+	return e.Epoch(), nil
+}
+
+// SplitPGs derives a new epoch with factor× the PG count.
+func (e *Epochs) SplitPGs(factor int) (uint64, error) {
+	next, err := deriveSplitPGs(e.Current(), factor)
+	if err != nil {
+		return 0, err
+	}
+	e.maps = append(e.maps, next)
+	e.trans = append(e.trans, Transition{Kind: TransSplitPGs, Factor: factor})
+	return e.Epoch(), nil
+}
+
+// Diff computes the block moves the old→new transition requires for the
+// given stripes: every (stripe, index) whose host differs between the two
+// maps, tagged with its PG under the new map. Both maps are evaluated with
+// no liveness filtering; the caller overlays any physical remaps it holds.
+func Diff(old, new *Map, stripes []wire.StripeID) []Move {
+	var out []Move
+	for _, s := range stripes {
+		po, err := old.Place(s, nil)
+		if err != nil {
+			panic("placement: diff old place: " + err.Error())
+		}
+		pn, err := new.Place(s, nil)
+		if err != nil {
+			panic("placement: diff new place: " + err.Error())
+		}
+		for i := range pn {
+			if po[i] == pn[i] {
+				continue
+			}
+			out = append(out, Move{
+				Blk:  wire.BlockID{Ino: s.Ino, Stripe: s.Stripe, Index: uint16(i)},
+				PG:   new.PGOf(s),
+				From: po[i],
+				To:   pn[i],
+			})
+		}
+	}
+	return out
+}
+
+// MinimalBound returns the minimal-remap lower bound on blocks that ANY
+// placement scheme must move for the transition that produced epoch `to`,
+// given the stripe population: an added OSD must receive its balanced
+// share of the grown cluster's blocks, a removed OSD's blocks must all
+// move somewhere, and a pure PG split requires no movement.
+func (e *Epochs) MinimalBound(to uint64, stripes []wire.StripeID) float64 {
+	tr := e.Transition(to)
+	newMap := e.At(to)
+	switch tr.Kind {
+	case TransAddOSD:
+		total := float64(len(stripes) * newMap.cfg.Width)
+		return total / float64(len(newMap.cfg.OSDs))
+	case TransRemoveOSD:
+		oldMap := e.At(to - 1)
+		n := 0
+		for _, s := range stripes {
+			p, err := oldMap.Place(s, nil)
+			if err != nil {
+				panic("placement: bound place: " + err.Error())
+			}
+			for _, id := range p {
+				if id == tr.OSD {
+					n++
+				}
+			}
+		}
+		return float64(n)
+	case TransSplitPGs:
+		return 0
+	}
+	return 0
+}
+
+// ranksBelow reports whether a ranks strictly below b in the PG's straw
+// ordering (New's candidate sort: descending score, smaller ID on ties).
+func (m *Map) ranksBelow(pg int, a, b wire.NodeID) bool {
+	sa, sb := m.score(pg, a), m.score(pg, b)
+	if sa != sb {
+		return sa < sb
+	}
+	return a > b
+}
+
+// deriveAddOSD builds the successor map with id joined. Straw scores are a
+// pure function of (Seed, PG, OSD), so every incumbent keeps its score; per
+// PG the newcomer displaces the weakest current member's slot iff it
+// outranks that member, and no other slot changes.
+func deriveAddOSD(parent *Map, id wire.NodeID) (*Map, error) {
+	cfg := parent.cfg
+	cfg.OSDs = append(append([]wire.NodeID(nil), parent.cfg.OSDs...), id)
+	next, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	members := make([][]wire.NodeID, cfg.PGs)
+	for pg := 0; pg < cfg.PGs; pg++ {
+		cur := append([]wire.NodeID(nil), parent.baseline(pg)...)
+		weak := 0
+		for i := 1; i < len(cur); i++ {
+			if next.ranksBelow(pg, cur[i], cur[weak]) {
+				weak = i
+			}
+		}
+		if next.ranksBelow(pg, cur[weak], id) {
+			cur[weak] = id
+		}
+		members[pg] = cur
+	}
+	next.members = members
+	return next, nil
+}
+
+// deriveRemoveOSD builds the successor map with id decommissioned: in PGs
+// whose member set contains id, its slot is taken by the best-ranked
+// candidate not already a member; other PGs keep their assignment.
+func deriveRemoveOSD(parent *Map, id wire.NodeID) (*Map, error) {
+	cfg := parent.cfg
+	rest := make([]wire.NodeID, 0, len(cfg.OSDs))
+	for _, o := range cfg.OSDs {
+		if o != id {
+			rest = append(rest, o)
+		}
+	}
+	if len(rest) == len(cfg.OSDs) {
+		return nil, fmt.Errorf("placement: OSD %d not in the map", id)
+	}
+	cfg.OSDs = rest
+	next, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	members := make([][]wire.NodeID, cfg.PGs)
+	for pg := 0; pg < cfg.PGs; pg++ {
+		cur := append([]wire.NodeID(nil), parent.baseline(pg)...)
+		slot := -1
+		in := make(map[wire.NodeID]bool, len(cur))
+		for i, mem := range cur {
+			in[mem] = true
+			if mem == id {
+				slot = i
+			}
+		}
+		if slot >= 0 {
+			picked := false
+			for _, c := range next.cand[pg] {
+				if !in[c] {
+					cur[slot] = c
+					picked = true
+					break
+				}
+			}
+			if !picked {
+				// Unreachable: New guarantees Width <= len(rest) and cur
+				// holds only Width-1 survivors from the new candidate set.
+				return nil, fmt.Errorf("placement: PG %d has no replacement for OSD %d", pg, id)
+			}
+		}
+		members[pg] = cur
+	}
+	next.members = members
+	return next, nil
+}
+
+// deriveSplitPGs builds the successor map with factor× PGs. PGOf is modulo
+// the PG count, so a stripe's child PG is congruent to its parent PG; each
+// child inherits the parent's slot assignment and nothing moves.
+func deriveSplitPGs(parent *Map, factor int) (*Map, error) {
+	if factor < 2 {
+		return nil, fmt.Errorf("placement: split factor %d < 2", factor)
+	}
+	cfg := parent.cfg
+	oldPGs := cfg.PGs
+	cfg.PGs = oldPGs * factor
+	next, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	members := make([][]wire.NodeID, cfg.PGs)
+	for pg := 0; pg < cfg.PGs; pg++ {
+		members[pg] = append([]wire.NodeID(nil), parent.baseline(pg%oldPGs)...)
+	}
+	next.members = members
+	return next, nil
+}

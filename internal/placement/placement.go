@@ -51,6 +51,12 @@ type Map struct {
 	cand [][]wire.NodeID
 	// slot[pg] maps an OSD to its candidate rank in cand[pg].
 	slot []map[wire.NodeID]int
+	// members, when non-nil, pins each PG's slot→OSD assignment explicitly
+	// instead of deriving it from candidate rank. Epoch-derived maps (see
+	// epoch.go) use it to change as few slots as possible per transition: a
+	// from-scratch re-rank after an OSD add would shift every member below
+	// the newcomer's rank, moving far more than the minimal-remap bound.
+	members [][]wire.NodeID
 }
 
 // New validates cfg and precomputes the per-PG candidate rankings.
@@ -125,6 +131,16 @@ func (m *Map) Rotation(s wire.StripeID) int {
 	return int(mix64(m.cfg.Seed^0xabcd^s.Ino*0xff51afd7ed558ccd^uint64(s.Stripe)*0xc4ceb9fe1a85ec53) % uint64(m.cfg.Width))
 }
 
+// baseline returns the PG's slot→OSD assignment before liveness filtering:
+// the explicit epoch-derived assignment when present, else the top-Width
+// candidates in rank order. The returned slice must not be mutated.
+func (m *Map) baseline(pg int) []wire.NodeID {
+	if m.members != nil {
+		return m.members[pg]
+	}
+	return m.cand[pg][:m.cfg.Width]
+}
+
 // Members returns the PG's Width member OSDs, slot-ordered. dead (nil = all
 // alive) excludes OSDs: a dead baseline member is replaced *in its slot* by
 // the next-best scored live non-member, so surviving members never change
@@ -134,15 +150,30 @@ func (m *Map) Members(pg int, dead func(wire.NodeID) bool) ([]wire.NodeID, error
 	if pg < 0 || pg >= m.cfg.PGs {
 		return nil, fmt.Errorf("placement: PG %d out of range [0,%d)", pg, m.cfg.PGs)
 	}
-	cand := m.cand[pg]
+	base := m.baseline(pg)
 	out := make([]wire.NodeID, m.cfg.Width)
 	if dead == nil {
-		copy(out, cand[:m.cfg.Width])
+		copy(out, base)
 		return out, nil
 	}
-	queue := cand[m.cfg.Width:]
+	// queue is every non-member candidate in rank order. For rank-derived
+	// baselines that is exactly cand[Width:] (no allocation — the hot path
+	// for every pre-expansion map); epoch-derived baselines rebuild it.
+	queue := m.cand[pg][m.cfg.Width:]
+	if m.members != nil {
+		inBase := make(map[wire.NodeID]bool, len(base))
+		for _, id := range base {
+			inBase[id] = true
+		}
+		queue = make([]wire.NodeID, 0, len(m.cand[pg])-len(base))
+		for _, id := range m.cand[pg] {
+			if !inBase[id] {
+				queue = append(queue, id)
+			}
+		}
+	}
 	qi := 0
-	for i, id := range cand[:m.cfg.Width] {
+	for i, id := range base {
 		if !dead(id) {
 			out[i] = id
 			continue
@@ -178,6 +209,14 @@ func (m *Map) Place(s wire.StripeID, dead func(wire.NodeID) bool) ([]wire.NodeID
 // MemberSlot returns the slot the OSD occupies in the PG's baseline
 // member set, or -1 when it is not a baseline member.
 func (m *Map) MemberSlot(pg int, id wire.NodeID) int {
+	if m.members != nil {
+		for i, mem := range m.members[pg] {
+			if mem == id {
+				return i
+			}
+		}
+		return -1
+	}
 	r, ok := m.slot[pg][id]
 	if !ok || r >= m.cfg.Width {
 		return -1

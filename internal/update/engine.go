@@ -366,6 +366,22 @@ func Replay(p *sim.Proc, eng Engine, blk wire.BlockID, off int64, data []byte) e
 	return eng.Update(p, blk, off, data)
 }
 
+// LogMigrator is implemented by engines whose replayable pure-overlay log
+// records must follow a block to its new home when placement changes —
+// TSUE's active DataLog units, which are neither applied to the raw block
+// nor propagated to parity yet. ExtractBlockLog removes and returns blk's
+// overlay records (merged extents, offset order); the migration engine
+// replays them at the block's new home through the Replay hook and retires
+// their reliability replicas cluster-wide (wire.ReplicaRetire), so a later
+// failure of the old home cannot resurrect pre-migration state. The caller
+// must hold the cluster's update fence and have settled the engine first
+// (no sealed units may still reference blk). In-place schemes don't
+// implement the interface: for them settling IS draining, and a drained
+// block has no log to follow it.
+type LogMigrator interface {
+	ExtractBlockLog(p *sim.Proc, blk wire.BlockID) []wire.ReplicaItem
+}
+
 // StripeResetter is implemented by engines that keep cross-update baseline
 // state per stripe which a block remap invalidates. PARIX tracks which
 // ranges already shipped their original value; after recovery rebuilds a

@@ -362,9 +362,52 @@ func (t *tsue) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool
 	case *wire.ParityDelta:
 		t.appendLayer(p, t.parity, t.parity.poolFor(hashBlk(v.Blk)), v.Blk, v.Off, v.Data)
 		return wire.OK, true
+	case *wire.ReplicaRetire:
+		// A migrating block's extracted DataLog records are replayed at its
+		// new home; the copies held here for the old home must die with
+		// them, or a later failure of that node would replay stale
+		// pre-migration content over the new home's current state.
+		for key, items := range t.replicas {
+			if key.src != v.Node {
+				continue
+			}
+			keep := items[:0]
+			for _, it := range items {
+				if it.blk != v.Blk {
+					keep = append(keep, it)
+				}
+			}
+			t.replicas[key] = keep
+		}
+		return wire.OK, true
 	}
 	return nil, false
 }
+
+// ExtractBlockLog removes and returns the block's unrecycled DataLog
+// overlay records so they can follow the block to its new home (the
+// log-follows-block half of a PG cutover). The caller must hold the update
+// fence and have run Settle first, so blk's only unrecycled records live in
+// the active unit of its data pool; the merged extents are read back from
+// the log zone and returned in offset order (absolute writes of
+// non-overlapping ranges — replay order among them is immaterial).
+func (t *tsue) ExtractBlockLog(p *sim.Proc, blk wire.BlockID) []wire.ReplicaItem {
+	poolIdx := t.data.poolFor(hashBlk(blk))
+	exts := t.data.pools[poolIdx].ExtractActive(blk)
+	if len(exts) == 0 {
+		return nil
+	}
+	out := make([]wire.ReplicaItem, 0, len(exts))
+	var total int64
+	for _, e := range exts {
+		out = append(out, wire.ReplicaItem{Blk: blk, Off: e.Off, Data: e.Data})
+		total += int64(len(e.Data))
+	}
+	t.h.Store().Device().Read(p, t.data.zones[poolIdx], 0, total)
+	return out
+}
+
+var _ LogMigrator = (*tsue)(nil)
 
 // recycleDataUnits merges a batch of DataLog units into data blocks and
 // forwards the data deltas downstream. Extents of one block merge across

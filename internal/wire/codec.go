@@ -55,6 +55,7 @@ func marshalPayload(buf []byte, m Msg) []byte {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
 		}
 		buf = binary.LittleEndian.AppendUint32(buf, v.PG)
+		buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
 		return putString(buf, v.Err)
 	case *PGLookup:
 		return binary.LittleEndian.AppendUint32(buf, v.PG)
@@ -68,16 +69,19 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Size))
 		if v.Raw {
-			return append(buf, 1)
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
 		}
-		return append(buf, 0)
+		return binary.LittleEndian.AppendUint64(buf, v.Epoch)
 	case *ReadResp:
 		buf = putBytes(buf, v.Data)
 		return putString(buf, v.Err)
 	case *Update:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
-		return putBytes(buf, v.Data)
+		buf = putBytes(buf, v.Data)
+		return binary.LittleEndian.AppendUint64(buf, v.Epoch)
 	case *DeltaAppend:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint16(buf, v.ParityIdx)
@@ -150,6 +154,24 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		return putBytes(buf, v.Data)
 	case *Settle:
 		return binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
+	case *EpochUpdate:
+		buf = append(buf, byte(v.Kind))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.OSD))
+		return binary.LittleEndian.AppendUint32(buf, v.Factor)
+	case *EpochResp:
+		buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
+		return putString(buf, v.Err)
+	case *MigrateBlock:
+		buf = putBlockID(buf, v.Blk)
+		return binary.LittleEndian.AppendUint32(buf, uint32(v.From))
+	case *PGCutover:
+		buf = binary.LittleEndian.AppendUint32(buf, v.PG)
+		return binary.LittleEndian.AppendUint64(buf, v.Epoch)
+	case *MigrateLog:
+		return putBlockID(buf, v.Blk)
+	case *ReplicaRetire:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Node))
+		return putBlockID(buf, v.Blk)
 	default:
 		panic(fmt.Sprintf("wire: cannot marshal %T", m))
 	}
@@ -253,6 +275,7 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 			v.OSDs[i] = NodeID(r.u32())
 		}
 		v.PG = r.u32()
+		v.Epoch = r.u64()
 		v.Err = r.str()
 		m = v
 	case TPGLookup:
@@ -262,11 +285,11 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 	case TPutBlock:
 		m = &PutBlock{Blk: r.blockID(), Data: r.bytes()}
 	case TReadBlock:
-		m = &ReadBlock{Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32()), Raw: r.u8() == 1}
+		m = &ReadBlock{Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32()), Raw: r.u8() == 1, Epoch: r.u64()}
 	case TReadResp:
 		m = &ReadResp{Data: r.bytes(), Err: r.str()}
 	case TUpdate:
-		m = &Update{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+		m = &Update{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Epoch: r.u64()}
 	case TDeltaAppend:
 		m = &DeltaAppend{Blk: r.blockID(), ParityIdx: r.u16(), Off: int64(r.u64()),
 			Data: r.bytes(), Kind: DeltaKind(r.u8()), Replica: r.u8() == 1}
@@ -305,6 +328,18 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 		m = &ReplayUpdate{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
 	case TSettle:
 		m = &Settle{Failed: NodeID(r.u32())}
+	case TEpochUpdate:
+		m = &EpochUpdate{Kind: EpochKind(r.u8()), OSD: NodeID(r.u32()), Factor: r.u32()}
+	case TEpochResp:
+		m = &EpochResp{Epoch: r.u64(), Err: r.str()}
+	case TMigrateBlock:
+		m = &MigrateBlock{Blk: r.blockID(), From: NodeID(r.u32())}
+	case TPGCutover:
+		m = &PGCutover{PG: r.u32(), Epoch: r.u64()}
+	case TMigrateLog:
+		m = &MigrateLog{Blk: r.blockID()}
+	case TReplicaRetire:
+		m = &ReplicaRetire{Node: NodeID(r.u32()), Blk: r.blockID()}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}

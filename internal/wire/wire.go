@@ -62,6 +62,12 @@ const (
 	TReplayUpdate
 	TSettle
 	TPGLookup
+	TEpochUpdate
+	TEpochResp
+	TMigrateBlock
+	TPGCutover
+	TMigrateLog
+	TReplicaRetire
 )
 
 var typeNames = map[Type]string{
@@ -76,6 +82,9 @@ var typeNames = map[Type]string{
 	TDegradedRead: "DegradedRead", TJournalReplica: "JournalReplica",
 	TJournalFetch: "JournalFetch", TReplayUpdate: "ReplayUpdate",
 	TSettle: "Settle", TPGLookup: "PGLookup",
+	TEpochUpdate: "EpochUpdate", TEpochResp: "EpochResp",
+	TMigrateBlock: "MigrateBlock", TPGCutover: "PGCutover",
+	TMigrateLog: "MigrateLog", TReplicaRetire: "ReplicaRetire",
 }
 
 func (t Type) String() string {
@@ -145,14 +154,18 @@ func (*Lookup) PayloadSize() int { return 12 }
 // LookupResp carries the K+M block locations of a stripe (or of a whole
 // placement group, when answering a PGLookup) plus the PG the MDS resolved
 // them through — the PG-aware address clients cache and cite in telemetry.
+// Epoch is the newest placement epoch the MDS has staged: clients cache it
+// as their map view and carry it on Update/ReadBlock so OSDs can reject
+// stale routing (see EpochUpdate).
 type LookupResp struct {
-	OSDs []NodeID
-	PG   uint32
-	Err  string
+	OSDs  []NodeID
+	PG    uint32
+	Epoch uint64
+	Err   string
 }
 
 func (*LookupResp) Type() Type         { return TLookupResp }
-func (l *LookupResp) PayloadSize() int { return 2 + 4*len(l.OSDs) + 4 + 2 + len(l.Err) }
+func (l *LookupResp) PayloadSize() int { return 2 + 4*len(l.OSDs) + 4 + 8 + 2 + len(l.Err) }
 
 // PGLookup asks the MDS for a placement group's member OSDs (slot order,
 // before per-stripe role rotation). Answered with a LookupResp.
@@ -183,17 +196,22 @@ func (*PutBlock) Type() Type         { return TPutBlock }
 func (p *PutBlock) PayloadSize() int { return 14 + 4 + len(p.Data) }
 
 // ReadBlock reads [Off, Off+Size) of a block. Raw bypasses the update
-// engine's log overlays and returns the on-store bytes — used by recovery,
-// which must see a version consistent with the (equally log-lagged) parity.
+// engine's log overlays and returns the on-store bytes — used by recovery
+// and block migration, which must see a version consistent with the
+// (equally log-lagged) parity. Epoch is the placement epoch the client
+// resolved the block's home under; a non-raw read whose epoch no longer
+// matches the PG's authoritative epoch is rejected with ErrStaleEpoch so
+// the client re-resolves (raw reads are server-internal and exempt).
 type ReadBlock struct {
-	Blk  BlockID
-	Off  int64
-	Size int32
-	Raw  bool
+	Blk   BlockID
+	Off   int64
+	Size  int32
+	Raw   bool
+	Epoch uint64
 }
 
 func (*ReadBlock) Type() Type       { return TReadBlock }
-func (*ReadBlock) PayloadSize() int { return 14 + 13 }
+func (*ReadBlock) PayloadSize() int { return 14 + 13 + 8 }
 
 // ReadResp returns block data.
 type ReadResp struct {
@@ -204,15 +222,17 @@ type ReadResp struct {
 func (*ReadResp) Type() Type         { return TReadResp }
 func (r *ReadResp) PayloadSize() int { return 4 + len(r.Data) + 2 + len(r.Err) }
 
-// Update is a client update to the OSD hosting a data block.
+// Update is a client update to the OSD hosting a data block. Epoch is the
+// placement epoch the client resolved the route under (see ReadBlock).
 type Update struct {
-	Blk  BlockID
-	Off  int64
-	Data []byte
+	Blk   BlockID
+	Off   int64
+	Data  []byte
+	Epoch uint64
 }
 
 func (*Update) Type() Type         { return TUpdate }
-func (u *Update) PayloadSize() int { return 14 + 8 + 4 + len(u.Data) }
+func (u *Update) PayloadSize() int { return 14 + 8 + 4 + len(u.Data) + 8 }
 
 // ---- engine-internal forwarding ----
 
@@ -408,6 +428,94 @@ type ReplayUpdate struct {
 
 func (*ReplayUpdate) Type() Type         { return TReplayUpdate }
 func (r *ReplayUpdate) PayloadSize() int { return 14 + 8 + 4 + len(r.Data) }
+
+// ---- placement epochs / rebalance ----
+
+// EpochKind enumerates EpochUpdate operations.
+type EpochKind uint8
+
+const (
+	// EpochStageAddOSD stages a new epoch with OSD joined. Staging begins a
+	// transition: the MDS resolves per PG — PGs already cut over use the new
+	// map, the rest the old — and OSDs start rejecting requests whose Epoch
+	// does not match their PG's authoritative epoch.
+	EpochStageAddOSD EpochKind = iota + 1
+	// EpochStageRemoveOSD stages a new epoch with OSD decommissioned.
+	EpochStageRemoveOSD
+	// EpochStageSplitPGs stages a new epoch with Factor× the PG count.
+	EpochStageSplitPGs
+	// EpochCommit ends the transition: every PG has cut over and the staged
+	// epoch becomes the committed one.
+	EpochCommit
+)
+
+// EpochUpdate is the rebalance engine's control message to the MDS: stage a
+// new placement epoch or commit the in-flight one. Answered with EpochResp.
+type EpochUpdate struct {
+	Kind   EpochKind
+	OSD    NodeID
+	Factor uint32
+}
+
+func (*EpochUpdate) Type() Type       { return TEpochUpdate }
+func (*EpochUpdate) PayloadSize() int { return 1 + 4 + 4 }
+
+// EpochResp returns the (staged or committed) epoch number.
+type EpochResp struct {
+	Epoch uint64
+	Err   string
+}
+
+func (*EpochResp) Type() Type         { return TEpochResp }
+func (e *EpochResp) PayloadSize() int { return 8 + 2 + len(e.Err) }
+
+// MigrateBlock asks a block's NEW home to pull the raw block from its old
+// home From and store it locally — the bulk-copy step of a PG migration.
+type MigrateBlock struct {
+	Blk  BlockID
+	From NodeID
+}
+
+func (*MigrateBlock) Type() Type       { return TMigrateBlock }
+func (*MigrateBlock) PayloadSize() int { return 14 + 4 }
+
+// PGCutover tells the MDS that one placement group's blocks (and logs) are
+// in place at their new-epoch homes: the MDS atomically flips the PG's
+// authoritative epoch, after which stale-epoch clients are bounced to
+// re-resolve. It must be sent under the migration fence.
+type PGCutover struct {
+	PG    uint32
+	Epoch uint64
+}
+
+func (*PGCutover) Type() Type       { return TPGCutover }
+func (*PGCutover) PayloadSize() int { return 4 + 8 }
+
+// MigrateLog asks a migrating block's OLD home to extract the replayable
+// pure-overlay log records it still holds for the block (TSUE's active
+// DataLog items; empty for in-place schemes, which drain instead). The
+// records are returned as a ReplicaResp in append order, removed from the
+// local log, and their reliability replicas are retired cluster-wide; the
+// migration engine replays them at the new home via ReplayUpdate — the
+// log-follows-block half of the cutover.
+type MigrateLog struct {
+	Blk BlockID
+}
+
+func (*MigrateLog) Type() Type       { return TMigrateLog }
+func (*MigrateLog) PayloadSize() int { return 14 }
+
+// ReplicaRetire tells a replica holder to drop every replicated, unrecycled
+// DataLog item it keeps on behalf of Node for block Blk — sent after
+// MigrateLog extracted those records, so a later failure of Node cannot
+// replay stale pre-migration items over the block's new home.
+type ReplicaRetire struct {
+	Node NodeID
+	Blk  BlockID
+}
+
+func (*ReplicaRetire) Type() Type       { return TReplicaRetire }
+func (*ReplicaRetire) PayloadSize() int { return 4 + 14 }
 
 // Settle asks an OSD to bring its raw block stores to stripe consistency
 // with minimal merging: every engine drains the log state whose effects are

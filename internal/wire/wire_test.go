@@ -39,6 +39,18 @@ func sampleMessages() []Msg {
 		&JournalFetch{Failed: 5},
 		&ReplayUpdate{Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{9, 9, 9}},
 		&Settle{Failed: 3},
+		&LookupResp{OSDs: []NodeID{4, 5}, PG: 3, Epoch: 2, Err: ""},
+		&ReadBlock{Blk: BlockID{1, 2, 3}, Off: 64, Size: 32, Epoch: 7},
+		&Update{Blk: BlockID{5, 6, 7}, Off: 123, Data: []byte{1}, Epoch: 9},
+		&EpochUpdate{Kind: EpochStageAddOSD, OSD: 17},
+		&EpochUpdate{Kind: EpochStageSplitPGs, Factor: 4},
+		&EpochUpdate{Kind: EpochCommit},
+		&EpochResp{Epoch: 3},
+		&EpochResp{Err: "no transition"},
+		&MigrateBlock{Blk: BlockID{2, 9, 4}, From: 6},
+		&PGCutover{PG: 41, Epoch: 2},
+		&MigrateLog{Blk: BlockID{2, 9, 4}},
+		&ReplicaRetire{Node: 6, Blk: BlockID{2, 9, 4}},
 	}
 }
 
