@@ -101,9 +101,14 @@ func (cl *Client) WriteFile(p *sim.Proc, ino uint64, data []byte) error {
 // routeRetries bounds how long a client op waits for a mid-transition route
 // (node just failed, degraded registration in flight, cutover just
 // finished) before surfacing the error; combined with routeRetryDelay it
-// gives recovery several hundred virtual milliseconds to publish routing.
+// gives the control plane a few virtual seconds to publish routing. The
+// budget must cover the widest legitimate no-route window: an OSD death
+// during an online rebalance, where every in-flight PG first resolves
+// (abort/finish — for lazy-log engines each fence drains their whole
+// deferred merge debt) before recovery can register the degraded route.
+// Time spent blocked at the update gate does not consume the budget.
 const (
-	routeRetries    = 500
+	routeRetries    = 4000
 	routeRetryDelay = time.Millisecond
 )
 
@@ -164,6 +169,11 @@ func (cl *Client) updateBlock(p *sim.Proc, blk wire.BlockID, boff int64, data []
 		if staleEpochErr(err) {
 			cl.refreshView(p, blk)
 		} else {
+			if nodeDownErr(err) {
+				// A dead home cannot bounce a stale epoch: refresh the map
+				// view in case placement moved the block off the dead node.
+				cl.refreshView(p, blk)
+			}
 			p.Sleep(routeRetryDelay)
 		}
 	}
@@ -232,6 +242,10 @@ func (cl *Client) readBlock(p *sim.Proc, blk wire.BlockID, boff, n int64) ([]byt
 		if staleEpochErr(err) {
 			cl.refreshView(p, blk)
 		} else {
+			if nodeDownErr(err) {
+				// See updateBlock: a dead home cannot bounce a stale epoch.
+				cl.refreshView(p, blk)
+			}
 			p.Sleep(routeRetryDelay)
 		}
 	}

@@ -73,10 +73,18 @@ type Cluster struct {
 	// byID indexes OSDs by node ID (IDs are no longer dense once expansion
 	// adds nodes above the client range).
 	byID map[wire.NodeID]*OSD
-	// remap overrides block placement after recovery moved a block.
+	// remap overrides block placement after recovery moved a block (and
+	// pins an abort-resolved PG's blocks to their old homes at commit).
 	remap map[wire.BlockID]wire.NodeID
+	// orphans parks overlay records whose mid-transition replay target died
+	// before they landed; registerDegraded seeds them into the surrogate
+	// journals (see degraded.go).
+	orphans map[wire.NodeID][]wire.ReplicaItem
 	// cutMu serializes PG cutover fences across concurrent migrations.
 	cutMu *sim.Resource
+	// transHook, when set, observes every PG migration stage boundary
+	// (SetTransHook; fault-injection and tests).
+	transHook func(TransEvent)
 
 	// degraded routes per failed node (see degraded.go); gateClosed fences
 	// client updates and degraded reads during recovery consistency windows;
@@ -141,6 +149,7 @@ func New(cfg Config) (*Cluster, error) {
 		Code:       code,
 		byID:       make(map[wire.NodeID]*OSD),
 		remap:      make(map[wire.BlockID]wire.NodeID),
+		orphans:    make(map[wire.NodeID][]wire.ReplicaItem),
 		degraded:   make(map[wire.NodeID]*degradedState),
 		gateCond:   sim.NewCond(env),
 		nextClient: wire.NodeID(cfg.OSDs + 1),

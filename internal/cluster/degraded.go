@@ -64,10 +64,22 @@ func retryableRouteErr(err error) bool {
 }
 
 // staleEpochErr reports whether the failure was a stale-epoch bounce
-// specifically — the one retryable class where the client must refresh its
+// specifically — the retryable class where the client must refresh its
 // map view before retrying, not merely wait.
 func staleEpochErr(err error) bool {
 	return strings.Contains(err.Error(), errStaleEpoch)
+}
+
+// nodeDownErr reports whether an error (possibly stringified across an
+// OSD hop as an Ack) was caused by a dead node. Beyond the migration
+// driver's resolution checks, the client retry loops treat it as a
+// possible stale view: a dead node cannot bounce a stale epoch, and
+// placement may have moved the block off it (an epoch commit or a
+// recovery remap) while the request was in flight — the composition hole
+// the kill-during-rebalance grid pinned (a stale-view client retried a
+// committed-away dead home until its budget ran out).
+func nodeDownErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), netsim.ErrNodeDown.Error())
 }
 
 // degradedState tracks one failed OSD served in degraded mode. Surrogates
@@ -86,6 +98,15 @@ type degradedState struct {
 	stripes map[wire.StripeID]bool
 	// lost is every block the failed node hosted (one per degraded stripe).
 	lost map[wire.BlockID]bool
+	// replTarget records, per surrogate, the last OSD its journal appends
+	// replicated to — the promotion candidate if that surrogate dies
+	// mid-window (Cluster.promoteSurrogate).
+	replTarget map[wire.NodeID]wire.NodeID
+	// orphans keeps the transition-orphaned records seeded into this
+	// window's journals (takeOrphans at registration). They exist neither
+	// in the DataLog replicas (retired at extraction) nor in JournalReplica
+	// retention, so a surrogate promotion must re-splice them from here.
+	orphans []wire.ReplicaItem
 }
 
 // ---- update gate ----
@@ -187,10 +208,11 @@ func (c *Cluster) registerDegraded(p *sim.Proc, failed wire.NodeID, via *Client)
 		return nil, err
 	}
 	st := &degradedState{
-		failed:  failed,
-		surr:    make(map[int]wire.NodeID),
-		stripes: make(map[wire.StripeID]bool),
-		lost:    make(map[wire.BlockID]bool),
+		failed:     failed,
+		surr:       make(map[int]wire.NodeID),
+		stripes:    make(map[wire.StripeID]bool),
+		lost:       make(map[wire.BlockID]bool),
+		replTarget: make(map[wire.NodeID]wire.NodeID),
 	}
 	dead := func(id wire.NodeID) bool { return c.Fabric.Down(id) }
 	pmap := c.MDS.PlacementMap()
@@ -198,6 +220,12 @@ func (c *Cluster) registerDegraded(p *sim.Proc, failed wire.NodeID, via *Client)
 	// store.Blocks is sorted, so surrogate discovery order — and with it
 	// st.surrogates and the cutover's drain order — is deterministic.
 	for _, blk := range c.OSDByID(failed).store.Blocks() {
+		if c.Placement(blk.StripeID())[blk.Index] != failed {
+			// A stale leftover (e.g. the block migrated away under a
+			// finish-resolved transition): placement is the authority for
+			// what is lost, not the dead store's contents.
+			continue
+		}
 		s := blk.StripeID()
 		st.stripes[s] = true
 		st.lost[blk] = true
@@ -226,11 +254,22 @@ func (c *Cluster) registerDegraded(p *sim.Proc, failed wire.NodeID, via *Client)
 		}
 	}
 	c.degraded[failed] = st
-	// Partition the replica seeds by PG surrogate. Every seed's block was
-	// hosted by the failed node, so its stripe — and hence its PG — is
-	// registered above.
+	// Overlay records orphaned by a finish-resolved transition (their
+	// replay target was this node) ride along as extra seeds: degraded
+	// reads overlay them and the cutover replays them at the rebuilt
+	// homes. They follow the replica seeds, preserving append order per
+	// block (an orphan's block never also has replica seeds — extraction
+	// retired those). A copy stays on the state for surrogate promotion.
+	st.orphans = c.takeOrphans(failed)
+	items = append(items, st.orphans...)
+	// Partition the replica seeds by PG surrogate. A seed whose stripe is
+	// not degraded (its block migrated away before the death, so the node
+	// no longer hosted it) replayed at the new home already — skip it.
 	perSurr := make(map[wire.NodeID]int64)
 	for _, it := range items {
+		if !st.stripes[it.Blk.StripeID()] {
+			continue
+		}
 		sur := st.surr[pmap.PGOf(it.Blk.StripeID())]
 		j := c.OSDByID(sur).journalFor(failed)
 		j.items = append(j.items, it)
@@ -247,7 +286,32 @@ func (c *Cluster) registerDegraded(p *sim.Proc, failed wire.NodeID, via *Client)
 	return st, nil
 }
 
-func (c *Cluster) unregisterDegraded(failed wire.NodeID) { delete(c.degraded, failed) }
+func (c *Cluster) unregisterDegraded(failed wire.NodeID) {
+	delete(c.degraded, failed)
+	// The surrogate journals' replica retention was promotion insurance for
+	// this window only.
+	for _, osd := range c.OSDs {
+		if j, ok := osd.journals[failed]; ok {
+			j.replItems = nil
+		}
+	}
+}
+
+// stashOrphans parks replayable overlay records whose replay target died
+// mid-transition. registerDegraded(target) later seeds them into the
+// surrogate journals, so degraded reads overlay them and the recovery
+// cutover replays them at the rebuilt homes — no acked update is lost to
+// the extract→replay gap.
+func (c *Cluster) stashOrphans(target wire.NodeID, items []wire.ReplicaItem) {
+	c.orphans[target] = append(c.orphans[target], items...)
+}
+
+// takeOrphans removes and returns the records parked for a node.
+func (c *Cluster) takeOrphans(target wire.NodeID) []wire.ReplicaItem {
+	items := c.orphans[target]
+	delete(c.orphans, target)
+	return items
+}
 
 // ---- surrogate-side journal ----
 
@@ -257,12 +321,16 @@ func (c *Cluster) unregisterDegraded(failed wire.NodeID) { delete(c.degraded, fa
 // ring successor. cursor counts primary appends; replCursor counts
 // durability copies held for another surrogate (kept separate so the
 // placement experiment's surrogate-load accounting sees only primary
-// journal work, not ring-successor copies).
+// journal work, not ring-successor copies). replItems retains those
+// durability copies in memory so a dead surrogate's journal can be
+// promoted onto this holder (Cluster.promoteSurrogate) instead of losing
+// acked updates; they are dropped when the degraded window closes.
 type journal struct {
 	zone       int
 	cursor     int64
 	replCursor int64
 	items      []wire.ReplicaItem
+	replItems  []wire.ReplicaItem
 }
 
 // journalSpan bounds the circular on-disk journal region (per failed node).
@@ -327,8 +395,12 @@ func (o *OSD) handleDegradedUpdate(p *sim.Proc, v *wire.DegradedUpdate) wire.Msg
 	o.journalPersist(p, j, int64(len(v.Data)))
 	// Replicate for durability of the journal itself (mirrors the DataLog's
 	// replication; best effort — a dead copy holder only narrows the
-	// redundancy window).
+	// redundancy window). The target is recorded on the degraded state so a
+	// later death of THIS surrogate knows where to promote the journal from.
 	if repl := o.c.nextLive(o.id, v.Failed); repl != o.id {
+		if st := o.c.degraded[v.Failed]; st != nil {
+			st.replTarget[o.id] = repl
+		}
 		_, _ = o.Call(p, repl, &wire.JournalReplica{Failed: v.Failed, Blk: v.Blk, Off: v.Off, Data: v.Data})
 	}
 	return wire.OK

@@ -1,0 +1,216 @@
+package cluster
+
+// Kill: the cluster's first-class OSD-death entry point. Tests and the
+// harness used to flip Fabric.SetDown directly, which left two windows
+// undefined: a death during an online rebalance (the migration wedged and
+// the cluster had to be discarded) and the death of a surrogate OSD inside
+// a degraded window (the journal — and with it acked client updates — was
+// simply gone). Kill closes both:
+//
+//   - mid-transition, it publishes the death to the migration driver
+//     (MarkDead) and waits until every in-flight PG has resolved to abort
+//     or finish and the epoch has committed, so a subsequent Recover runs
+//     under one settled map;
+//   - mid-degraded-window, it detects the surrogate role and promotes the
+//     journal-replica holder: the replicated post-seed appends it already
+//     holds are spliced behind a re-fetched seed share, and the degraded
+//     routes re-point — no acked update is lost and no client op hangs.
+//     When the replica holder itself is unreachable the journal is
+//     unrecoverable and Kill fails fast with ErrSurrogateLost.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// Sentinel errors for the cluster's fatal control-plane guards. They are
+// distinct from the retryable routing bounces (stale epoch, degraded route
+// gone, cutover fence): a caller that sees one of these must change its
+// plan, not retry the same call. retryableRouteErr never matches them —
+// the stress suite pins that.
+var (
+	// ErrClusterDegraded: the operation refuses while a node is served in
+	// degraded mode (e.g. Expand during a failure window).
+	ErrClusterDegraded = errors.New("cluster: a node is degraded")
+	// ErrTransitionInProgress: the operation refuses while a placement
+	// transition is staged (e.g. Recover or a second Expand mid-rebalance).
+	// Kill resolves the transition; retrying the operation afterwards is
+	// the supported sequence.
+	ErrTransitionInProgress = errors.New("cluster: placement transition in progress")
+	// ErrSurrogateLost: a surrogate OSD died and its degraded-update
+	// journal cannot be promoted because the journal-replica holder is
+	// unreachable too; updates journaled in the window may be lost and the
+	// run must be treated as failed.
+	ErrSurrogateLost = errors.New("cluster: surrogate journal unrecoverable")
+)
+
+// KillReport describes what a Kill had to resolve beyond taking the node
+// off the fabric.
+type KillReport struct {
+	// TransitionResolved is set when the death landed during a placement
+	// transition; SettledEpoch is the epoch the transition committed at
+	// after per-PG abort/finish resolution. Per-PG outcomes appear in the
+	// rebalance.Report returned to the Expand/SplitPGs caller.
+	TransitionResolved bool
+	SettledEpoch       uint64
+	// PromotedJournals counts degraded-update journals promoted onto their
+	// replica holders because the dead node was serving as a surrogate.
+	PromotedJournals int
+}
+
+// resolveWait bounds how long Kill waits (virtual time) for the migration
+// driver to resolve an in-flight transition. Generous: resolution is
+// bounded by the remaining fenced work, not by the bulk-copy throttle.
+const resolveWait = 5 * time.Minute
+
+// Kill takes an OSD off the fabric and resolves every control-plane state
+// the death lands in: an in-flight placement transition resolves per PG
+// (abort or finish) and commits, and any degraded-update journal the node
+// held as surrogate is promoted onto its replica holder. It must be called
+// from a process other than the one driving an Expand/SplitPGs. After Kill
+// returns, Recover(failed) proceeds normally under the settled epoch.
+func (c *Cluster) Kill(p *sim.Proc, failed wire.NodeID, via *Client) (*KillReport, error) {
+	if c.Fabric.Down(failed) {
+		return nil, fmt.Errorf("cluster: Kill: node %d is already down", failed)
+	}
+	rep := &KillReport{}
+	inTrans := c.MDS.trans != nil
+	c.MarkDead(failed)
+	// Mutual exclusion means at most one of these two branches has work:
+	// degraded state cannot exist while a transition is staged.
+	for _, f := range c.degradedNodes() {
+		if err := c.promoteSurrogate(p, c.degraded[f], failed, via, rep); err != nil {
+			return rep, err
+		}
+	}
+	if inTrans {
+		rep.TransitionResolved = true
+		deadline := p.Now() + resolveWait
+		for c.MDS.trans != nil {
+			if p.Now() > deadline {
+				return rep, fmt.Errorf("cluster: Kill: transition did not resolve within %v", resolveWait)
+			}
+			p.Sleep(200 * time.Microsecond)
+		}
+		rep.SettledEpoch = c.MDS.committed
+	}
+	return rep, nil
+}
+
+// promoteSurrogate re-homes the degraded-update journal a dead surrogate
+// kept for st.failed onto the journal-replica holder. The promoted journal
+// is rebuilt in original order: the seed share (the failed node's
+// replicated unrecycled DataLog items for the victim's PGs — still held by
+// their original replica holders, ReplicaFetch is non-destructive)
+// followed by the post-seed appends the holder retained from
+// JournalReplica traffic. Route re-pointing is atomic with the splice, so
+// a degraded op admitted after promotion always sees the full journal.
+//
+// Scope: one surrogate death per window. If replication targets shifted
+// mid-window (a second death between appends), earlier appends may sit on
+// an older holder and are not recovered — the multi-death journal quorum
+// is future work.
+func (c *Cluster) promoteSurrogate(p *sim.Proc, st *degradedState, victim wire.NodeID, via *Client, rep *KillReport) error {
+	pgs := make(map[int]bool)
+	for pg, sur := range st.surr {
+		if sur == victim {
+			pgs[pg] = true
+		}
+	}
+	if len(pgs) == 0 {
+		return nil
+	}
+	cand, ok := st.replTarget[victim]
+	if !ok {
+		// No post-seed append was ever replicated; any live successor can
+		// host the re-fetched seeds.
+		cand = c.nextLive(victim, st.failed)
+	}
+	if cand == victim || c.Fabric.Down(cand) {
+		return fmt.Errorf("cluster: surrogate %d for node %d died and replica holder %d is unreachable: %w",
+			victim, st.failed, cand, ErrSurrogateLost)
+	}
+	seeds, err := c.fetchReplicaItems(p, st.failed, via)
+	if err != nil {
+		return err
+	}
+	pmap := c.MDS.PlacementMap()
+	osd := c.OSDByID(cand)
+	j := osd.journalFor(st.failed)
+	var seeded int64
+	for _, it := range seeds {
+		// Same filters registerDegraded applied: the victim's PGs only, and
+		// degraded stripes only — a finish-resolved transition can leave
+		// un-retired replica items for blocks that migrated off the failed
+		// node, and replaying those at the new homes would overwrite newer
+		// foreground writes.
+		if !pgs[pmap.PGOf(it.Blk.StripeID())] || !st.stripes[it.Blk.StripeID()] {
+			continue
+		}
+		j.items = append(j.items, it)
+		seeded += int64(len(it.Data))
+	}
+	// Transition-orphaned records the victim's journal was seeded with live
+	// nowhere else (replicas retired at extraction, never re-replicated);
+	// re-splice them from the degraded state, in their original
+	// post-replica-seed position.
+	for _, it := range st.orphans {
+		if !pgs[pmap.PGOf(it.Blk.StripeID())] {
+			continue
+		}
+		j.items = append(j.items, it)
+		seeded += int64(len(it.Data))
+	}
+	if seeded > 0 {
+		osd.journalPersist(p, j, seeded)
+	}
+	// Splice the retained replica appends for the victim's PGs behind the
+	// seeds (their payloads are already persisted in the replica cursor).
+	keep := j.replItems[:0]
+	for _, it := range j.replItems {
+		if pgs[pmap.PGOf(it.Blk.StripeID())] {
+			j.items = append(j.items, it)
+		} else {
+			keep = append(keep, it)
+		}
+	}
+	j.replItems = keep
+	// Re-point the degraded routes — same instant as the splice (no yield
+	// since the fetch), so no op can observe a half-promoted journal.
+	for pg := range pgs {
+		st.surr[pg] = cand
+	}
+	surrs := st.surrogates[:0]
+	seen := false
+	for _, sur := range st.surrogates {
+		if sur == victim {
+			continue
+		}
+		if sur == cand {
+			seen = true
+		}
+		surrs = append(surrs, sur)
+	}
+	if !seen {
+		surrs = append(surrs, cand)
+	}
+	st.surrogates = surrs
+	rep.PromotedJournals++
+	return nil
+}
+
+// degradedNodes returns the failed nodes currently served in degraded
+// mode, in deterministic order.
+func (c *Cluster) degradedNodes() []wire.NodeID {
+	out := make([]wire.NodeID, 0, len(c.degraded))
+	for f := range c.degraded {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

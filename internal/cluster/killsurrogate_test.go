@@ -1,0 +1,256 @@
+package cluster
+
+// Surrogate failover: the death of a surrogate OSD inside a degraded
+// window used to be undefined — journal replication was pure durability
+// accounting, so the journaled (and acked) client updates died with the
+// surrogate. Kill now detects the surrogate role and promotes the
+// journal-replica holder; when that holder is unreachable too, Kill fails
+// fast with ErrSurrogateLost instead of letting clients hang.
+
+import (
+	"bytes"
+	"errors"
+
+	"math/rand"
+	"testing"
+
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// degradedStripeOps drives count update+read-back pairs restricted to the
+// failed node's lost DATA blocks — the only ranges that stay serviceable
+// while a second (surrogate) node is down un-recovered — verifying
+// read-your-writes through the journal overlay at every step.
+func degradedStripeOps(t *testing.T, p *sim.Proc, c *Cluster, cl *Client, st *degradedState,
+	ino uint64, content []byte, rng *rand.Rand, count int) bool {
+	t.Helper()
+	var lost []wire.BlockID
+	for blk := range st.lost {
+		if int(blk.Index) < c.Cfg.K {
+			lost = append(lost, blk)
+		}
+	}
+	if len(lost) == 0 {
+		t.Error("no lost data blocks to exercise")
+		return false
+	}
+	// Deterministic order for the rng-driven picks.
+	for i := 1; i < len(lost); i++ {
+		for j := i; j > 0 && lost[j].Stripe < lost[j-1].Stripe ||
+			j > 0 && lost[j].Stripe == lost[j-1].Stripe && lost[j].Index < lost[j-1].Index; j-- {
+			lost[j], lost[j-1] = lost[j-1], lost[j]
+		}
+	}
+	for i := 0; i < count; i++ {
+		blk := lost[rng.Intn(len(lost))]
+		base := int64(blk.Stripe)*c.StripeWidth() + int64(blk.Index)*c.Cfg.BlockSize
+		off := base + int64(rng.Intn(int(c.Cfg.BlockSize-1024)))
+		n := 1 + rng.Intn(1024)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if err := cl.Update(p, ino, off, buf); err != nil {
+			t.Errorf("degraded update %d: %v", i, err)
+			return false
+		}
+		copy(content[off:], buf)
+		got, err := cl.Read(p, ino, off, int64(n))
+		if err != nil {
+			t.Errorf("degraded read %d: %v", i, err)
+			return false
+		}
+		if !bytes.Equal(got, buf) {
+			t.Errorf("degraded read-your-writes violated at %d", i)
+			return false
+		}
+	}
+	return true
+}
+
+// TestKillSurrogatePromotesJournal: with a node down and degraded updates
+// journaled, the journal-holding surrogate dies. Kill must promote the
+// replica holder — degraded I/O keeps flowing read-your-writes over the
+// promoted journal, recovery's cutover replays it, and after both dead
+// nodes recover every byte verifies.
+func TestKillSurrogatePromotesJournal(t *testing.T) {
+	cfg := degradedConfig("tsue")
+	c := MustNew(cfg)
+	defer c.Env.Close()
+	cl := c.NewClient()
+	admin := c.NewClient()
+	done := false
+	c.Env.Go("t", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(61))
+		fileSize := 4 * c.StripeWidth()
+		content := make([]byte, fileSize)
+		rng.Read(content)
+		ino, err := cl.Create(p, "f", fileSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := cl.WriteFile(p, ino, content); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.DrainAll(p, admin); err != nil {
+			t.Error(err)
+			return
+		}
+		victim := wire.NodeID(3)
+		c.Fabric.SetDown(victim, true)
+		st, err := c.registerDegraded(p, victim, admin)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Journal a first batch of degraded updates, then kill the busiest
+		// surrogate.
+		if !degradedStripeOps(t, p, c, cl, st, ino, content, rng, 50) {
+			return
+		}
+		var surr wire.NodeID
+		most := 0
+		for _, s := range st.surrogates {
+			if n := len(c.OSDByID(s).journalItems(victim)); n > most {
+				most, surr = n, s
+			}
+		}
+		if surr == 0 {
+			t.Error("no surrogate holds journal items")
+			return
+		}
+		krep, err := c.Kill(p, surr, admin)
+		if err != nil {
+			t.Errorf("kill surrogate %d: %v", surr, err)
+			return
+		}
+		if krep.PromotedJournals == 0 {
+			t.Error("surrogate death promoted no journal")
+			return
+		}
+		for _, s := range st.surrogates {
+			if s == surr {
+				t.Error("dead surrogate still routed")
+				return
+			}
+		}
+		// Degraded I/O must keep flowing — read-your-writes across the
+		// promotion, including updates journaled before it.
+		if !degradedStripeOps(t, p, c, cl, st, ino, content, rng, 50) {
+			return
+		}
+		// Finish the victim's recovery by hand (its degraded window is
+		// still open); the promoted journal must replay.
+		rep := &RecoveryReport{}
+		lost, err := c.rebuild(p, victim, 4, admin, rep, true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.resetStripeState(lost)
+		c.closeGate()
+		err = c.cutover(p, victim, admin, rep)
+		c.openGate()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rep.ReplayedItems == 0 {
+			t.Error("promoted journal replayed nothing")
+			return
+		}
+		// Now recover the dead surrogate itself and verify everything.
+		if _, err := c.Recover(p, surr, 2, RecoverInterleaved, admin); err != nil {
+			t.Errorf("recover dead surrogate: %v", err)
+			return
+		}
+		if err := c.DrainAll(p, admin); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Scrub(); err != nil {
+			t.Errorf("scrub: %v", err)
+			return
+		}
+		got, err := cl.Read(p, ino, 0, fileSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, content) {
+			t.Error("content mismatch after surrogate death + promotion + recovery")
+			return
+		}
+		done = true
+	})
+	c.Env.Run(0)
+	if !done && !t.Failed() {
+		t.Fatal("deadlock")
+	}
+}
+
+// TestKillSurrogateReplicaHolderLost: when the surrogate's journal-replica
+// holder is already dead, Kill must fail fast with ErrSurrogateLost — a
+// clear verdict instead of a hang or silent data loss.
+func TestKillSurrogateReplicaHolderLost(t *testing.T) {
+	cfg := degradedConfig("tsue")
+	c := MustNew(cfg)
+	defer c.Env.Close()
+	cl := c.NewClient()
+	admin := c.NewClient()
+	done := false
+	c.Env.Go("t", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(71))
+		fileSize := 4 * c.StripeWidth()
+		content := make([]byte, fileSize)
+		rng.Read(content)
+		ino, err := cl.Create(p, "f", fileSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := cl.WriteFile(p, ino, content); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.DrainAll(p, admin); err != nil {
+			t.Error(err)
+			return
+		}
+		victim := wire.NodeID(3)
+		c.Fabric.SetDown(victim, true)
+		st, err := c.registerDegraded(p, victim, admin)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !degradedStripeOps(t, p, c, cl, st, ino, content, rng, 40) {
+			return
+		}
+		var surr, holder wire.NodeID
+		for _, s := range st.surrogates {
+			if h, ok := st.replTarget[s]; ok && len(c.OSDByID(s).journalItems(victim)) > 0 {
+				surr, holder = s, h
+				break
+			}
+		}
+		if surr == 0 {
+			t.Error("no surrogate with a recorded replica holder")
+			return
+		}
+		// The holder silently dies first (no Kill: it is neither surrogate
+		// nor mid-transition), then the surrogate goes.
+		c.Fabric.SetDown(holder, true)
+		_, err = c.Kill(p, surr, admin)
+		if !errors.Is(err, ErrSurrogateLost) {
+			t.Errorf("kill with dead replica holder: got %v, want ErrSurrogateLost", err)
+			return
+		}
+		done = true
+	})
+	c.Env.Run(0)
+	if !done && !t.Failed() {
+		t.Fatal("deadlock")
+	}
+}

@@ -30,6 +30,49 @@ type MDS struct {
 	lastBeat map[wire.NodeID]time.Duration
 }
 
+// PGStage enumerates one migrating PG's position in a placement
+// transition's state machine: staged → copying → fenced → replaying →
+// committed on the happy path, with aborted as the rollback terminal when
+// an OSD death mid-transition resolves the PG back to the prior epoch.
+type PGStage uint8
+
+const (
+	// StageStaged: the PG's moves are planned; no byte has been copied.
+	StageStaged PGStage = iota
+	// StageCopying: throttled bulk copy in flight, foreground I/O flowing.
+	StageCopying
+	// StageFenced: inside the cutover fence (settle, catch-up, extract) —
+	// the update gate is closed and reads of the PG bounce.
+	StageFenced
+	// StageReplaying: the MDS has flipped the PG to the staged epoch and
+	// extracted overlay records are replaying into the new homes.
+	StageReplaying
+	// StageCommitted: the PG is fully cut over (terminal).
+	StageCommitted
+	// StageAborted: the PG was rolled back to the prior epoch after an OSD
+	// death (terminal; the block moves become physical remaps at commit).
+	StageAborted
+)
+
+// String returns the stage's report name.
+func (s PGStage) String() string {
+	switch s {
+	case StageStaged:
+		return "staged"
+	case StageCopying:
+		return "copying"
+	case StageFenced:
+		return "fenced"
+	case StageReplaying:
+		return "replaying"
+	case StageCommitted:
+		return "committed"
+	case StageAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("PGStage(%d)", uint8(s))
+}
+
 // transition tracks one staged epoch mid-migration. Indexed by staged-epoch
 // PG id (the cutover unit).
 type transition struct {
@@ -40,6 +83,16 @@ type transition struct {
 	// overlay logs have been extracted but not yet replayed at the new
 	// homes.
 	fencing map[int]bool
+	// stage is each migrating PG's state-machine position (PGs without
+	// moves never appear: they flip for free at commit).
+	stage map[int]PGStage
+	// aborted marks PGs resolved by rollback: they keep resolving under the
+	// committed epoch and their moves become physical remaps at commit.
+	aborted map[int]bool
+	// dead is the OSD (0 = none) whose mid-transition death the migration
+	// driver must resolve; set by Cluster.MarkDead, observed by the mover
+	// at every stage boundary.
+	dead wire.NodeID
 }
 
 func newMDS(c *Cluster, place *placement.Map) *MDS {
@@ -135,8 +188,41 @@ func (m *MDS) handle(p *sim.Proc, from wire.NodeID, msg wire.Msg) wire.Msg {
 		if t == nil || v.Epoch != t.next {
 			return &wire.Ack{Err: fmt.Sprintf("mds: cutover for epoch %d outside transition", v.Epoch)}
 		}
+		if t.aborted[int(v.PG)] {
+			return &wire.Ack{Err: fmt.Sprintf("mds: pg %d already aborted", v.PG)}
+		}
 		t.cutover[int(v.PG)] = true
+		t.stage[int(v.PG)] = StageReplaying
 		return wire.OK
+	case *wire.PGAbort:
+		t := m.trans
+		if t == nil || v.Epoch != t.next {
+			return &wire.Ack{Err: fmt.Sprintf("mds: abort for epoch %d outside transition", v.Epoch)}
+		}
+		if t.cutover[int(v.PG)] {
+			// Past the flip the staged map is authoritative for the PG;
+			// rolling back would strand replayed state. The mover's policy
+			// never aborts here (it finishes instead).
+			return &wire.Ack{Err: fmt.Sprintf("mds: pg %d already cut over, cannot abort", v.PG)}
+		}
+		t.aborted[int(v.PG)] = true
+		t.stage[int(v.PG)] = StageAborted
+		return wire.OK
+	case *wire.TransitionStatus:
+		t := m.trans
+		if t == nil {
+			return &wire.TransitionStatusResp{Committed: m.committed}
+		}
+		resp := &wire.TransitionStatusResp{InFlight: true, Staged: t.next, Committed: m.committed}
+		pgs := make([]int, 0, len(t.stage))
+		for pg := range t.stage {
+			pgs = append(pgs, pg)
+		}
+		sort.Ints(pgs)
+		for _, pg := range pgs {
+			resp.PGs = append(resp.PGs, wire.PGStatus{PG: uint32(pg), Stage: uint8(t.stage[pg])})
+		}
+		return resp
 	case *wire.Heartbeat:
 		m.lastBeat[v.From] = p.Now()
 		return wire.OK
@@ -173,10 +259,38 @@ func (m *MDS) handleEpochUpdate(v *wire.EpochUpdate) wire.Msg {
 		if err != nil {
 			return &wire.EpochResp{Err: err.Error()}
 		}
-		m.trans = &transition{next: next, cutover: make(map[int]bool), fencing: make(map[int]bool)}
+		m.trans = &transition{
+			next:    next,
+			cutover: make(map[int]bool),
+			fencing: make(map[int]bool),
+			stage:   make(map[int]PGStage),
+			aborted: make(map[int]bool),
+		}
 		return &wire.EpochResp{Epoch: next}
 	}
 	return &wire.EpochResp{Err: fmt.Sprintf("mds: unknown epoch op %d", v.Kind)}
+}
+
+// setPGStage advances a migrating PG's state-machine position. The mover
+// drives the happy-path edges directly (control plane); the abort edge and
+// the replaying edge arrive over the wire (PGAbort / PGCutover) so the MDS
+// stays the single authority TransitionStatus and the resolution policy
+// read.
+func (m *MDS) setPGStage(pg int, s PGStage) {
+	if t := m.trans; t != nil {
+		t.stage[pg] = s
+	}
+}
+
+// PGStageOf returns a migrating PG's transition stage; ok is false when no
+// transition is in flight or the PG has no moves (tests, harness).
+func (m *MDS) PGStageOf(pg int) (PGStage, bool) {
+	t := m.trans
+	if t == nil {
+		return 0, false
+	}
+	s, ok := t.stage[pg]
+	return s, ok
 }
 
 // DeadOSDs returns OSDs whose last heartbeat is older than timeout at the

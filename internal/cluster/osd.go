@@ -152,9 +152,13 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 	case *wire.DegradedRead:
 		return o.handleDegradedRead(p, v)
 	case *wire.JournalReplica:
-		// Durability copy of a surrogate-journal record: persist and ack
-		// (never read back; the primary journal drives replay).
+		// Durability copy of a surrogate-journal record: persist, and keep
+		// the item so the journal can be promoted here if the surrogate
+		// dies mid-window (the primary journal drives replay otherwise).
 		j := o.journalFor(v.Failed)
+		j.replItems = append(j.replItems, wire.ReplicaItem{
+			Blk: v.Blk, Off: v.Off, Data: append([]byte(nil), v.Data...),
+		})
 		o.journalPersistReplica(p, j, int64(len(v.Data)))
 		return wire.OK
 	case *wire.JournalFetch:
@@ -175,8 +179,17 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 // block from its old home and store it locally. Raw is correct by
 // contract with the migration engine — either the old home's logs were
 // settled under the fence before the authoritative copy, or a catch-up
-// re-copy and a log replay follow.
+// re-copy and a log replay follow. With Reconstruct set (the old home is
+// dead), the block is rebuilt from K surviving stripe peers instead —
+// recovery's reconstruction running as the migration's finish policy, so
+// it must be called under the fence after the settle barrier.
 func (o *OSD) handleMigrateBlock(p *sim.Proc, v *wire.MigrateBlock) wire.Msg {
+	if v.Reconstruct {
+		if err := o.recoverBlock(p, &wire.RecoverBlock{Blk: v.Blk, Reencode: v.Reencode}); err != nil {
+			return &wire.Ack{Err: fmt.Sprintf("migrate reconstruct %v: %v", v.Blk, err)}
+		}
+		return wire.OK
+	}
 	resp, err := o.Call(p, v.From, &wire.ReadBlock{
 		Blk: v.Blk, Off: 0, Size: int32(o.c.Cfg.BlockSize), Raw: true,
 	})

@@ -21,8 +21,22 @@ package cluster
 //     per-stripe engine baselines are retired, the fence opens, and
 //     stale-epoch clients bounce once to re-resolve.
 //
-// Recovery and rebalance are mutually exclusive: Expand refuses while any
-// node is degraded and Recover refuses during a transition.
+// Each migrating PG walks an explicit state machine the MDS owns
+// (staged → copying → fenced → replaying → committed), and an OSD death
+// mid-transition (Cluster.Kill / MarkDead) is a first-class event: every
+// in-flight PG resolves to ABORT (roll back to the prior epoch — retire
+// partial copies, restore extracted overlay to the old homes, re-open
+// foreground I/O against them) or FINISH (complete the remaining copies
+// from surviving stripe peers by reconstruction, then cut over) against
+// the liveness view, per the policy in MigratePG. After resolution the
+// staged epoch still commits — aborted PGs' moves become physical remaps,
+// exactly like recovery's placement overrides — and Recover then proceeds
+// normally under the settled epoch.
+//
+// Recovery and an ongoing rebalance remain mutually exclusive entry
+// points: Expand refuses while any node is degraded and Recover refuses
+// during a transition — but a death during a transition no longer wedges
+// the cluster; Kill resolves the transition first and recovery follows.
 
 import (
 	"fmt"
@@ -39,18 +53,16 @@ import (
 // Foreground I/O keeps flowing except inside each PG's brief cutover
 // fence. It returns the migration report and the new OSD's node ID.
 //
-// Error contract: a failure mid-migration leaves the cluster stuck in the
-// transition — the staged epoch stays, the new node stays wired, and both
-// Recover and further Expands refuse. Like the engines' internal pipeline
-// invariants (which panic), a failed migration is fatal to the run: the
-// cluster must be discarded. Aborting/rolling back a partially cut-over
-// transition is future work (ROADMAP: rebalance × failure composition).
+// Failure contract: an OSD death mid-migration (published via Kill or
+// MarkDead) is resolved per PG — abort or finish — and Expand still
+// returns a committed epoch plus the per-PG outcomes in the report. Only
+// unexpected protocol errors remain fatal to the run.
 func (c *Cluster) Expand(p *sim.Proc, via *Client, rcfg rebalance.Config) (*rebalance.Report, wire.NodeID, error) {
 	if len(c.degraded) > 0 {
-		return nil, 0, fmt.Errorf("cluster: cannot expand while a node is degraded")
+		return nil, 0, fmt.Errorf("cluster: cannot expand: %w", ErrClusterDegraded)
 	}
 	if t := c.MDS.trans; t != nil {
-		return nil, 0, fmt.Errorf("cluster: placement transition to epoch %d already in flight", t.next)
+		return nil, 0, fmt.Errorf("cluster: cannot expand to a new epoch (epoch %d staged): %w", t.next, ErrTransitionInProgress)
 	}
 	osd, err := c.AddOSDNode()
 	if err != nil {
@@ -74,10 +86,10 @@ func (c *Cluster) Expand(p *sim.Proc, via *Client, rcfg rebalance.Config) (*reba
 // advance uniformly.
 func (c *Cluster) SplitPGs(p *sim.Proc, via *Client, factor int, rcfg rebalance.Config) (*rebalance.Report, error) {
 	if len(c.degraded) > 0 {
-		return nil, fmt.Errorf("cluster: cannot re-epoch while a node is degraded")
+		return nil, fmt.Errorf("cluster: cannot re-epoch: %w", ErrClusterDegraded)
 	}
 	if t := c.MDS.trans; t != nil {
-		return nil, fmt.Errorf("cluster: placement transition to epoch %d already in flight", t.next)
+		return nil, fmt.Errorf("cluster: cannot re-epoch (epoch %d staged): %w", t.next, ErrTransitionInProgress)
 	}
 	next, err := c.stageEpoch(p, via, &wire.EpochUpdate{Kind: wire.EpochStageSplitPGs, Factor: uint32(factor)})
 	if err != nil {
@@ -104,7 +116,10 @@ func (c *Cluster) stageEpoch(p *sim.Proc, via *Client, req *wire.EpochUpdate) (u
 }
 
 // migrate plans and executes the committed→next migration, then commits
-// the epoch at the MDS.
+// the epoch at the MDS. Aborted PGs (death resolution) stay physically at
+// their old homes: their moves become recovery-style placement remaps an
+// instant before the commit, so the new map plus the overlay resolves
+// every block to where its bytes really are.
 func (c *Cluster) migrate(p *sim.Proc, via *Client, next uint64, rcfg rebalance.Config) (*rebalance.Report, error) {
 	m := c.MDS
 	stripes := m.allStripes()
@@ -122,16 +137,38 @@ func (c *Cluster) migrate(p *sim.Proc, via *Client, next uint64, rcfg rebalance.
 		}
 	}
 	plan := rebalance.BuildPlan(next-1, next, kept, m.epochs.MinimalBound(next, stripes))
+	for _, pg := range plan.PGs {
+		m.setPGStage(pg.PG, StageStaged)
+		c.fireTransEvent(pg, StageStaged, 0)
+	}
 	rep, err := rebalance.Run(c.Env, p, plan, rcfg, &pgMover{c: c, via: via})
 	if err != nil {
-		// No rollback: extracted overlay may already be gone from old homes
-		// and some PGs already cut over. See Expand's error contract.
+		// Unexpected protocol failure (death resolution never errors the
+		// scheduler): the staged epoch stays and the cluster must be
+		// discarded, like an engine pipeline invariant violation.
 		return nil, fmt.Errorf("cluster: migration to epoch %d failed mid-transition (cluster must be discarded): %w", next, err)
 	}
-	// Commit: every moving PG has cut over; the remaining PGs' placement is
-	// identical under both maps (or they hold no blocks), so the flip needs
-	// no fence. In-flight requests tagged with the retiring epoch bounce
-	// once and re-resolve.
+	// Aborted PGs' blocks stayed at their old homes; pin them there under
+	// the about-to-commit map. Installing the remaps before the commit RPC
+	// is glitch-free: until the commit lands these PGs still resolve under
+	// the old epoch, where the remap repeats what the map already says.
+	for _, res := range rep.Outcomes {
+		if res.Outcome != rebalance.OutcomeAborted {
+			continue
+		}
+		for _, pg := range plan.PGs {
+			if pg.PG != res.PG {
+				continue
+			}
+			for _, mv := range pg.Moves {
+				c.remap[mv.Blk] = mv.From
+			}
+		}
+	}
+	// Commit: every moving PG has cut over or aborted; the remaining PGs'
+	// placement is identical under both maps (or they hold no blocks), so
+	// the flip needs no fence. In-flight requests tagged with the retiring
+	// epoch bounce once and re-resolve.
 	resp, err := c.Fabric.Call(p, via.id, mdsID, &wire.EpochUpdate{Kind: wire.EpochCommit})
 	if err != nil {
 		return nil, err
@@ -142,6 +179,67 @@ func (c *Cluster) migrate(p *sim.Proc, via *Client, next uint64, rcfg rebalance.
 	return rep, nil
 }
 
+// TransEvent is one observation point of a PG's migration, delivered to
+// the transition hook: the PG, the stage just entered (Copied > 0 marks
+// phase-1 copy progress within StageCopying), and the PG's planned moves.
+type TransEvent struct {
+	PG     int
+	Stage  PGStage
+	Copied int
+	Moves  []placement.Move
+}
+
+// SetTransHook installs an instrumentation hook invoked synchronously at
+// every stage boundary of every migrating PG (tests and fault injection:
+// the kill-at-stage grid marks an OSD dead from inside the migration
+// driver, which is what makes the grid deterministic). The hook must not
+// block; MarkDead is safe to call from it, Kill is not.
+func (c *Cluster) SetTransHook(fn func(TransEvent)) { c.transHook = fn }
+
+func (c *Cluster) fireTransEvent(pg rebalance.PGMoves, stage PGStage, copied int) {
+	if c.transHook != nil {
+		c.transHook(TransEvent{PG: pg.PG, Stage: stage, Copied: copied, Moves: pg.Moves})
+	}
+}
+
+// transDead returns the OSD whose death the in-flight transition must
+// resolve (0 = none).
+func (c *Cluster) transDead() wire.NodeID {
+	if t := c.MDS.trans; t != nil {
+		return t.dead
+	}
+	return 0
+}
+
+// MarkDead takes an OSD off the fabric and, when a placement transition is
+// in flight, publishes the death to the migration driver, which resolves
+// every in-flight PG (abort or finish) against the new liveness view.
+// Non-blocking — safe to call from instrumentation hooks inside the driver
+// itself; Kill is the blocking entry point that also waits the resolution
+// out.
+func (c *Cluster) MarkDead(failed wire.NodeID) {
+	c.Fabric.SetDown(failed, true)
+	if t := c.MDS.trans; t != nil {
+		t.dead = failed
+	}
+}
+
+// pgRole classifies the dead node's relationship to one PG's moves.
+func pgRole(pg rebalance.PGMoves, dead wire.NodeID) (src, dst bool) {
+	if dead == 0 {
+		return false, false
+	}
+	for _, mv := range pg.Moves {
+		if mv.From == dead {
+			src = true
+		}
+		if mv.To == dead {
+			dst = true
+		}
+	}
+	return src, dst
+}
+
 // pgMover is the cluster's rebalance.Mover.
 type pgMover struct {
 	c   *Cluster
@@ -149,24 +247,48 @@ type pgMover struct {
 }
 
 // MigratePG migrates one PG's moving blocks end to end (see the package
-// comment for the phase protocol).
+// comment for the phase protocol), resolving a mid-flight OSD death to an
+// abort or a finish:
+//
+//   - pre-fence (staged / copying), dead node is a source or destination
+//     of this PG: ABORT — the copy is early, rolling back is cheap;
+//   - inside the fence, destination dead before the MDS flip: ABORT with
+//     extracted overlay restored to the (live) old homes;
+//   - inside the fence otherwise: FINISH — copies whose source died
+//     complete by K-shard reconstruction (with the recovery repair's
+//     re-encode when the dead source may have torn the stripe), their
+//     unrecycled overlay replays from its reliability replicas;
+//   - after the flip (replaying): FINISH — overlay aimed at a dead new
+//     home is stashed for the failure's degraded-journal machinery.
+//
+// A dead bystander never aborts a PG: its migration completes normally.
 func (pm *pgMover) MigratePG(p *sim.Proc, pg rebalance.PGMoves, th *rebalance.Throttle) (rebalance.PGResult, error) {
 	c := pm.c
-	res := rebalance.PGResult{PG: pg.PG}
+	res := rebalance.PGResult{PG: pg.PG, Outcome: rebalance.OutcomeCommitted}
 	blockSize := c.Cfg.BlockSize
+	c.MDS.setPGStage(pg.PG, StageCopying)
+	c.fireTransEvent(pg, StageCopying, 0)
 
 	// Phase 1: throttled bulk copy with foreground I/O flowing. Versions
 	// are read immediately before each pull so any later write is caught by
 	// the fenced catch-up.
 	vers := make([]uint64, len(pg.Moves))
 	for i, mv := range pg.Moves {
+		if src, dst := pgRole(pg, c.transDead()); src || dst {
+			return pm.abortPG(p, pg, nil, &res)
+		}
 		th.Take(p, blockSize)
 		vers[i] = c.OSDByID(mv.From).store.Version(mv.Blk)
 		if err := pm.copyBlock(p, mv); err != nil {
+			if nodeDownErr(err) && (c.Fabric.Down(mv.From) || c.Fabric.Down(mv.To)) {
+				// The copy's endpoint died under us: early abort.
+				return pm.abortPG(p, pg, nil, &res)
+			}
 			return res, err
 		}
 		res.CopiedBlocks++
 		res.CopiedBytes += blockSize
+		c.fireTransEvent(pg, StageCopying, i+1)
 	}
 
 	// Phase 2+3: fenced cutover, serialized across concurrent migrations.
@@ -176,47 +298,132 @@ func (pm *pgMover) MigratePG(p *sim.Proc, pg rebalance.PGMoves, th *rebalance.Th
 	c.fenceUpdates(p)
 	t := c.MDS.trans
 	t.fencing[pg.PG] = true
+	c.MDS.setPGStage(pg.PG, StageFenced)
+	c.fireTransEvent(pg, StageFenced, 0)
 	err := pm.cutoverLocked(p, pg, vers, &res)
 	t.fencing[pg.PG] = false
 	c.openGate()
 	res.Stall = p.Now() - stallStart
+	if err == nil && res.Outcome != rebalance.OutcomeAborted {
+		c.MDS.setPGStage(pg.PG, StageCommitted)
+		c.fireTransEvent(pg, StageCommitted, 0)
+	}
 	return res, err
 }
 
 // cutoverLocked runs the fenced part of a PG migration: settle, catch-up
-// re-copy, overlay extraction, MDS cutover, replay, retirement. The caller
-// holds the cutover mutex and the closed update gate.
+// re-copy (reconstruction for dead sources), overlay extraction, MDS
+// cutover, replay, retirement — resolving deaths per the policy in
+// MigratePG's comment. The caller holds the cutover mutex and the closed
+// update gate.
 func (pm *pgMover) cutoverLocked(p *sim.Proc, pg rebalance.PGMoves, vers []uint64, res *rebalance.PGResult) error {
 	c := pm.c
 	// Settle: bring raw shards to stripe consistency with minimal merging.
 	// In-place engines drain their whole debt here (the "in-place schemes
-	// drain" half of the cutover); TSUE retains its replayable overlay.
-	if err := c.SettleAll(p, pm.via, 0); err != nil {
+	// drain" half of the cutover); TSUE retains its replayable overlay —
+	// scoped by the dead node (if any), whose stripes' raw shards feed the
+	// finish policy's reconstructions and must flush like recovery's.
+	if err := c.SettleAll(p, pm.via, c.transDead()); err != nil {
 		return err
 	}
-	// Catch-up: re-copy blocks whose raw bytes changed since phase 1 —
-	// foreground RMWs for in-place engines, recycle/settle-applied log
-	// merges for log-structured ones.
-	for i, mv := range pg.Moves {
-		if c.OSDByID(mv.From).store.Version(mv.Blk) == vers[i] {
-			continue
+	dead := c.transDead()
+	if _, dst := pgRole(pg, dead); dst {
+		// The PG's new home died before the flip: roll back.
+		return pm.abortLocked(p, pg, nil, res)
+	}
+	srcDead, _ := pgRole(pg, dead)
+	if srcDead {
+		res.Outcome = rebalance.OutcomeFinished
+	}
+	// Finish-policy reconstructions and version-checked catch-up re-copies
+	// run as rounds until quiescent: both yield on RPCs, so a source can
+	// die between (or during) passes — invalidating an earlier skip — and
+	// a re-encode repair writes live parities in place, possibly dirtying
+	// another move's already-checked source. One round handles the common
+	// case; the loop closes the races.
+	//
+	//   - dead source: the copy completes from K surviving stripe peers,
+	//     re-encoding the parity set when the death may have torn it
+	//     (cluster.stripeRepair); a phase-1 raw copy whose version never
+	//     moved is kept (its overlay replays below).
+	//   - live source: re-copy when the raw bytes changed since phase 1 —
+	//     foreground RMWs for in-place engines, recycle/settle-applied log
+	//     merges for log-structured ones.
+	settled := make([]bool, len(pg.Moves)) // dead-source move fully handled
+	for round := 0; ; round++ {
+		changed := false
+		for i, mv := range pg.Moves {
+			if !c.Fabric.Down(mv.From) || settled[i] {
+				continue
+			}
+			reenc := c.stripeRepair(mv.Blk)
+			if !reenc && c.OSDByID(mv.From).store.Version(mv.Blk) == vers[i] {
+				settled[i] = true
+				continue
+			}
+			if err := pm.reconstructBlock(p, mv, reenc); err != nil {
+				return err
+			}
+			settled[i] = true
+			changed = true
+			res.Reconstructed++
+			res.CopiedBytes += c.Cfg.BlockSize
+			res.Outcome = rebalance.OutcomeFinished
 		}
-		if err := pm.copyBlock(p, mv); err != nil {
-			return err
+		for i, mv := range pg.Moves {
+			if c.Fabric.Down(mv.From) {
+				continue // dead-source pass owns it (this round or the next)
+			}
+			cur := c.OSDByID(mv.From).store.Version(mv.Blk)
+			if cur == vers[i] {
+				continue
+			}
+			if err := pm.copyBlock(p, mv); err != nil {
+				if nodeDownErr(err) && c.Fabric.Down(mv.From) {
+					changed = true // died mid-copy; next round reconstructs
+					continue
+				}
+				return err
+			}
+			vers[i] = cur
+			changed = true
+			res.RecopiedBlocks++
+			res.CopiedBytes += c.Cfg.BlockSize
 		}
-		res.RecopiedBlocks++
-		res.CopiedBytes += c.Cfg.BlockSize
+		if !changed {
+			break
+		}
+		if round >= 8 {
+			return fmt.Errorf("pg %d catch-up did not converge", pg.PG)
+		}
 	}
 	// Extract the moving blocks' replayable overlay records from their old
 	// homes (empty for in-place engines). Reads of this PG are fenced, so
-	// the extract→replay gap is unobservable.
+	// the extract→replay gap is unobservable. A home that died mid-loop is
+	// skipped: its unrecycled overlay lives on in reliability replicas.
 	items := make([][]wire.ReplicaItem, len(pg.Moves))
 	for i, mv := range pg.Moves {
+		if c.Fabric.Down(mv.From) {
+			continue
+		}
 		got, err := pm.extractLog(p, mv)
 		if err != nil {
+			if nodeDownErr(err) {
+				continue
+			}
 			return err
 		}
 		items[i] = got
+	}
+	// Re-check the liveness view at the point of no return.
+	dead = c.transDead()
+	if srcNow, dstNow := pgRole(pg, dead); dstNow {
+		// New home died during the fence, before the flip: roll back,
+		// restoring whatever overlay was already extracted.
+		return pm.abortLocked(p, pg, items, res)
+	} else if srcNow {
+		res.Outcome = rebalance.OutcomeFinished
+		srcDead = true
 	}
 	// Flip the PG: from here the new homes are authoritative, so the
 	// replays below route (and their engines' later recycles resolve)
@@ -224,18 +431,42 @@ func (pm *pgMover) cutoverLocked(p *sim.Proc, pg rebalance.PGMoves, vers []uint6
 	if err := pm.cutover(p, pg.PG); err != nil {
 		return err
 	}
+	c.fireTransEvent(pg, StageReplaying, 0)
 	for i, mv := range pg.Moves {
 		for _, it := range items[i] {
 			if err := pm.replay(p, mv.To, it); err != nil {
+				if nodeDownErr(err) && c.Fabric.Down(mv.To) {
+					// The new home died after the flip: the record cannot
+					// land now, but it must not be lost — stash it for the
+					// degraded-journal machinery (registerDegraded seeds it
+					// into the surrogate journal, cutover replays it).
+					c.stashOrphans(mv.To, items[i])
+					res.Outcome = rebalance.OutcomeFinished
+					break
+				}
 				return err
 			}
 			res.ReplayedItems++
 			res.ReplayedBytes += int64(len(it.Data))
 		}
 	}
+	if srcDead {
+		// The dead source's unrecycled overlay for the moving blocks never
+		// reached the extraction above; replay it from its reliability
+		// replicas now, so reads at the new homes are exact the moment the
+		// fence opens instead of waiting for the failure's recovery.
+		// (Recovery later replays the same replicas again through the
+		// surrogate journal — idempotent, and ordered before any degraded
+		// update.)
+		if err := pm.replayDeadSourceOverlay(p, pg, dead, res); err != nil {
+			return err
+		}
+	}
 	// Retire the old copies, stale recovery remaps, and per-stripe engine
 	// baselines (PARIX's orig coverage) the move invalidated. Control-plane
-	// metadata; the FTL sees the dropped blocks as trimmed space.
+	// metadata; the FTL sees the dropped blocks as trimmed space. Deleting
+	// a dead old home's entry keeps recovery's lost-block enumeration
+	// honest: the block is not lost, it moved.
 	blks := make([]wire.BlockID, 0, len(pg.Moves))
 	for _, mv := range pg.Moves {
 		c.OSDByID(mv.From).store.Delete(mv.Blk)
@@ -246,6 +477,86 @@ func (pm *pgMover) cutoverLocked(p *sim.Proc, pg rebalance.PGMoves, vers []uint6
 	return nil
 }
 
+// abortPG rolls one PG's migration back before its fence: partial copies
+// at the staged-epoch destinations are retired (they were never reachable
+// by clients) and the MDS records the abort, so the PG keeps resolving
+// under the committed epoch and its moves become physical remaps at
+// commit. The restored items parameter is nil pre-fence.
+func (pm *pgMover) abortPG(p *sim.Proc, pg rebalance.PGMoves, items [][]wire.ReplicaItem, res *rebalance.PGResult) (rebalance.PGResult, error) {
+	err := pm.abortLocked(p, pg, items, res)
+	return *res, err
+}
+
+// abortLocked is the shared abort path (pre-fence callers simply hold no
+// fence): restore any extracted overlay to its (live) old home, retire the
+// destination copies, and record the abort at the MDS.
+func (pm *pgMover) abortLocked(p *sim.Proc, pg rebalance.PGMoves, items [][]wire.ReplicaItem, res *rebalance.PGResult) error {
+	c := pm.c
+	for i, mv := range pg.Moves {
+		if items == nil || len(items[i]) == 0 {
+			continue
+		}
+		if c.Fabric.Down(mv.From) {
+			// Unreachable by policy: extraction only succeeds against live
+			// homes and a dead source forces finish, not abort. Stash
+			// rather than lose, should the policy ever change.
+			c.stashOrphans(mv.From, items[i])
+			continue
+		}
+		for _, it := range items[i] {
+			if err := pm.replay(p, mv.From, it); err != nil {
+				return fmt.Errorf("abort pg %d: restore %v: %w", pg.PG, it.Blk, err)
+			}
+			res.RestoredItems++
+		}
+	}
+	for _, mv := range pg.Moves {
+		// Direct store surgery: a live destination's partial copy is
+		// unreachable garbage, a dead one's must not resurface as a "lost
+		// block" when that node is later recovered.
+		c.OSDByID(mv.To).store.Delete(mv.Blk)
+	}
+	if err := pm.pgAbort(p, pg.PG); err != nil {
+		return err
+	}
+	res.Outcome = rebalance.OutcomeAborted
+	return nil
+}
+
+// replayDeadSourceOverlay fetches the dead node's replicated unrecycled
+// DataLog items, filters them to this PG's moving blocks, and replays them
+// at the new homes in original append order — the log follows the block
+// through the failure, via the replica path instead of extraction.
+func (pm *pgMover) replayDeadSourceOverlay(p *sim.Proc, pg rebalance.PGMoves, dead wire.NodeID, res *rebalance.PGResult) error {
+	c := pm.c
+	items, err := c.fetchReplicaItems(p, dead, pm.via)
+	if err != nil {
+		return err
+	}
+	dest := make(map[wire.BlockID]wire.NodeID, len(pg.Moves))
+	for _, mv := range pg.Moves {
+		if mv.From == dead {
+			dest[mv.Blk] = mv.To
+		}
+	}
+	for _, it := range items {
+		to, ok := dest[it.Blk]
+		if !ok {
+			continue
+		}
+		if c.Fabric.Down(to) {
+			c.stashOrphans(to, []wire.ReplicaItem{it})
+			continue
+		}
+		if err := pm.replay(p, to, it); err != nil {
+			return fmt.Errorf("dead-source overlay %v: %w", it.Blk, err)
+		}
+		res.ReplayedItems++
+		res.ReplayedBytes += int64(len(it.Data))
+	}
+	return nil
+}
+
 func (pm *pgMover) copyBlock(p *sim.Proc, mv placement.Move) error {
 	resp, err := pm.c.Fabric.Call(p, pm.via.id, mv.To, &wire.MigrateBlock{Blk: mv.Blk, From: mv.From})
 	if err != nil {
@@ -253,6 +564,22 @@ func (pm *pgMover) copyBlock(p *sim.Proc, mv placement.Move) error {
 	}
 	if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
 		return fmt.Errorf("migrate copy %v: %s", mv.Blk, a.Err)
+	}
+	return nil
+}
+
+// reconstructBlock asks the new home to rebuild the moving block from K
+// surviving stripe peers instead of pulling it from its dead old home —
+// the finish policy's copy path. It must run under the fence, after the
+// settle barrier.
+func (pm *pgMover) reconstructBlock(p *sim.Proc, mv placement.Move, reencode bool) error {
+	resp, err := pm.c.Fabric.Call(p, pm.via.id, mv.To,
+		&wire.MigrateBlock{Blk: mv.Blk, From: mv.From, Reconstruct: true, Reencode: reencode})
+	if err != nil {
+		return fmt.Errorf("migrate reconstruct %v: %w", mv.Blk, err)
+	}
+	if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+		return fmt.Errorf("migrate reconstruct %v: %s", mv.Blk, a.Err)
 	}
 	return nil
 }
@@ -287,6 +614,17 @@ func (pm *pgMover) cutover(p *sim.Proc, pg int) error {
 	}
 	if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
 		return fmt.Errorf("pg %d cutover: %s", pg, a.Err)
+	}
+	return nil
+}
+
+func (pm *pgMover) pgAbort(p *sim.Proc, pg int) error {
+	resp, err := pm.c.Fabric.Call(p, pm.via.id, mdsID, &wire.PGAbort{PG: uint32(pg), Epoch: pm.c.MDS.trans.next})
+	if err != nil {
+		return fmt.Errorf("pg %d abort: %w", pg, err)
+	}
+	if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
+		return fmt.Errorf("pg %d abort: %s", pg, a.Err)
 	}
 	return nil
 }

@@ -98,11 +98,13 @@ type RecoveryReport struct {
 // engines, so a subsequent drain + scrub is byte-exact.
 func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode RecoverMode, via *Client) (*RecoveryReport, error) {
 	if t := c.MDS.trans; t != nil {
-		// Failure handling and online rebalance are mutually exclusive
+		// Failure handling and an in-flight rebalance are mutually exclusive
 		// control-plane operations (Expand refuses symmetrically): recovery
 		// targets, surrogate selection and the settle barrier all assume one
-		// authoritative map.
-		return nil, fmt.Errorf("cluster: cannot recover node %d during placement transition to epoch %d", failed, t.next)
+		// authoritative map. Kill resolves the transition (per-PG abort or
+		// finish) first; Recover then runs under the settled epoch.
+		return nil, fmt.Errorf("cluster: cannot recover node %d while epoch %d is staged: %w",
+			failed, t.next, ErrTransitionInProgress)
 	}
 	if parallel < 1 {
 		parallel = 1
@@ -226,7 +228,16 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode Re
 // a torn stripe.
 func (c *Cluster) rebuild(p *sim.Proc, failed wire.NodeID, parallel int, via *Client, rep *RecoveryReport, repair bool) ([]wire.BlockID, error) {
 	failedOSD := c.OSDByID(failed)
-	lost := failedOSD.store.Blocks()
+	// Placement, not the dead store, is the authority for what is lost: a
+	// block the current map (plus remaps) places elsewhere — e.g. one a
+	// finish-resolved transition migrated away — is not this failure's to
+	// rebuild.
+	var lost []wire.BlockID
+	for _, blk := range failedOSD.store.Blocks() {
+		if c.Placement(blk.StripeID())[blk.Index] == failed {
+			lost = append(lost, blk)
+		}
+	}
 
 	if rep.TargetBlocks == nil {
 		rep.TargetBlocks = make(map[wire.NodeID]int)

@@ -20,6 +20,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"tsue/internal/cluster"
 	"tsue/internal/rebalance"
 	"tsue/internal/sim"
 	"tsue/internal/trace"
@@ -62,6 +63,59 @@ func (r *RebalanceResult) BoundBlocks() float64 {
 	return b
 }
 
+// fgLoad is the control surface of a running foreground writer fleet
+// (startForegroundWriters): set *stop to end the loops, *done counts
+// completed ops, *err holds the first client failure, wg waits the
+// writers out.
+type fgLoad struct {
+	stop *bool
+	done *int
+	err  *error
+	wg   *sim.WaitGroup
+}
+
+// startForegroundWriters launches cfg.Clients trace-driven update writers
+// over the preloaded files (one payload pool seeded at cfg.Seed +
+// payloadSeed), writing up to 20×cfg.Ops/Clients ops each unless stopped.
+// Shared by the rebalance-family experiments.
+func startForegroundWriters(c *cluster.Cluster, cfg RunConfig, inos []uint64, perFile, payloadSeed int64) fgLoad {
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(cfg.Seed + payloadSeed)).Read(payload)
+	load := fgLoad{stop: new(bool), done: new(int), err: new(error), wg: sim.NewWaitGroup(c.Env)}
+	load.wg.Add(cfg.Clients)
+	opsPer := 20 * cfg.Ops / cfg.Clients
+	for ci := 0; ci < cfg.Clients; ci++ {
+		ci := ci
+		cl := c.NewClient()
+		ino := inos[ci%len(inos)]
+		prof := cfg.Trace
+		prof.WorkingSet = perFile
+		gen := trace.MustGenerator(prof, cfg.Seed+int64(ci)*7919)
+		c.Env.Go(fmt.Sprintf("fg%d", ci), func(cp *sim.Proc) {
+			defer load.wg.Done()
+			for j := 0; j < opsPer && !*load.stop; j++ {
+				op := gen.Next()
+				for op.Kind != trace.Write {
+					op = gen.Next()
+				}
+				off := op.Off
+				if off+int64(op.Size) > perFile {
+					off = perFile - int64(op.Size)
+				}
+				pstart := int(off) % (len(payload) - int(op.Size))
+				if err := cl.Update(cp, ino, off, payload[pstart:pstart+int(op.Size)]); err != nil {
+					if *load.err == nil {
+						*load.err = fmt.Errorf("foreground client %d op %d: %w", ci, j, err)
+					}
+					return
+				}
+				*load.done++
+			}
+		})
+	}
+	return load
+}
+
 // RunRebalance preloads a multi-file working set, runs a continuous
 // foreground update workload, and a third of the way through adds addOSDs
 // OSDs one after another, each with a full online migration under rcfg.
@@ -86,59 +140,21 @@ func RunRebalance(cfg RunConfig, rcfg rebalance.Config, addOSDs int) (*Rebalance
 		}
 		c.ResetStats()
 
-		payload := make([]byte, 1<<20)
-		rand.New(rand.NewSource(cfg.Seed + 999)).Read(payload)
-
-		nClients := cfg.Clients
-		opsPer := 20 * cfg.Ops / nClients
-		stop := false
-		done := 0
 		start := p.Now()
-		wg := sim.NewWaitGroup(c.Env)
-		wg.Add(nClients)
-		var clientErr error
-		for ci := 0; ci < nClients; ci++ {
-			ci := ci
-			cl := c.NewClient()
-			ino := inos[ci%len(inos)]
-			prof := cfg.Trace
-			prof.WorkingSet = perFile
-			gen := trace.MustGenerator(prof, cfg.Seed+int64(ci)*7919)
-			c.Env.Go(fmt.Sprintf("fg%d", ci), func(cp *sim.Proc) {
-				defer wg.Done()
-				for j := 0; j < opsPer && !stop; j++ {
-					op := gen.Next()
-					for op.Kind != trace.Write {
-						op = gen.Next()
-					}
-					off := op.Off
-					if off+int64(op.Size) > perFile {
-						off = perFile - int64(op.Size)
-					}
-					pstart := int(off) % (len(payload) - int(op.Size))
-					if err := cl.Update(cp, ino, off, payload[pstart:pstart+int(op.Size)]); err != nil {
-						if clientErr == nil {
-							clientErr = fmt.Errorf("foreground client %d op %d: %w", ci, j, err)
-						}
-						return
-					}
-					done++
-				}
-			})
-		}
+		load := startForegroundWriters(c, cfg, inos, perFile, 999)
 
 		warmTarget := cfg.Ops / 3
 		if warmTarget < 1 {
 			warmTarget = 1
 		}
-		for done < warmTarget && clientErr == nil {
+		for *load.done < warmTarget && *load.err == nil {
 			p.Sleep(100 * time.Microsecond)
 		}
-		if clientErr != nil {
-			runErr = clientErr
+		if *load.err != nil {
+			runErr = *load.err
 			return
 		}
-		preOps := done
+		preOps := *load.done
 		t0 := p.Now()
 		for i := 0; i < addOSDs; i++ {
 			rep, id, err := c.Expand(p, admin, rcfg)
@@ -150,11 +166,11 @@ func RunRebalance(cfg RunConfig, rcfg rebalance.Config, addOSDs int) (*Rebalance
 			res.NewOSDs = append(res.NewOSDs, id)
 		}
 		t1 := p.Now()
-		duringOps := done - preOps
-		stop = true
-		wg.Wait(p)
-		if clientErr != nil {
-			runErr = clientErr
+		duringOps := *load.done - preOps
+		*load.stop = true
+		load.wg.Wait(p)
+		if *load.err != nil {
+			runErr = *load.err
 			return
 		}
 
@@ -186,6 +202,160 @@ func RunRebalance(cfg RunConfig, rcfg rebalance.Config, addOSDs int) (*Rebalance
 		return nil, runErr
 	}
 	return res, nil
+}
+
+// RebalanceKillResult captures one kill-during-rebalance run: an OSD dies
+// mid-migration, the transition resolves per PG (abort/finish), recovery
+// runs under the settled epoch, and the run ends verified.
+type RebalanceKillResult struct {
+	Cfg    RunConfig
+	Report *rebalance.Report
+	// Victim is the killed OSD (a migration source); SettledEpoch is where
+	// the transition committed after per-PG resolution.
+	Victim       wire.NodeID
+	SettledEpoch uint64
+	Recovery     *cluster.RecoveryReport
+	// Stripes is the number of stripes scrubbed clean after the run.
+	Stripes int
+}
+
+// RunRebalanceKill preloads a working set, expands online under a
+// foreground update workload, kills a migration-source OSD after the
+// first PG's copies begin (via the transition hook, so the injection
+// point is deterministic), waits for the per-PG resolution, recovers the
+// node under the settled epoch, and verifies with a drain + scrub.
+func RunRebalanceKill(cfg RunConfig, rcfg rebalance.Config) (*RebalanceKillResult, error) {
+	c, err := buildCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Env.Close()
+	admin := c.NewClient()
+	res := &RebalanceKillResult{Cfg: cfg}
+	var runErr error
+	c.Env.Go("rebalance-kill-harness", func(p *sim.Proc) {
+		inos, perFile, err := preload(p, c, admin, cfg)
+		if err != nil {
+			runErr = err
+			return
+		}
+		c.ResetStats()
+
+		load := startForegroundWriters(c, cfg, inos, perFile, 4242)
+		warmTarget := cfg.Ops / 3
+		if warmTarget < 1 {
+			warmTarget = 1
+		}
+		for *load.done < warmTarget && *load.err == nil {
+			p.Sleep(100 * time.Microsecond)
+		}
+		if *load.err != nil {
+			runErr = *load.err
+			return
+		}
+		// Arm the kill: the first PG to finish its first copy loses its
+		// move source.
+		var victim wire.NodeID
+		c.SetTransHook(func(ev cluster.TransEvent) {
+			if victim != 0 || ev.Stage != cluster.StageCopying || ev.Copied == 0 {
+				return
+			}
+			victim = ev.Moves[0].From
+			c.MarkDead(victim)
+		})
+		rep, _, err := c.Expand(p, admin, rcfg)
+		if err != nil {
+			runErr = fmt.Errorf("expand: %w", err)
+			return
+		}
+		if victim == 0 {
+			runErr = fmt.Errorf("kill hook never fired (no moves?)")
+			return
+		}
+		res.Report = rep
+		res.Victim = victim
+		res.SettledEpoch = c.MDS.CommittedEpoch()
+		rrep, err := c.Recover(p, victim, 4, cluster.RecoverInterleaved, admin)
+		if err != nil {
+			runErr = fmt.Errorf("recover after mid-rebalance kill: %w", err)
+			return
+		}
+		res.Recovery = rrep
+		*load.stop = true
+		load.wg.Wait(p)
+		if *load.err != nil {
+			runErr = *load.err
+			return
+		}
+		if err := c.DrainAll(p, admin); err != nil {
+			runErr = err
+			return
+		}
+		if !cfg.SkipVerify {
+			n, err := c.Scrub()
+			if err != nil {
+				runErr = fmt.Errorf("post-kill-rebalance scrub failed: %w", err)
+				return
+			}
+			res.Stripes = n
+		}
+	})
+	c.Env.Run(0)
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// RebalanceKill runs the kill-during-rebalance composition across all six
+// engines: an OSD dies after the first PG's bulk copy begins, the
+// transition resolves (per-PG abort/finish outcomes), the node recovers
+// under the settled epoch, and the run ends scrubbed clean.
+func RebalanceKill(w io.Writer, s Scale) error {
+	fmt.Fprintf(w, "== Rebalance × failure: kill a copy source mid-expansion (+1 OSD, SSD, Ali-Cloud, RS(6,4), %d files) ==\n", s.Files)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	// "rec items/KB" are the recovery cutover's journal replays (seeds +
+	// degraded updates + any transition-orphaned records).
+	fmt.Fprintln(tw, "engine\tpgs\taborted\tfinished\treconstructed\taborted MB\tmoved MB\trestored\trec items\trebuilt blks\trec KB\trecovery(ms)")
+	for _, eng := range update.Names() {
+		cfg := baseRun(s)
+		cfg.Engine = eng
+		cfg.Clients = 8
+		cfg.Files = s.Files
+		cfg.PGs = 64
+		cfg.BlockSize = 256 << 10
+		cfg.Trace = s.traceProfile("ali")
+		rcfg := rebalance.Config{RateBps: s.RebalanceRateBps, MaxInFlightPGs: 2}
+		r, err := RunRebalanceKill(cfg, rcfg)
+		if err != nil {
+			return fmt.Errorf("rebalance-kill %s: %w", eng, err)
+		}
+		rep := r.Report
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.1f\t%.1f\t%d\t%d\t%d\t%d\t%.1f\n",
+			eng, len(rep.Outcomes), rep.AbortedPGs, rep.FinishedPGs, rep.ReconstructedBlocks,
+			float64(rep.AbortedBytes)/(1<<20), float64(rep.MovedBytes)/(1<<20),
+			restoredItems(rep), r.Recovery.ReplayedItems, r.Recovery.Blocks,
+			int(r.Recovery.ReplayedBytes>>10), ms(r.Recovery.TotalTime))
+		labels := map[string]string{"engine": eng}
+		s.Sink.Record("rebalance-kill", "pgs", labels, float64(len(rep.Outcomes)))
+		s.Sink.Record("rebalance-kill", "aborted_pgs", labels, float64(rep.AbortedPGs))
+		s.Sink.Record("rebalance-kill", "finished_pgs", labels, float64(rep.FinishedPGs))
+		s.Sink.Record("rebalance-kill", "reconstructed_blocks", labels, float64(rep.ReconstructedBlocks))
+		s.Sink.Record("rebalance-kill", "aborted_bytes", labels, float64(rep.AbortedBytes))
+		s.Sink.Record("rebalance-kill", "moved_bytes", labels, float64(rep.MovedBytes))
+		s.Sink.Record("rebalance-kill", "recovery_ms", labels, ms(r.Recovery.TotalTime))
+		s.Sink.Record("rebalance-kill", "recovery_replayed_items", labels, float64(r.Recovery.ReplayedItems))
+	}
+	return tw.Flush()
+}
+
+// restoredItems sums abort-path restores across a report's PG outcomes.
+func restoredItems(rep *rebalance.Report) int {
+	n := 0
+	for _, res := range rep.Outcomes {
+		n += res.RestoredItems
+	}
+	return n
 }
 
 // Rebalance runs the online-expansion experiment across all six engines:

@@ -124,16 +124,64 @@ func (t *Throttle) Take(p *sim.Proc, n int64) {
 			return
 		}
 		need := (float64(n) - t.avail) / t.rate
-		p.Sleep(time.Duration(need * float64(time.Second)))
+		d := time.Duration(need * float64(time.Second))
+		if d <= 0 {
+			// Float rounding can leave avail a hair under n, truncating the
+			// computed wait to zero — a 0ns sleep re-wakes at the same
+			// virtual instant with nothing accrued, freezing the clock.
+			// Guarantee progress.
+			d = time.Microsecond
+		}
+		p.Sleep(d)
 	}
+}
+
+// Outcome classifies how one PG's migration ended. A transition that loses
+// an OSD mid-flight resolves every in-flight PG to Aborted or Finished
+// against the liveness view instead of wedging the cluster.
+type Outcome int
+
+const (
+	// OutcomeCommitted: the PG migrated and cut over on the normal path.
+	OutcomeCommitted Outcome = iota
+	// OutcomeFinished: an OSD relevant to the PG died mid-migration, but
+	// the PG still completed its cutover — remaining copies reconstructed
+	// from surviving stripe peers, orphaned overlay stashed for the
+	// failure's recovery.
+	OutcomeFinished
+	// OutcomeAborted: the PG rolled back to the prior epoch — partial
+	// copies retired, extracted overlay restored, foreground I/O re-opened
+	// against the old homes.
+	OutcomeAborted
+)
+
+// String returns the outcome's report name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCommitted:
+		return "committed"
+	case OutcomeFinished:
+		return "finished"
+	case OutcomeAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
 }
 
 // PGResult is one PG migration's accounting, produced by the Mover.
 type PGResult struct {
 	PG             int
+	Outcome        Outcome
 	CopiedBlocks   int
 	CopiedBytes    int64
 	RecopiedBlocks int
+	// Reconstructed counts blocks whose copy was completed by K-shard
+	// reconstruction at the new home because the old home died mid-flight
+	// (failure-resolution "finish" policy).
+	Reconstructed int
+	// RestoredItems counts extracted overlay records replayed back into
+	// their old homes by an abort.
+	RestoredItems int
 	// ReplayedItems / ReplayedBytes count pure-overlay log records that
 	// followed blocks to their new homes (wire.MigrateLog → ReplayUpdate).
 	ReplayedItems int
@@ -159,6 +207,17 @@ type Report struct {
 	RecopiedBlocks     int
 	ReplayedItems      int
 	ReplayedBytes      int64
+	// Outcomes holds every PG's per-migration accounting (including its
+	// abort/finish resolution) in ascending PG order.
+	Outcomes []PGResult
+	// AbortedPGs / FinishedPGs count PGs resolved by the failure policies;
+	// AbortedBytes is copy volume thrown away by aborts (excluded from
+	// MovedBytes) and ReconstructedBlocks counts finish-path peer
+	// reconstructions.
+	AbortedPGs          int
+	FinishedPGs         int
+	AbortedBytes        int64
+	ReconstructedBlocks int
 	// BoundBlocks is the minimal-remap lower bound; ActualOverBound is
 	// MovedBlocks relative to it (1.0 = optimal; 0 when the bound is 0,
 	// e.g. a pure PG split).
@@ -200,22 +259,35 @@ func Run(env *sim.Env, p *sim.Proc, plan *Plan, cfg Config, mover Mover) (*Repor
 				}
 				return
 			}
+			rep.Outcomes = append(rep.Outcomes, res)
+			rep.ReconstructedBlocks += res.Reconstructed
+			rep.StallTime += res.Stall
+			if res.Stall > rep.MaxStall {
+				rep.MaxStall = res.Stall
+			}
+			if res.Outcome == OutcomeAborted {
+				// An aborted PG's copies were retired; its bytes are waste,
+				// not movement.
+				rep.AbortedPGs++
+				rep.AbortedBytes += res.CopiedBytes
+				return
+			}
+			if res.Outcome == OutcomeFinished {
+				rep.FinishedPGs++
+			}
 			rep.PGsMigrated++
 			rep.MovedBlocks += res.CopiedBlocks
 			rep.MovedBytes += res.CopiedBytes
 			rep.RecopiedBlocks += res.RecopiedBlocks
 			rep.ReplayedItems += res.ReplayedItems
 			rep.ReplayedBytes += res.ReplayedBytes
-			rep.StallTime += res.Stall
-			if res.Stall > rep.MaxStall {
-				rep.MaxStall = res.Stall
-			}
 		})
 	}
 	wg.Wait(p)
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	sort.Slice(rep.Outcomes, func(i, j int) bool { return rep.Outcomes[i].PG < rep.Outcomes[j].PG })
 	rep.MigrateTime = p.Now() - start
 	if rep.BoundBlocks > 0 {
 		rep.ActualOverBound = float64(rep.MovedBlocks) / rep.BoundBlocks

@@ -36,6 +36,13 @@ func putString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
+func putBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
 func marshalPayload(buf []byte, m Msg) []byte {
 	switch v := m.(type) {
 	case *Ack:
@@ -163,7 +170,9 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		return putString(buf, v.Err)
 	case *MigrateBlock:
 		buf = putBlockID(buf, v.Blk)
-		return binary.LittleEndian.AppendUint32(buf, uint32(v.From))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.From))
+		buf = putBool(buf, v.Reconstruct)
+		return putBool(buf, v.Reencode)
 	case *PGCutover:
 		buf = binary.LittleEndian.AppendUint32(buf, v.PG)
 		return binary.LittleEndian.AppendUint64(buf, v.Epoch)
@@ -172,6 +181,21 @@ func marshalPayload(buf []byte, m Msg) []byte {
 	case *ReplicaRetire:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Node))
 		return putBlockID(buf, v.Blk)
+	case *PGAbort:
+		buf = binary.LittleEndian.AppendUint32(buf, v.PG)
+		return binary.LittleEndian.AppendUint64(buf, v.Epoch)
+	case *TransitionStatus:
+		return buf
+	case *TransitionStatusResp:
+		buf = putBool(buf, v.InFlight)
+		buf = binary.LittleEndian.AppendUint64(buf, v.Staged)
+		buf = binary.LittleEndian.AppendUint64(buf, v.Committed)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.PGs)))
+		for _, pg := range v.PGs {
+			buf = binary.LittleEndian.AppendUint32(buf, pg.PG)
+			buf = append(buf, pg.Stage)
+		}
+		return putString(buf, v.Err)
 	default:
 		panic(fmt.Sprintf("wire: cannot marshal %T", m))
 	}
@@ -251,6 +275,17 @@ func (r *reader) str() string {
 	return v
 }
 
+// bool8 decodes a strict one-byte bool: only 0 and 1 are valid, so every
+// successfully decoded message re-encodes to an identical frame (the
+// round-trip invariant the fuzzer enforces).
+func (r *reader) bool8() bool {
+	v := r.u8()
+	if r.err == nil && v > 1 {
+		r.err = fmt.Errorf("wire: invalid bool byte %#x at %d", v, r.pos-1)
+	}
+	return v == 1
+}
+
 func (r *reader) blockID() BlockID {
 	return BlockID{Ino: r.u64(), Stripe: r.u32(), Index: r.u16()}
 }
@@ -285,14 +320,14 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 	case TPutBlock:
 		m = &PutBlock{Blk: r.blockID(), Data: r.bytes()}
 	case TReadBlock:
-		m = &ReadBlock{Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32()), Raw: r.u8() == 1, Epoch: r.u64()}
+		m = &ReadBlock{Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32()), Raw: r.bool8(), Epoch: r.u64()}
 	case TReadResp:
 		m = &ReadResp{Data: r.bytes(), Err: r.str()}
 	case TUpdate:
 		m = &Update{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Epoch: r.u64()}
 	case TDeltaAppend:
 		m = &DeltaAppend{Blk: r.blockID(), ParityIdx: r.u16(), Off: int64(r.u64()),
-			Data: r.bytes(), Kind: DeltaKind(r.u8()), Replica: r.u8() == 1}
+			Data: r.bytes(), Kind: DeltaKind(r.u8()), Replica: r.bool8()}
 	case TParixAppend:
 		m = &ParixAppend{Blk: r.blockID(), ParityIdx: r.u16(), Off: int64(r.u64()),
 			New: r.bytes(), Orig: r.bytes()}
@@ -306,7 +341,7 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 	case TDrain:
 		m = &Drain{}
 	case TRecoverBlock:
-		m = &RecoverBlock{Blk: r.blockID(), Reencode: r.u8() == 1}
+		m = &RecoverBlock{Blk: r.blockID(), Reencode: r.bool8()}
 	case TReplicaFetch:
 		m = &ReplicaFetch{Node: NodeID(r.u32())}
 	case TReplicaResp:
@@ -333,13 +368,25 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 	case TEpochResp:
 		m = &EpochResp{Epoch: r.u64(), Err: r.str()}
 	case TMigrateBlock:
-		m = &MigrateBlock{Blk: r.blockID(), From: NodeID(r.u32())}
+		m = &MigrateBlock{Blk: r.blockID(), From: NodeID(r.u32()), Reconstruct: r.bool8(), Reencode: r.bool8()}
 	case TPGCutover:
 		m = &PGCutover{PG: r.u32(), Epoch: r.u64()}
 	case TMigrateLog:
 		m = &MigrateLog{Blk: r.blockID()}
 	case TReplicaRetire:
 		m = &ReplicaRetire{Node: NodeID(r.u32()), Blk: r.blockID()}
+	case TPGAbort:
+		m = &PGAbort{PG: r.u32(), Epoch: r.u64()}
+	case TTransitionStatus:
+		m = &TransitionStatus{}
+	case TTransitionStatusResp:
+		v := &TransitionStatusResp{InFlight: r.bool8(), Staged: r.u64(), Committed: r.u64()}
+		n := int(r.u32())
+		for i := 0; i < n && r.err == nil; i++ {
+			v.PGs = append(v.PGs, PGStatus{PG: r.u32(), Stage: r.u8()})
+		}
+		v.Err = r.str()
+		m = v
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}

@@ -68,6 +68,9 @@ const (
 	TPGCutover
 	TMigrateLog
 	TReplicaRetire
+	TPGAbort
+	TTransitionStatus
+	TTransitionStatusResp
 )
 
 var typeNames = map[Type]string{
@@ -85,6 +88,8 @@ var typeNames = map[Type]string{
 	TEpochUpdate: "EpochUpdate", TEpochResp: "EpochResp",
 	TMigrateBlock: "MigrateBlock", TPGCutover: "PGCutover",
 	TMigrateLog: "MigrateLog", TReplicaRetire: "ReplicaRetire",
+	TPGAbort: "PGAbort", TTransitionStatus: "TransitionStatus",
+	TTransitionStatusResp: "TransitionStatusResp",
 }
 
 func (t Type) String() string {
@@ -471,13 +476,20 @@ func (e *EpochResp) PayloadSize() int { return 8 + 2 + len(e.Err) }
 
 // MigrateBlock asks a block's NEW home to pull the raw block from its old
 // home From and store it locally — the bulk-copy step of a PG migration.
+// Reconstruct marks the failure-resolution variant: the old home is dead,
+// so the new home rebuilds the block's content from K surviving stripe
+// peers instead of pulling it (Reencode additionally repairs the stripe's
+// whole parity set, exactly as RecoverBlock would, when the dead source
+// may have torn it).
 type MigrateBlock struct {
-	Blk  BlockID
-	From NodeID
+	Blk         BlockID
+	From        NodeID
+	Reconstruct bool
+	Reencode    bool
 }
 
 func (*MigrateBlock) Type() Type       { return TMigrateBlock }
-func (*MigrateBlock) PayloadSize() int { return 14 + 4 }
+func (*MigrateBlock) PayloadSize() int { return 14 + 4 + 2 }
 
 // PGCutover tells the MDS that one placement group's blocks (and logs) are
 // in place at their new-epoch homes: the MDS atomically flips the PG's
@@ -516,6 +528,53 @@ type ReplicaRetire struct {
 
 func (*ReplicaRetire) Type() Type       { return TReplicaRetire }
 func (*ReplicaRetire) PayloadSize() int { return 4 + 14 }
+
+// PGAbort tells the MDS that one placement group's migration was rolled
+// back to the prior epoch: partially copied blocks at the staged-epoch
+// destinations were retired and any extracted overlay was restored to the
+// old homes, so the PG must keep resolving under the committed map. At
+// commit time the abort becomes a physical remap (block stays at its old
+// home) rather than a map change, mirroring how recovery overrides
+// placement. It must name the in-flight staged epoch.
+type PGAbort struct {
+	PG    uint32
+	Epoch uint64
+}
+
+func (*PGAbort) Type() Type       { return TPGAbort }
+func (*PGAbort) PayloadSize() int { return 4 + 8 }
+
+// TransitionStatus asks the MDS for the in-flight placement transition's
+// per-PG state machine snapshot (harness, tests, operators). Answered with
+// a TransitionStatusResp.
+type TransitionStatus struct{}
+
+func (*TransitionStatus) Type() Type       { return TTransitionStatus }
+func (*TransitionStatus) PayloadSize() int { return 0 }
+
+// PGStatus is one migrating PG's stage in a TransitionStatusResp. Stage
+// values mirror cluster.PGStage (staged → copying → fenced → replaying →
+// committed, or aborted).
+type PGStatus struct {
+	PG    uint32
+	Stage uint8
+}
+
+// TransitionStatusResp reports the transition state: InFlight says whether
+// a transition exists at all; Staged/Committed are the epoch pair; PGs
+// lists every migrating PG's current stage in ascending PG order.
+type TransitionStatusResp struct {
+	InFlight  bool
+	Staged    uint64
+	Committed uint64
+	PGs       []PGStatus
+	Err       string
+}
+
+func (*TransitionStatusResp) Type() Type { return TTransitionStatusResp }
+func (t *TransitionStatusResp) PayloadSize() int {
+	return 1 + 8 + 8 + 4 + 5*len(t.PGs) + 2 + len(t.Err)
+}
 
 // Settle asks an OSD to bring its raw block stores to stripe consistency
 // with minimal merging: every engine drains the log state whose effects are

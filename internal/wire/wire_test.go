@@ -48,9 +48,15 @@ func sampleMessages() []Msg {
 		&EpochResp{Epoch: 3},
 		&EpochResp{Err: "no transition"},
 		&MigrateBlock{Blk: BlockID{2, 9, 4}, From: 6},
+		&MigrateBlock{Blk: BlockID{2, 9, 4}, From: 6, Reconstruct: true, Reencode: true},
 		&PGCutover{PG: 41, Epoch: 2},
 		&MigrateLog{Blk: BlockID{2, 9, 4}},
 		&ReplicaRetire{Node: 6, Blk: BlockID{2, 9, 4}},
+		&PGAbort{PG: 41, Epoch: 2},
+		&TransitionStatus{},
+		&TransitionStatusResp{InFlight: true, Staged: 2, Committed: 1,
+			PGs: []PGStatus{{PG: 3, Stage: 1}, {PG: 9, Stage: 5}}},
+		&TransitionStatusResp{Err: "no transition"},
 	}
 }
 
