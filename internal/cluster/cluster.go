@@ -417,6 +417,67 @@ func (c *Cluster) recoverySources() map[wire.NodeID]int64 {
 	return out
 }
 
+// JournalQuorumStats aggregates the degraded-journal quorum replication
+// traffic across the cluster: sentMsgs/sentBytes are acked JournalReplica
+// sends by surrogates, heldMsgs/heldBytes the records persisted by quorum
+// holders (they differ only when a window is cut mid-ack). Harness
+// quorum-traffic counters.
+func (c *Cluster) JournalQuorumStats() (sentMsgs, sentBytes, heldMsgs, heldBytes int64) {
+	for _, osd := range c.OSDs {
+		sentMsgs += osd.jrSentMsgs
+		sentBytes += osd.jrSentBytes
+		heldMsgs += osd.jrHeldMsgs
+		heldBytes += osd.jrHeldBytes
+	}
+	return
+}
+
+// SurrogatesOf returns the distinct surrogate OSDs serving a failed node's
+// degraded window, in deterministic order (tests, harness kill targeting).
+func (c *Cluster) SurrogatesOf(failed wire.NodeID) []wire.NodeID {
+	st := c.degraded[failed]
+	if st == nil {
+		return nil
+	}
+	return append([]wire.NodeID(nil), st.surrogates...)
+}
+
+// JournalHoldersOf returns the fixed quorum holder set of one surrogate in
+// a failed node's degraded window (tests, harness kill targeting).
+func (c *Cluster) JournalHoldersOf(failed, surrogate wire.NodeID) []wire.NodeID {
+	st := c.degraded[failed]
+	if st == nil {
+		return nil
+	}
+	return append([]wire.NodeID(nil), st.holders[surrogate]...)
+}
+
+// BeginDegraded opens a degraded window for a node without rebuilding it:
+// the node comes off the fabric, degraded routes publish under a brief
+// fence, and the settle barrier restores raw stripe consistency — then
+// foreground I/O flows degraded (updates journal on the surrogates) until
+// a later Recover(failed) rebuilds and cuts over. Recover detects the
+// pre-opened window and skips re-registration. Multi-death tests and
+// harness scenarios use this to inject surrogate/holder deaths at
+// controlled points between the failure and its recovery.
+func (c *Cluster) BeginDegraded(p *sim.Proc, failed wire.NodeID, via *Client) error {
+	if t := c.MDS.trans; t != nil {
+		return fmt.Errorf("cluster: cannot open degraded window for node %d while epoch %d is staged: %w",
+			failed, t.next, ErrTransitionInProgress)
+	}
+	if c.degraded[failed] != nil {
+		return fmt.Errorf("cluster: node %d already degraded", failed)
+	}
+	c.Fabric.SetDown(failed, true)
+	c.fenceUpdates(p)
+	_, err := c.registerDegraded(p, failed, via)
+	if err == nil {
+		err = c.SettleAll(p, via, failed)
+	}
+	c.openGate()
+	return err
+}
+
 // JournalBytesPerOSD returns surrogate-journal bytes appended per OSD
 // (nonzero entries only) — the surrogate load spread the placement
 // experiment reports.

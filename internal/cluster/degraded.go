@@ -98,10 +98,18 @@ type degradedState struct {
 	stripes map[wire.StripeID]bool
 	// lost is every block the failed node hosted (one per degraded stripe).
 	lost map[wire.BlockID]bool
-	// replTarget records, per surrogate, the last OSD its journal appends
-	// replicated to — the promotion candidate if that surrogate dies
-	// mid-window (Cluster.promoteSurrogate).
-	replTarget map[wire.NodeID]wire.NodeID
+	// holders is the fixed quorum holder set per surrogate: the first
+	// min(M, live-1) live OSDs after the surrogate in ring order (skipping
+	// the failed node), chosen deterministically at registration. Every
+	// journal append replicates to all reachable members before it is
+	// acked, so any m concurrent deaths leave at least one holder with
+	// every acked record (Cluster.promoteSurrogate unions them).
+	holders map[wire.NodeID][]wire.NodeID
+	// ackSeq is, per surrogate, the highest append sequence whose quorum
+	// replication was fully acked. Promotion after a surrogate death must
+	// recover every seq in 1..ackSeq; a gap means more than m holders died
+	// and the journal is genuinely unrecoverable (ErrSurrogateLost).
+	ackSeq map[wire.NodeID]uint64
 	// orphans keeps the transition-orphaned records seeded into this
 	// window's journals (takeOrphans at registration). They exist neither
 	// in the DataLog replicas (retired at extraction) nor in JournalReplica
@@ -189,6 +197,39 @@ func (c *Cluster) nextLive(after, exclude wire.NodeID) wire.NodeID {
 	return after
 }
 
+// journalHolders returns the fixed quorum holder set for a (failed,
+// surrogate) pair: the first min(M, live-1) live OSDs strictly after the
+// surrogate in ring order, skipping the failed node and the surrogate
+// itself. Deterministic given the live set, so tests and promotion can
+// recompute it; M holders plus the surrogate give the journal the same
+// m-death budget as the erasure code itself.
+func (c *Cluster) journalHolders(surrogate, failed wire.NodeID) []wire.NodeID {
+	live := 0
+	for _, osd := range c.OSDs {
+		if !c.Fabric.Down(osd.id) {
+			live++
+		}
+	}
+	q := c.Cfg.M
+	if q > live-1 {
+		q = live - 1
+	}
+	if q <= 0 {
+		return nil
+	}
+	n := len(c.OSDs)
+	start := int(surrogate) - 1
+	var out []wire.NodeID
+	for step := 1; step <= n && len(out) < q; step++ {
+		id := c.OSDs[(start+step)%n].id
+		if id == surrogate || id == failed || c.Fabric.Down(id) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
 // registerDegraded publishes degraded routing for a failed node: it assigns
 // a surrogate per degraded placement group (the placement map's stable
 // replacement for the failed node's slot — which is also where the PG's
@@ -208,11 +249,12 @@ func (c *Cluster) registerDegraded(p *sim.Proc, failed wire.NodeID, via *Client)
 		return nil, err
 	}
 	st := &degradedState{
-		failed:     failed,
-		surr:       make(map[int]wire.NodeID),
-		stripes:    make(map[wire.StripeID]bool),
-		lost:       make(map[wire.BlockID]bool),
-		replTarget: make(map[wire.NodeID]wire.NodeID),
+		failed:  failed,
+		surr:    make(map[int]wire.NodeID),
+		stripes: make(map[wire.StripeID]bool),
+		lost:    make(map[wire.BlockID]bool),
+		holders: make(map[wire.NodeID][]wire.NodeID),
+		ackSeq:  make(map[wire.NodeID]uint64),
 	}
 	dead := func(id wire.NodeID) bool { return c.Fabric.Down(id) }
 	pmap := c.MDS.PlacementMap()
@@ -253,6 +295,11 @@ func (c *Cluster) registerDegraded(p *sim.Proc, failed wire.NodeID, via *Client)
 			st.surrogates = append(st.surrogates, sur)
 		}
 	}
+	// Fix each surrogate's quorum holder set now, against the live set at
+	// registration: appends ack only once durable on every reachable member.
+	for _, sur := range st.surrogates {
+		st.holders[sur] = c.journalHolders(sur, failed)
+	}
 	c.degraded[failed] = st
 	// Overlay records orphaned by a finish-resolved transition (their
 	// replay target was this node) ride along as extra seeds: degraded
@@ -288,11 +335,11 @@ func (c *Cluster) registerDegraded(p *sim.Proc, failed wire.NodeID, via *Client)
 
 func (c *Cluster) unregisterDegraded(failed wire.NodeID) {
 	delete(c.degraded, failed)
-	// The surrogate journals' replica retention was promotion insurance for
+	// The surrogate journals' quorum retention was promotion insurance for
 	// this window only.
 	for _, osd := range c.OSDs {
 		if j, ok := osd.journals[failed]; ok {
-			j.replItems = nil
+			j.repl = nil
 		}
 	}
 }
@@ -317,20 +364,23 @@ func (c *Cluster) takeOrphans(target wire.NodeID) []wire.ReplicaItem {
 
 // journal is the surrogate's degraded-update log for one failed node: an
 // in-memory item list (replayed at cutover, overlaid on degraded reads)
-// persisted to a sequential device zone and replicated to the surrogate's
-// ring successor. cursor counts primary appends; replCursor counts
-// durability copies held for another surrogate (kept separate so the
-// placement experiment's surrogate-load accounting sees only primary
-// journal work, not ring-successor copies). replItems retains those
-// durability copies in memory so a dead surrogate's journal can be
-// promoted onto this holder (Cluster.promoteSurrogate) instead of losing
-// acked updates; they are dropped when the degraded window closes.
+// persisted to a sequential device zone and quorum-replicated to the
+// surrogate's fixed holder set. cursor counts primary appends; replCursor
+// counts durability copies held for other surrogates (kept separate so
+// the placement experiment's surrogate-load accounting sees only primary
+// journal work, not holder copies). nextSeq numbers this OSD's own
+// appends (1, 2, ...; seeds and orphans carry no seq — they are
+// recoverable elsewhere). repl retains, per appending surrogate, the
+// sequenced durability copies this OSD holds as a quorum member so a dead
+// surrogate's journal can be read-repaired across holders
+// (Cluster.promoteSurrogate); they are dropped when the window closes.
 type journal struct {
 	zone       int
 	cursor     int64
 	replCursor int64
+	nextSeq    uint64
 	items      []wire.ReplicaItem
-	replItems  []wire.ReplicaItem
+	repl       map[wire.NodeID][]wire.JournalItem
 }
 
 // journalSpan bounds the circular on-disk journal region (per failed node).
@@ -389,19 +439,65 @@ func (o *OSD) handleDegradedUpdate(p *sim.Proc, v *wire.DegradedUpdate) wire.Msg
 	o.c.surrOpsInFlight++
 	defer o.c.surrOpDone()
 	j := o.journalFor(v.Failed)
+	// The append and its sequence number are assigned atomically (no yield),
+	// so j.items order and seq order agree.
 	j.items = append(j.items, wire.ReplicaItem{
 		Blk: v.Blk, Off: v.Off, Data: append([]byte(nil), v.Data...),
 	})
+	j.nextSeq++
+	seq := j.nextSeq
 	o.journalPersist(p, j, int64(len(v.Data)))
-	// Replicate for durability of the journal itself (mirrors the DataLog's
-	// replication; best effort — a dead copy holder only narrows the
-	// redundancy window). The target is recorded on the degraded state so a
-	// later death of THIS surrogate knows where to promote the journal from.
-	if repl := o.c.nextLive(o.id, v.Failed); repl != o.id {
-		if st := o.c.degraded[v.Failed]; st != nil {
-			st.replTarget[o.id] = repl
+	// Quorum-replicate the record to the fixed holder set before acking:
+	// the update is durable against any m concurrent deaths only once every
+	// reachable holder has persisted it. A holder that is already down
+	// narrows the redundancy window (node-down is monotone within a run, so
+	// every live holder still has the full acked prefix); any other failure
+	// fails the ack — the client retries and the duplicate append is
+	// harmless (same bytes at the same offset for both overlay and replay).
+	holders := st.holders[o.id]
+	var acked int
+	var firstErr error
+	wg := sim.NewWaitGroup(o.c.Env)
+	for _, h := range holders {
+		if o.c.Fabric.Down(h) {
+			continue
 		}
-		_, _ = o.Call(p, repl, &wire.JournalReplica{Failed: v.Failed, Blk: v.Blk, Off: v.Off, Data: v.Data})
+		h := h
+		wg.Add(1)
+		o.c.Env.Go("journal-repl", func(hp *sim.Proc) {
+			defer wg.Done()
+			resp, err := o.Call(hp, h, &wire.JournalReplica{
+				Failed: v.Failed, Surrogate: o.id, Seq: seq,
+				Blk: v.Blk, Off: v.Off, Data: v.Data,
+			})
+			if err != nil {
+				if !nodeDownErr(err) && firstErr == nil {
+					firstErr = fmt.Errorf("journal replica @%d: %w", h, err)
+				}
+				return
+			}
+			if ja, ok := resp.(*wire.JournalAck); !ok || ja.Err != "" {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("journal replica @%d: %v", h, resp)
+				}
+				return
+			}
+			o.jrSentMsgs++
+			o.jrSentBytes += int64(len(v.Data))
+			acked++
+		})
+	}
+	wg.Wait(p)
+	if firstErr != nil {
+		return &wire.Ack{Err: firstErr.Error()}
+	}
+	if acked == 0 && len(holders) > 0 {
+		// Every holder died mid-window: acking now would leave the record
+		// with zero durable copies beyond this surrogate.
+		return &wire.Ack{Err: "cluster: degraded journal quorum unreachable"}
+	}
+	if st.ackSeq[o.id] < seq {
+		st.ackSeq[o.id] = seq
 	}
 	return wire.OK
 }
@@ -486,10 +582,32 @@ func (o *OSD) reconstructRange(p *sim.Proc, blk wire.BlockID, off, size int64) (
 	return shards[blk.Index], nil
 }
 
-// handleJournalFetch steals the journal kept for a failed node: all items
-// are returned in append order and forgotten. The recovery cutover runs it
-// under the closed gate, so nothing can land behind the steal.
+// handleJournalFetch serves both journal-retrieval modes. With Surrogate
+// set it is the non-destructive read-repair fetch: return the sequenced
+// durability copies held for that surrogate with Seq > FromSeq, leaving
+// them in place (promotion unions several holders' ranges). Otherwise it
+// steals this OSD's own journal for the failed node: all items are
+// returned in append order and forgotten. The recovery cutover runs the
+// steal under the closed gate, so nothing can land behind it.
 func (o *OSD) handleJournalFetch(p *sim.Proc, v *wire.JournalFetch) wire.Msg {
+	if v.Surrogate != 0 {
+		resp := &wire.JournalFetchResp{}
+		j, ok := o.journals[v.Failed]
+		if !ok {
+			return resp
+		}
+		var total int64
+		for _, it := range j.repl[v.Surrogate] {
+			if it.Seq > v.FromSeq {
+				resp.Items = append(resp.Items, it)
+				total += int64(len(it.Data))
+			}
+		}
+		if total > 0 {
+			o.dev.Read(p, j.zone, 0, total)
+		}
+		return resp
+	}
 	j, ok := o.journals[v.Failed]
 	if !ok || len(j.items) == 0 {
 		return &wire.ReplicaResp{}

@@ -11,12 +11,16 @@ package cluster
 //     (MarkDead) and waits until every in-flight PG has resolved to abort
 //     or finish and the epoch has committed, so a subsequent Recover runs
 //     under one settled map;
-//   - mid-degraded-window, it detects the surrogate role and promotes the
-//     journal-replica holder: the replicated post-seed appends it already
-//     holds are spliced behind a re-fetched seed share, and the degraded
-//     routes re-point — no acked update is lost and no client op hangs.
-//     When the replica holder itself is unreachable the journal is
-//     unrecoverable and Kill fails fast with ErrSurrogateLost.
+//   - mid-degraded-window, it detects the surrogate role and read-repairs
+//     the journal from the dead surrogate's fixed quorum holder set: the
+//     sequenced appends are unioned across every reachable holder
+//     (newest-wins by seq; each acked append is on every holder that was
+//     reachable when it was acked, so the union is gap-free), spliced
+//     behind a re-fetched seed share onto the new surrogate, and
+//     re-replicated under the new surrogate's own holder set — no acked
+//     update is lost through any m concurrent deaths and no client op
+//     hangs. Only when every holder is unreachable too (> m deaths) is the
+//     journal unrecoverable and Kill fails fast with ErrSurrogateLost.
 
 import (
 	"errors"
@@ -43,9 +47,10 @@ var (
 	// the supported sequence.
 	ErrTransitionInProgress = errors.New("cluster: placement transition in progress")
 	// ErrSurrogateLost: a surrogate OSD died and its degraded-update
-	// journal cannot be promoted because the journal-replica holder is
-	// unreachable too; updates journaled in the window may be lost and the
-	// run must be treated as failed.
+	// journal cannot be read-repaired because every member of its quorum
+	// holder set is unreachable too (more than m concurrent deaths, beyond
+	// the scheme's budget); updates journaled in the window may be lost and
+	// the run must be treated as failed.
 	ErrSurrogateLost = errors.New("cluster: surrogate journal unrecoverable")
 )
 
@@ -58,9 +63,15 @@ type KillReport struct {
 	// rebalance.Report returned to the Expand/SplitPGs caller.
 	TransitionResolved bool
 	SettledEpoch       uint64
-	// PromotedJournals counts degraded-update journals promoted onto their
-	// replica holders because the dead node was serving as a surrogate.
+	// PromotedJournals counts degraded-update journals promoted (via quorum
+	// read-repair) because the dead node was serving as a surrogate.
 	PromotedJournals int
+	// RepairedItems counts journal records recovered from quorum holders
+	// during those promotions.
+	RepairedItems int
+	// MissedBeats is the cumulative missed-heartbeat count the dead node
+	// had reported to the MDS before it died (partitioned-link accounting).
+	MissedBeats uint64
 }
 
 // resolveWait bounds how long Kill waits (virtual time) for the migration
@@ -78,7 +89,7 @@ func (c *Cluster) Kill(p *sim.Proc, failed wire.NodeID, via *Client) (*KillRepor
 	if c.Fabric.Down(failed) {
 		return nil, fmt.Errorf("cluster: Kill: node %d is already down", failed)
 	}
-	rep := &KillReport{}
+	rep := &KillReport{MissedBeats: c.MDS.BeatMisses(failed)}
 	inTrans := c.MDS.trans != nil
 	c.MarkDead(failed)
 	// Mutual exclusion means at most one of these two branches has work:
@@ -103,18 +114,20 @@ func (c *Cluster) Kill(p *sim.Proc, failed wire.NodeID, via *Client) (*KillRepor
 }
 
 // promoteSurrogate re-homes the degraded-update journal a dead surrogate
-// kept for st.failed onto the journal-replica holder. The promoted journal
-// is rebuilt in original order: the seed share (the failed node's
-// replicated unrecycled DataLog items for the victim's PGs — still held by
-// their original replica holders, ReplicaFetch is non-destructive)
-// followed by the post-seed appends the holder retained from
-// JournalReplica traffic. Route re-pointing is atomic with the splice, so
-// a degraded op admitted after promotion always sees the full journal.
-//
-// Scope: one surrogate death per window. If replication targets shifted
-// mid-window (a second death between appends), earlier appends may sit on
-// an older holder and are not recovered — the multi-death journal quorum
-// is future work.
+// kept for st.failed by read-repairing across the victim's fixed quorum
+// holder set. The sequenced post-seed appends are fetched from every
+// reachable holder (non-destructive JournalFetch ranges) and unioned by
+// seq — every acked append reached every then-reachable holder, and
+// node-down is monotone within a run, so any surviving holder carries the
+// full acked prefix and the union covers 1..ackSeq; a gap means more than
+// m holders died (ErrSurrogateLost). The promoted journal is rebuilt in
+// original order — the re-fetched seed share (ReplicaFetch is
+// non-destructive), the re-spliced transition orphans, then the recovered
+// appends in seq order — on the first live holder, and the recovered
+// appends are re-replicated under the NEW surrogate's holder set with
+// fresh seqs, restoring the quorum so a chained surrogate death is
+// equally survivable. Route re-pointing is atomic with the splice, so a
+// degraded op admitted after promotion always sees the full journal.
 func (c *Cluster) promoteSurrogate(p *sim.Proc, st *degradedState, victim wire.NodeID, via *Client, rep *KillReport) error {
 	pgs := make(map[int]bool)
 	for pg, sur := range st.surr {
@@ -125,16 +138,63 @@ func (c *Cluster) promoteSurrogate(p *sim.Proc, st *degradedState, victim wire.N
 	if len(pgs) == 0 {
 		return nil
 	}
-	cand, ok := st.replTarget[victim]
-	if !ok {
-		// No post-seed append was ever replicated; any live successor can
+	var reachable []wire.NodeID
+	for _, h := range st.holders[victim] {
+		if !c.Fabric.Down(h) {
+			reachable = append(reachable, h)
+		}
+	}
+	ackSeq := st.ackSeq[victim]
+	if len(reachable) == 0 {
+		if ackSeq > 0 {
+			return fmt.Errorf("cluster: surrogate %d for node %d died and all %d quorum holders are unreachable: %w",
+				victim, st.failed, len(st.holders[victim]), ErrSurrogateLost)
+		}
+		// Nothing was ever acked through the quorum; any live successor can
 		// host the re-fetched seeds.
-		cand = c.nextLive(victim, st.failed)
+		if cand := c.nextLive(victim, st.failed); cand != victim {
+			reachable = []wire.NodeID{cand}
+		} else {
+			return fmt.Errorf("cluster: surrogate %d for node %d died with no live successor: %w",
+				victim, st.failed, ErrSurrogateLost)
+		}
 	}
-	if cand == victim || c.Fabric.Down(cand) {
-		return fmt.Errorf("cluster: surrogate %d for node %d died and replica holder %d is unreachable: %w",
-			victim, st.failed, cand, ErrSurrogateLost)
+	// Union the replicated appends across all reachable holders, dedup by
+	// seq (a seq names exactly one record; later fetches of the same seq are
+	// identical copies).
+	bySeq := make(map[uint64]wire.JournalItem)
+	for _, h := range reachable {
+		resp, err := c.Fabric.Call(p, via.id, h, &wire.JournalFetch{Failed: st.failed, Surrogate: victim})
+		if err != nil {
+			if nodeDownErr(err) {
+				continue // died under us: monotone narrowing, peers cover it
+			}
+			return fmt.Errorf("journal repair fetch @%d: %w", h, err)
+		}
+		fr, ok := resp.(*wire.JournalFetchResp)
+		if !ok || fr.Err != "" {
+			return fmt.Errorf("journal repair fetch @%d: %v", h, resp)
+		}
+		for _, it := range fr.Items {
+			if _, dup := bySeq[it.Seq]; !dup {
+				bySeq[it.Seq] = it
+			}
+		}
 	}
+	// Every acked append must have survived on some holder.
+	recovered := make([]wire.JournalItem, 0, len(bySeq))
+	for seq := uint64(1); ; seq++ {
+		it, ok := bySeq[seq]
+		if !ok {
+			if seq <= ackSeq {
+				return fmt.Errorf("cluster: surrogate %d journal for node %d lost acked append seq %d/%d: %w",
+					victim, st.failed, seq, ackSeq, ErrSurrogateLost)
+			}
+			break
+		}
+		recovered = append(recovered, it)
+	}
+	cand := reachable[0]
 	seeds, err := c.fetchReplicaItems(p, st.failed, via)
 	if err != nil {
 		return err
@@ -166,24 +226,58 @@ func (c *Cluster) promoteSurrogate(p *sim.Proc, st *degradedState, victim wire.N
 		j.items = append(j.items, it)
 		seeded += int64(len(it.Data))
 	}
+	// Splice the recovered appends behind the seeds in original seq order,
+	// renumbering them into the new surrogate's own append sequence.
+	newSeqs := make([]uint64, len(recovered))
+	for i, it := range recovered {
+		j.items = append(j.items, wire.ReplicaItem{Blk: it.Blk, Off: it.Off, Data: it.Data})
+		j.nextSeq++
+		newSeqs[i] = j.nextSeq
+		seeded += int64(len(it.Data))
+	}
 	if seeded > 0 {
 		osd.journalPersist(p, j, seeded)
 	}
-	// Splice the retained replica appends for the victim's PGs behind the
-	// seeds (their payloads are already persisted in the replica cursor).
-	keep := j.replItems[:0]
-	for _, it := range j.replItems {
-		if pgs[pmap.PGOf(it.Blk.StripeID())] {
-			j.items = append(j.items, it)
-		} else {
-			keep = append(keep, it)
-		}
-	}
-	j.replItems = keep
+	rep.RepairedItems += len(recovered)
 	// Re-point the degraded routes — same instant as the splice (no yield
 	// since the fetch), so no op can observe a half-promoted journal.
 	for pg := range pgs {
 		st.surr[pg] = cand
+	}
+	delete(st.holders, victim)
+	delete(st.ackSeq, victim)
+	if _, ok := st.holders[cand]; !ok {
+		st.holders[cand] = c.journalHolders(cand, st.failed)
+	}
+	// Re-replicate the recovered appends under the new surrogate's holder
+	// set: the journal's m-death budget must hold again after the repair,
+	// not just until the next death.
+	for i, it := range recovered {
+		acked := false
+		for _, h := range st.holders[cand] {
+			if c.Fabric.Down(h) {
+				continue
+			}
+			resp, err := osd.Call(p, h, &wire.JournalReplica{
+				Failed: st.failed, Surrogate: cand, Seq: newSeqs[i],
+				Blk: it.Blk, Off: it.Off, Data: it.Data,
+			})
+			if err != nil {
+				if nodeDownErr(err) {
+					continue
+				}
+				return fmt.Errorf("journal re-replicate @%d: %w", h, err)
+			}
+			if ja, ok := resp.(*wire.JournalAck); !ok || ja.Err != "" {
+				return fmt.Errorf("journal re-replicate @%d: %v", h, resp)
+			}
+			osd.jrSentMsgs++
+			osd.jrSentBytes += int64(len(it.Data))
+			acked = true
+		}
+		if acked && st.ackSeq[cand] < newSeqs[i] {
+			st.ackSeq[cand] = newSeqs[i]
+		}
 	}
 	surrs := st.surrogates[:0]
 	seen := false

@@ -190,10 +190,29 @@ func TestKillSurrogatePromotesJournal(t *testing.T) {
 	}
 }
 
-// TestKillSurrogateReplicaHolderLost: when the surrogate's journal-replica
-// holder is already dead, Kill must fail fast with ErrSurrogateLost — a
-// clear verdict instead of a hang or silent data loss.
-func TestKillSurrogateReplicaHolderLost(t *testing.T) {
+// busiestSurrogate returns the surrogate of st holding the most journal
+// items for the failed node (0 when nothing is journaled anywhere).
+func busiestSurrogate(c *Cluster, st *degradedState) wire.NodeID {
+	var surr wire.NodeID
+	most := 0
+	for _, s := range st.surrogates {
+		if n := len(c.OSDByID(s).journalItems(st.failed)); n > most {
+			most, surr = n, s
+		}
+	}
+	return surr
+}
+
+// TestKillSurrogateHolderQuorumSurvives pins the fix for the multi-death
+// journal gap: with m ≥ 2 the journal lives on a quorum of holders, so
+// losing ONE recorded holder before the surrogate dies must NOT strand the
+// journal — the old single-replica design returned ErrSurrogateLost here.
+// Kill must instead promote via the surviving quorum peer and read-repair
+// every acked append. (Three total deaths exceed the m=2 parity budget of
+// degradedConfig, so this test asserts promotion/repair reports rather
+// than byte-exact recovery; see killmultideath_test.go for the byte-exact
+// any-m grid on an m=3 scheme.)
+func TestKillSurrogateHolderQuorumSurvives(t *testing.T) {
 	cfg := degradedConfig("tsue")
 	c := MustNew(cfg)
 	defer c.Env.Close()
@@ -228,23 +247,107 @@ func TestKillSurrogateReplicaHolderLost(t *testing.T) {
 		if !degradedStripeOps(t, p, c, cl, st, ino, content, rng, 40) {
 			return
 		}
-		var surr, holder wire.NodeID
-		for _, s := range st.surrogates {
-			if h, ok := st.replTarget[s]; ok && len(c.OSDByID(s).journalItems(victim)) > 0 {
-				surr, holder = s, h
-				break
-			}
-		}
+		surr := busiestSurrogate(c, st)
 		if surr == 0 {
-			t.Error("no surrogate with a recorded replica holder")
+			t.Error("no surrogate holds journal items")
 			return
 		}
-		// The holder silently dies first (no Kill: it is neither surrogate
-		// nor mid-transition), then the surrogate goes.
-		c.Fabric.SetDown(holder, true)
+		holders := c.JournalHoldersOf(victim, surr)
+		if len(holders) < 2 {
+			t.Fatalf("expected a quorum of ≥2 holders for m=2, got %v", holders)
+		}
+		// One recorded holder silently dies, a quorum peer survives: the
+		// surrogate's death must still resolve.
+		c.Fabric.SetDown(holders[0], true)
+		krep, err := c.Kill(p, surr, admin)
+		if err != nil {
+			t.Errorf("kill surrogate with one dead holder: %v", err)
+			return
+		}
+		if krep.PromotedJournals == 0 {
+			t.Error("surrogate death promoted no journal")
+			return
+		}
+		if krep.RepairedItems == 0 {
+			t.Error("promotion read-repaired no journal items")
+			return
+		}
+		for _, s := range st.surrogates {
+			if s == surr {
+				t.Error("dead surrogate still routed")
+				return
+			}
+		}
+		// The repaired items must live on the promoted surrogate — three
+		// total deaths exceed m=2, so broad I/O continuity is out of scope
+		// here (the m=3 grid covers it); the journal itself must survive.
+		held := 0
+		for _, s := range st.surrogates {
+			held += len(c.OSDByID(s).journalItems(victim))
+		}
+		if held < krep.RepairedItems {
+			t.Errorf("surrogates hold %d journal items, want ≥ %d repaired", held, krep.RepairedItems)
+			return
+		}
+		done = true
+	})
+	c.Env.Run(0)
+	if !done && !t.Failed() {
+		t.Fatal("deadlock")
+	}
+}
+
+// TestKillSurrogateAllHoldersLost: ErrSurrogateLost is still the verdict
+// when MORE than m nodes die — here the surrogate plus its entire holder
+// quorum — because no reachable copy of the acked journal remains.
+func TestKillSurrogateAllHoldersLost(t *testing.T) {
+	cfg := degradedConfig("tsue")
+	c := MustNew(cfg)
+	defer c.Env.Close()
+	cl := c.NewClient()
+	admin := c.NewClient()
+	done := false
+	c.Env.Go("t", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(73))
+		fileSize := 4 * c.StripeWidth()
+		content := make([]byte, fileSize)
+		rng.Read(content)
+		ino, err := cl.Create(p, "f", fileSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := cl.WriteFile(p, ino, content); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.DrainAll(p, admin); err != nil {
+			t.Error(err)
+			return
+		}
+		victim := wire.NodeID(3)
+		c.Fabric.SetDown(victim, true)
+		st, err := c.registerDegraded(p, victim, admin)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !degradedStripeOps(t, p, c, cl, st, ino, content, rng, 40) {
+			return
+		}
+		surr := busiestSurrogate(c, st)
+		if surr == 0 {
+			t.Error("no surrogate holds journal items")
+			return
+		}
+		// Every quorum holder silently dies first, then the surrogate goes:
+		// the acked journal has no surviving copy anywhere.
+		for _, h := range c.JournalHoldersOf(victim, surr) {
+			c.Fabric.SetDown(h, true)
+		}
 		_, err = c.Kill(p, surr, admin)
 		if !errors.Is(err, ErrSurrogateLost) {
-			t.Errorf("kill with dead replica holder: got %v, want ErrSurrogateLost", err)
+			t.Errorf("kill with all holders dead: got %v, want ErrSurrogateLost", err)
 			return
 		}
 		done = true

@@ -28,6 +28,10 @@ type MDS struct {
 	byName   map[string]uint64
 	files    map[uint64]*fileMeta
 	lastBeat map[wire.NodeID]time.Duration
+	// beatMisses accumulates, per OSD, the missed-heartbeat counts OSDs
+	// report once a beat gets through again (wire.Heartbeat.Misses) — the
+	// partitioned-link signal surfaced in TransitionStatus and kill reports.
+	beatMisses map[wire.NodeID]uint64
 }
 
 // PGStage enumerates one migrating PG's position in a placement
@@ -97,12 +101,13 @@ type transition struct {
 
 func newMDS(c *Cluster, place *placement.Map) *MDS {
 	return &MDS{
-		c:        c,
-		epochs:   placement.NewEpochs(place),
-		nextIno:  1,
-		byName:   make(map[string]uint64),
-		files:    make(map[uint64]*fileMeta),
-		lastBeat: make(map[wire.NodeID]time.Duration),
+		c:          c,
+		epochs:     placement.NewEpochs(place),
+		nextIno:    1,
+		byName:     make(map[string]uint64),
+		files:      make(map[uint64]*fileMeta),
+		lastBeat:   make(map[wire.NodeID]time.Duration),
+		beatMisses: make(map[wire.NodeID]uint64),
 	}
 }
 
@@ -211,9 +216,10 @@ func (m *MDS) handle(p *sim.Proc, from wire.NodeID, msg wire.Msg) wire.Msg {
 	case *wire.TransitionStatus:
 		t := m.trans
 		if t == nil {
-			return &wire.TransitionStatusResp{Committed: m.committed}
+			return &wire.TransitionStatusResp{Committed: m.committed, Beats: m.beatStatus()}
 		}
-		resp := &wire.TransitionStatusResp{InFlight: true, Staged: t.next, Committed: m.committed}
+		resp := &wire.TransitionStatusResp{InFlight: true, Staged: t.next, Committed: m.committed,
+			Beats: m.beatStatus()}
 		pgs := make([]int, 0, len(t.stage))
 		for pg := range t.stage {
 			pgs = append(pgs, pg)
@@ -225,6 +231,9 @@ func (m *MDS) handle(p *sim.Proc, from wire.NodeID, msg wire.Msg) wire.Msg {
 		return resp
 	case *wire.Heartbeat:
 		m.lastBeat[v.From] = p.Now()
+		if v.Misses > 0 {
+			m.beatMisses[v.From] += uint64(v.Misses)
+		}
 		return wire.OK
 	}
 	return &wire.Ack{Err: "mds: unhandled message " + msg.Type().String()}
@@ -292,6 +301,25 @@ func (m *MDS) PGStageOf(pg int) (PGStage, bool) {
 	s, ok := t.stage[pg]
 	return s, ok
 }
+
+// beatStatus lists every OSD with reported heartbeat misses in ascending
+// OSD order (the Beats section of a TransitionStatusResp).
+func (m *MDS) beatStatus() []wire.BeatStatus {
+	ids := make([]wire.NodeID, 0, len(m.beatMisses))
+	for id := range m.beatMisses {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []wire.BeatStatus
+	for _, id := range ids {
+		out = append(out, wire.BeatStatus{OSD: id, Misses: m.beatMisses[id]})
+	}
+	return out
+}
+
+// BeatMisses returns the accumulated missed-heartbeat count reported for
+// one OSD (kill-report accounting, tests).
+func (m *MDS) BeatMisses(id wire.NodeID) uint64 { return m.beatMisses[id] }
 
 // DeadOSDs returns OSDs whose last heartbeat is older than timeout at the
 // given time (requires heartbeats enabled).

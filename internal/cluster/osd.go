@@ -28,6 +28,21 @@ type OSD struct {
 	// recovery-counter reset — the fan-out measure of the placement
 	// experiment.
 	recSrcReadBytes int64
+	// jrSentMsgs/jrSentBytes count acked JournalReplica sends this OSD made
+	// as a surrogate (quorum write traffic); jrHeldMsgs/jrHeldBytes count
+	// records it persisted as a quorum holder. Harness quorum-traffic
+	// accounting (Cluster.JournalQuorumStats).
+	jrSentMsgs  int64
+	jrSentBytes int64
+	jrHeldMsgs  int64
+	jrHeldBytes int64
+	// beatMissStreak counts consecutive heartbeat sends that failed to reach
+	// the MDS; reported in the Misses field of the next beat that gets
+	// through and folded into the MDS's per-OSD miss accounting.
+	beatMissStreak uint32
+	// beatMissTotal is the lifetime count of failed heartbeat sends (local
+	// accounting for kill reports and tests).
+	beatMissTotal uint64
 }
 
 func newOSD(c *Cluster, id wire.NodeID) *OSD {
@@ -152,15 +167,22 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 	case *wire.DegradedRead:
 		return o.handleDegradedRead(p, v)
 	case *wire.JournalReplica:
-		// Durability copy of a surrogate-journal record: persist, and keep
-		// the item so the journal can be promoted here if the surrogate
-		// dies mid-window (the primary journal drives replay otherwise).
+		// Durability copy of a surrogate-journal record, held as a member of
+		// the surrogate's quorum set: persist, keep the sequenced item keyed
+		// by its surrogate so a promotion can read-repair across holders,
+		// and ack — the surrogate acks the client only after every reachable
+		// holder has done this.
 		j := o.journalFor(v.Failed)
-		j.replItems = append(j.replItems, wire.ReplicaItem{
-			Blk: v.Blk, Off: v.Off, Data: append([]byte(nil), v.Data...),
+		if j.repl == nil {
+			j.repl = make(map[wire.NodeID][]wire.JournalItem)
+		}
+		j.repl[v.Surrogate] = append(j.repl[v.Surrogate], wire.JournalItem{
+			Seq: v.Seq, Blk: v.Blk, Off: v.Off, Data: append([]byte(nil), v.Data...),
 		})
 		o.journalPersistReplica(p, j, int64(len(v.Data)))
-		return wire.OK
+		o.jrHeldMsgs++
+		o.jrHeldBytes += int64(len(v.Data))
+		return &wire.JournalAck{Seq: v.Seq}
 	case *wire.JournalFetch:
 		return o.handleJournalFetch(p, v)
 	case *wire.MigrateBlock:
@@ -357,6 +379,10 @@ func (o *OSD) recoverStripeRepair(p *sim.Proc, blk wire.BlockID) error {
 	return nil
 }
 
+// HeartbeatMisses returns how many heartbeat sends from this OSD have ever
+// failed to reach the MDS (kill-report accounting, tests).
+func (o *OSD) HeartbeatMisses() uint64 { return o.beatMissTotal }
+
 func (o *OSD) startHeartbeat(interval time.Duration) {
 	o.c.Env.Go(fmt.Sprintf("heartbeat@%d", o.id), func(p *sim.Proc) {
 		for {
@@ -364,8 +390,16 @@ func (o *OSD) startHeartbeat(interval time.Duration) {
 			if o.c.Fabric.Down(o.id) {
 				return
 			}
-			// Best effort; the MDS judges liveness by beat age.
-			_, _ = o.Call(p, mdsID, &wire.Heartbeat{From: o.id})
+			// The MDS judges liveness by beat age, but send failures are not
+			// silently dropped: they accumulate as a miss streak reported in
+			// the next beat that gets through, so a flaky or partitioned link
+			// shows up in TransitionStatus / kill-report accounting.
+			if _, err := o.Call(p, mdsID, &wire.Heartbeat{From: o.id, Misses: o.beatMissStreak}); err != nil {
+				o.beatMissStreak++
+				o.beatMissTotal++
+				continue
+			}
+			o.beatMissStreak = 0
 		}
 	})
 }

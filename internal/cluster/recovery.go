@@ -109,6 +109,13 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode Re
 	if parallel < 1 {
 		parallel = 1
 	}
+	// pre: the degraded window was already opened (BeginDegraded or a
+	// surrogate promotion path) — routes are published and the settle
+	// barrier ran, so the replaying modes skip straight to the rebuild.
+	pre := c.degraded[failed] != nil
+	if pre && mode == RecoverDrainFirst {
+		return nil, fmt.Errorf("cluster: node %d has an open degraded window; drain-first recovery would drop its journal", failed)
+	}
 	rep := &RecoveryReport{Mode: mode, TargetBlocks: make(map[wire.NodeID]int)}
 	start := p.Now()
 	c.resetRecoverySources()
@@ -145,9 +152,12 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode Re
 		c.Fabric.SetDown(failed, true)
 		gateStart := p.Now()
 		c.fenceUpdates(p)
-		_, err := c.registerDegraded(p, failed, via)
-		if err == nil {
-			err = c.SettleAll(p, via, failed)
+		var err error
+		if !pre {
+			_, err = c.registerDegraded(p, failed, via)
+			if err == nil {
+				err = c.SettleAll(p, via, failed)
+			}
 		}
 		rep.DrainTime = p.Now() - gateStart
 		if err == nil {
@@ -172,18 +182,22 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode Re
 		// Brief fence: publish the degraded routes under the closed gate
 		// and restore raw stripe consistency (see RecoverLogReplay for the
 		// ordering rationale), then let foreground I/O flow again while
-		// blocks rebuild.
-		gateStart := p.Now()
-		c.fenceUpdates(p)
-		_, err := c.registerDegraded(p, failed, via)
-		if err == nil {
-			err = c.SettleAll(p, via, failed)
-		}
-		c.openGate()
-		rep.DrainTime = p.Now() - gateStart
-		rep.GatedTime = p.Now() - gateStart
-		if err != nil {
-			return nil, err
+		// blocks rebuild. A pre-opened window already did both — the
+		// degraded stripes' raw shards have been frozen since — so the
+		// fence is skipped entirely.
+		if !pre {
+			gateStart := p.Now()
+			c.fenceUpdates(p)
+			_, err := c.registerDegraded(p, failed, via)
+			if err == nil {
+				err = c.SettleAll(p, via, failed)
+			}
+			c.openGate()
+			rep.DrainTime = p.Now() - gateStart
+			rep.GatedTime = p.Now() - gateStart
+			if err != nil {
+				return nil, err
+			}
 		}
 		lost, err := c.rebuild(p, failed, parallel, via, rep, true)
 		if err != nil {
@@ -194,7 +208,7 @@ func (c *Cluster) Recover(p *sim.Proc, failed wire.NodeID, parallel int, mode Re
 		// that already passed the gate must finish its journal overlay
 		// before the steal), replay the journal, and cut clients back over
 		// to the rebuilt placement.
-		gateStart = p.Now()
+		gateStart := p.Now()
 		c.fenceUpdates(p)
 		err = c.cutover(p, failed, via, rep)
 		c.openGate()
@@ -373,10 +387,10 @@ func (c *Cluster) cutover(p *sim.Proc, failed wire.NodeID, via *Client, rep *Rec
 				osds := c.Placement(it.Blk.StripeID())
 				resp, err := c.Fabric.Call(p, via.id, osds[it.Blk.Index], &wire.ReplayUpdate{Blk: it.Blk, Off: it.Off, Data: it.Data})
 				if err != nil {
-					return fmt.Errorf("replay %v: %w", it.Blk, err)
+					return fmt.Errorf("replay %v @%d: %w", it.Blk, osds[it.Blk.Index], err)
 				}
 				if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
-					return fmt.Errorf("replay %v: %s", it.Blk, a.Err)
+					return fmt.Errorf("replay %v @%d: %s", it.Blk, osds[it.Blk.Index], a.Err)
 				}
 				rep.ReplayedItems++
 				rep.ReplayedBytes += int64(len(it.Data))

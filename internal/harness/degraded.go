@@ -39,6 +39,11 @@ type DegradedResult struct {
 	// JournalBytes is surrogate-journal bytes appended per OSD during the
 	// degraded window (the placement experiment's surrogate-load spread).
 	JournalBytes map[wire.NodeID]int64
+	// Quorum* aggregate journal quorum replication traffic during the
+	// window: Sent counts acked JournalReplica messages/bytes the
+	// surrogates pushed to their holder sets, Held what the holders retain.
+	QuorumSentMsgs, QuorumSentBytes int64
+	QuorumHeldMsgs, QuorumHeldBytes int64
 	// ReadLats are the latencies of foreground reads issued inside the
 	// recovery window — the degraded-read latency distribution the ROADMAP
 	// trace-latency item asks for, not just the aggregate IOPS dip. Reads
@@ -211,6 +216,7 @@ func RunDegraded(cfg RunConfig, mode cluster.RecoverMode) (*DegradedResult, erro
 
 		res.Report = rep
 		res.JournalBytes = c.JournalBytesPerOSD()
+		res.QuorumSentMsgs, res.QuorumSentBytes, res.QuorumHeldMsgs, res.QuorumHeldBytes = c.JournalQuorumStats()
 		for _, sm := range samples {
 			if sm.start >= t0 && sm.start <= t1 {
 				res.ReadLats = append(res.ReadLats, sm.lat)
@@ -298,6 +304,9 @@ func Degraded(w io.Writer, s Scale) error {
 				s.Sink.Record("degraded", "read_p95_ms", labels, ms(r.ReadP(0.95)))
 				s.Sink.Record("degraded", "read_p99_ms", labels, ms(r.ReadP(0.99)))
 				s.Sink.Record("degraded", "read_errs", labels, float64(r.ReadErrs))
+				s.Sink.Record("degraded", "journal_quorum_sent_msgs", labels, float64(r.QuorumSentMsgs))
+				s.Sink.Record("degraded", "journal_quorum_sent_bytes", labels, float64(r.QuorumSentBytes))
+				s.Sink.Record("degraded", "journal_quorum_held_bytes", labels, float64(r.QuorumHeldBytes))
 			}
 		}
 	}

@@ -470,6 +470,7 @@ func Experiments() map[string]func(io.Writer, Scale) error {
 		"fig5": Fig5, "fig6a": Fig6a, "fig6b": Fig6b, "fig7": Fig7,
 		"table1": Table1, "table2": Table2, "fig8a": Fig8a, "fig8b": Fig8b,
 		"sweep": Sweep, "degraded": Degraded, "placement": Placement,
-		"rebalance": Rebalance, "rebalance-kill": RebalanceKill, "all": All,
+		"rebalance": Rebalance, "rebalance-kill": RebalanceKill,
+		"degraded-multikill": DegradedMultiKill, "all": All,
 	}
 }

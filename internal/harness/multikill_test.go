@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"testing"
+
+	"tsue/internal/trace"
+)
+
+// TestDegradedMultiKillSmoke drives the full three-death scenario —
+// failed node, quorum holder, journal-holding surrogate — at small scale
+// and checks the quorum invariants the experiment exists to demonstrate:
+// every acked append left replication traffic, the surrogate's death
+// promoted and read-repaired its journal, and the run ends scrubbed.
+func TestDegradedMultiKillSmoke(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Ops = 600
+	cfg.BlockSize = 256 << 10
+	cfg.FileBytes = 24 << 20
+	cfg.Trace = trace.AliCloud(cfg.FileBytes)
+	r, err := RunDegradedMultiKill(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Appends == 0 {
+		t.Fatal("no degraded appends acked")
+	}
+	if r.QuorumSentMsgs == 0 || r.QuorumHeldMsgs == 0 {
+		t.Errorf("acked appends left no quorum traffic: sent=%d held=%d", r.QuorumSentMsgs, r.QuorumHeldMsgs)
+	}
+	if r.Kill == nil || r.Kill.PromotedJournals == 0 {
+		t.Errorf("surrogate death promoted no journal: %+v", r.Kill)
+	}
+	if r.Kill != nil && r.Kill.RepairedItems == 0 {
+		t.Error("promotion read-repaired nothing despite pre-kill appends")
+	}
+	if r.ReplayedItems == 0 {
+		t.Error("recovery replayed no journal items")
+	}
+	if r.Stripes == 0 {
+		t.Error("scrub saw no stripes")
+	}
+}
+
+// TestDegradedMultiKillBudget: death counts beyond the scheme's parity
+// budget are refused up front instead of failing mid-run.
+func TestDegradedMultiKillBudget(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Trace = trace.AliCloud(cfg.FileBytes)
+	if _, err := RunDegradedMultiKill(cfg, cfg.M+1); err == nil {
+		t.Fatal("deaths > M accepted")
+	}
+}

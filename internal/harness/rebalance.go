@@ -215,6 +215,11 @@ type RebalanceKillResult struct {
 	Victim       wire.NodeID
 	SettledEpoch uint64
 	Recovery     *cluster.RecoveryReport
+	// Quorum* aggregate journal quorum replication traffic during the
+	// recovery's degraded window (sent = surrogate→holder appends acked,
+	// held = replica records the holders retain).
+	QuorumSentMsgs, QuorumSentBytes int64
+	QuorumHeldMsgs, QuorumHeldBytes int64
 	// Stripes is the number of stripes scrubbed clean after the run.
 	Stripes int
 }
@@ -281,6 +286,7 @@ func RunRebalanceKill(cfg RunConfig, rcfg rebalance.Config) (*RebalanceKillResul
 			return
 		}
 		res.Recovery = rrep
+		res.QuorumSentMsgs, res.QuorumSentBytes, res.QuorumHeldMsgs, res.QuorumHeldBytes = c.JournalQuorumStats()
 		*load.stop = true
 		load.wg.Wait(p)
 		if *load.err != nil {
@@ -345,6 +351,9 @@ func RebalanceKill(w io.Writer, s Scale) error {
 		s.Sink.Record("rebalance-kill", "moved_bytes", labels, float64(rep.MovedBytes))
 		s.Sink.Record("rebalance-kill", "recovery_ms", labels, ms(r.Recovery.TotalTime))
 		s.Sink.Record("rebalance-kill", "recovery_replayed_items", labels, float64(r.Recovery.ReplayedItems))
+		s.Sink.Record("rebalance-kill", "journal_quorum_sent_msgs", labels, float64(r.QuorumSentMsgs))
+		s.Sink.Record("rebalance-kill", "journal_quorum_sent_bytes", labels, float64(r.QuorumSentBytes))
+		s.Sink.Record("rebalance-kill", "journal_quorum_held_bytes", labels, float64(r.QuorumHeldBytes))
 	}
 	return tw.Flush()
 }

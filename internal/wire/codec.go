@@ -67,7 +67,8 @@ func marshalPayload(buf []byte, m Msg) []byte {
 	case *PGLookup:
 		return binary.LittleEndian.AppendUint32(buf, v.PG)
 	case *Heartbeat:
-		return binary.LittleEndian.AppendUint32(buf, uint32(v.From))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.From))
+		return binary.LittleEndian.AppendUint32(buf, v.Misses)
 	case *PutBlock:
 		buf = putBlockID(buf, v.Blk)
 		return putBytes(buf, v.Data)
@@ -150,11 +151,27 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		return binary.LittleEndian.AppendUint32(buf, uint32(v.Size))
 	case *JournalReplica:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Surrogate))
+		buf = binary.LittleEndian.AppendUint64(buf, v.Seq)
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		return putBytes(buf, v.Data)
+	case *JournalAck:
+		buf = binary.LittleEndian.AppendUint64(buf, v.Seq)
+		return putString(buf, v.Err)
 	case *JournalFetch:
-		return binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Surrogate))
+		return binary.LittleEndian.AppendUint64(buf, v.FromSeq)
+	case *JournalFetchResp:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Items)))
+		for _, it := range v.Items {
+			buf = binary.LittleEndian.AppendUint64(buf, it.Seq)
+			buf = putBlockID(buf, it.Blk)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(it.Off))
+			buf = putBytes(buf, it.Data)
+		}
+		return putString(buf, v.Err)
 	case *ReplayUpdate:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
@@ -194,6 +211,11 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		for _, pg := range v.PGs {
 			buf = binary.LittleEndian.AppendUint32(buf, pg.PG)
 			buf = append(buf, pg.Stage)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Beats)))
+		for _, b := range v.Beats {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(b.OSD))
+			buf = binary.LittleEndian.AppendUint64(buf, b.Misses)
 		}
 		return putString(buf, v.Err)
 	default:
@@ -316,7 +338,7 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 	case TPGLookup:
 		m = &PGLookup{PG: r.u32()}
 	case THeartbeat:
-		m = &Heartbeat{From: NodeID(r.u32())}
+		m = &Heartbeat{From: NodeID(r.u32()), Misses: r.u32()}
 	case TPutBlock:
 		m = &PutBlock{Blk: r.blockID(), Data: r.bytes()}
 	case TReadBlock:
@@ -356,9 +378,20 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 	case TDegradedRead:
 		m = &DegradedRead{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32())}
 	case TJournalReplica:
-		m = &JournalReplica{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+		m = &JournalReplica{Failed: NodeID(r.u32()), Surrogate: NodeID(r.u32()), Seq: r.u64(),
+			Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+	case TJournalAck:
+		m = &JournalAck{Seq: r.u64(), Err: r.str()}
 	case TJournalFetch:
-		m = &JournalFetch{Failed: NodeID(r.u32())}
+		m = &JournalFetch{Failed: NodeID(r.u32()), Surrogate: NodeID(r.u32()), FromSeq: r.u64()}
+	case TJournalFetchResp:
+		n := int(r.u32())
+		v := &JournalFetchResp{}
+		for i := 0; i < n && r.err == nil; i++ {
+			v.Items = append(v.Items, JournalItem{Seq: r.u64(), Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()})
+		}
+		v.Err = r.str()
+		m = v
 	case TReplayUpdate:
 		m = &ReplayUpdate{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
 	case TSettle:
@@ -384,6 +417,10 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 		n := int(r.u32())
 		for i := 0; i < n && r.err == nil; i++ {
 			v.PGs = append(v.PGs, PGStatus{PG: r.u32(), Stage: r.u8()})
+		}
+		nb := int(r.u32())
+		for i := 0; i < nb && r.err == nil; i++ {
+			v.Beats = append(v.Beats, BeatStatus{OSD: NodeID(r.u32()), Misses: r.u64()})
 		}
 		v.Err = r.str()
 		m = v

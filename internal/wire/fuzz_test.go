@@ -57,6 +57,11 @@ func FuzzMarshalUnmarshal(f *testing.F) {
 			&PGCutover{PG: stripe, Epoch: epoch},
 			&EpochUpdate{Kind: EpochKind(idx), OSD: NodeID(stripe), Factor: uint32(off)},
 			&ReplayUpdate{Blk: blk, Off: off, Data: data},
+			&JournalReplica{Failed: NodeID(stripe), Surrogate: NodeID(idx), Seq: epoch, Blk: blk, Off: off, Data: data},
+			&JournalAck{Seq: epoch},
+			&JournalFetch{Failed: NodeID(stripe), Surrogate: NodeID(idx), FromSeq: epoch},
+			&JournalFetchResp{Items: []JournalItem{{Seq: epoch, Blk: blk, Off: off, Data: data}}},
+			&Heartbeat{From: NodeID(stripe), Misses: uint32(epoch)},
 		}
 		for _, m := range msgs {
 			buf := Marshal(nil, m)

@@ -71,6 +71,8 @@ const (
 	TPGAbort
 	TTransitionStatus
 	TTransitionStatusResp
+	TJournalAck
+	TJournalFetchResp
 )
 
 var typeNames = map[Type]string{
@@ -90,6 +92,8 @@ var typeNames = map[Type]string{
 	TMigrateLog: "MigrateLog", TReplicaRetire: "ReplicaRetire",
 	TPGAbort: "PGAbort", TTransitionStatus: "TransitionStatus",
 	TTransitionStatusResp: "TransitionStatusResp",
+	TJournalAck:           "JournalAck",
+	TJournalFetchResp:     "JournalFetchResp",
 }
 
 func (t Type) String() string {
@@ -181,13 +185,17 @@ type PGLookup struct {
 func (*PGLookup) Type() Type       { return TPGLookup }
 func (*PGLookup) PayloadSize() int { return 4 }
 
-// Heartbeat is the OSD -> MDS liveness beacon.
+// Heartbeat is the OSD -> MDS liveness beacon. Misses reports how many
+// consecutive earlier beacons failed to reach the MDS before this one got
+// through — a partitioned-link signal the MDS folds into TransitionStatus
+// and kill-report accounting instead of silently losing it.
 type Heartbeat struct {
-	From NodeID
+	From   NodeID
+	Misses uint32
 }
 
 func (*Heartbeat) Type() Type       { return THeartbeat }
-func (*Heartbeat) PayloadSize() int { return 4 }
+func (*Heartbeat) PayloadSize() int { return 4 + 4 }
 
 // ---- block I/O ----
 
@@ -398,29 +406,78 @@ type DegradedRead struct {
 func (*DegradedRead) Type() Type       { return TDegradedRead }
 func (*DegradedRead) PayloadSize() int { return 4 + 14 + 8 + 4 }
 
-// JournalReplica copies one surrogate-journal record to the surrogate's own
-// replica holder (durability of the degraded-update journal, mirroring the
-// DataLog's replication).
+// JournalReplica copies one surrogate-journal record to a member of the
+// surrogate's fixed quorum holder set (durability of the degraded-update
+// journal). Surrogate names the appending surrogate and Seq is its
+// per-surrogate monotone append sequence (1, 2, ...), so a promotion can
+// union holder copies by (Blk, Off, Seq) newest-wins. Answered with a
+// JournalAck.
 type JournalReplica struct {
-	Failed NodeID
-	Blk    BlockID
-	Off    int64
-	Data   []byte
+	Failed    NodeID
+	Surrogate NodeID
+	Seq       uint64
+	Blk       BlockID
+	Off       int64
+	Data      []byte
 }
 
 func (*JournalReplica) Type() Type         { return TJournalReplica }
-func (j *JournalReplica) PayloadSize() int { return 4 + 14 + 8 + 4 + len(j.Data) }
+func (j *JournalReplica) PayloadSize() int { return 4 + 4 + 8 + 14 + 8 + 4 + len(j.Data) }
 
-// JournalFetch steals the surrogate's journal for the given failed node:
-// the surrogate returns all journaled items (as a ReplicaResp, in append
-// order) and forgets them. Recovery's cutover loop calls this until the
-// journal stays empty.
+// JournalAck acknowledges a JournalReplica append: the holder has the
+// record durably (persisted to its journal zone). Seq echoes the append
+// sequence so the surrogate can match acks to appends.
+type JournalAck struct {
+	Seq uint64
+	Err string
+}
+
+func (*JournalAck) Type() Type         { return TJournalAck }
+func (j *JournalAck) PayloadSize() int { return 8 + 2 + len(j.Err) }
+
+// JournalFetch retrieves surrogate-journal state for the given failed node.
+// Two modes share the message:
+//
+//   - Surrogate == 0: steal the receiver's own (primary) journal — it
+//     returns all journaled items as a ReplicaResp in append order and
+//     forgets them. Recovery's cutover loop calls this until empty.
+//   - Surrogate != 0: non-destructive read-repair fetch — the receiver
+//     returns the quorum-replicated records it holds on behalf of that
+//     surrogate with Seq > FromSeq, as a JournalFetchResp. Promotion after
+//     a surrogate death unions these ranges across all reachable holders.
 type JournalFetch struct {
-	Failed NodeID
+	Failed    NodeID
+	Surrogate NodeID
+	FromSeq   uint64
 }
 
 func (*JournalFetch) Type() Type       { return TJournalFetch }
-func (*JournalFetch) PayloadSize() int { return 4 }
+func (*JournalFetch) PayloadSize() int { return 4 + 4 + 8 }
+
+// JournalItem is one sequenced surrogate-journal record held by a quorum
+// holder (the replicated counterpart of a journal append).
+type JournalItem struct {
+	Seq  uint64
+	Blk  BlockID
+	Off  int64
+	Data []byte
+}
+
+// JournalFetchResp returns a holder's retained journal range for one
+// (failed, surrogate) pair, in ascending Seq order.
+type JournalFetchResp struct {
+	Items []JournalItem
+	Err   string
+}
+
+func (*JournalFetchResp) Type() Type { return TJournalFetchResp }
+func (j *JournalFetchResp) PayloadSize() int {
+	n := 4
+	for _, it := range j.Items {
+		n += 8 + 14 + 8 + 4 + len(it.Data)
+	}
+	return n + 2 + len(j.Err)
+}
 
 // ReplayUpdate carries one recovered log/journal record to the (possibly
 // remapped) home OSD, which merges it through the engine's replay hook
@@ -560,20 +617,30 @@ type PGStatus struct {
 	Stage uint8
 }
 
+// BeatStatus reports one OSD's heartbeat health as seen by the MDS: the
+// cumulative count of missed (send-failed) beacons the OSD has reported.
+type BeatStatus struct {
+	OSD    NodeID
+	Misses uint64
+}
+
 // TransitionStatusResp reports the transition state: InFlight says whether
 // a transition exists at all; Staged/Committed are the epoch pair; PGs
-// lists every migrating PG's current stage in ascending PG order.
+// lists every migrating PG's current stage in ascending PG order. Beats
+// lists, in ascending OSD order, every OSD that has reported missed
+// heartbeats (partitioned-link accounting).
 type TransitionStatusResp struct {
 	InFlight  bool
 	Staged    uint64
 	Committed uint64
 	PGs       []PGStatus
+	Beats     []BeatStatus
 	Err       string
 }
 
 func (*TransitionStatusResp) Type() Type { return TTransitionStatusResp }
 func (t *TransitionStatusResp) PayloadSize() int {
-	return 1 + 8 + 8 + 4 + 5*len(t.PGs) + 2 + len(t.Err)
+	return 1 + 8 + 8 + 4 + 5*len(t.PGs) + 4 + 12*len(t.Beats) + 2 + len(t.Err)
 }
 
 // Settle asks an OSD to bring its raw block stores to stripe consistency

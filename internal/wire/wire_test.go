@@ -19,6 +19,7 @@ func sampleMessages() []Msg {
 		&LookupResp{OSDs: []NodeID{1, 2, 3, 4}, PG: 17, Err: ""},
 		&PGLookup{PG: 9},
 		&Heartbeat{From: 11},
+		&Heartbeat{From: 11, Misses: 3},
 		&PutBlock{Blk: BlockID{1, 2, 3}, Data: []byte{9, 8, 7}},
 		&ReadBlock{Blk: BlockID{1, 2, 3}, Off: 4096, Size: 512},
 		&ReadResp{Data: []byte{1, 2}, Err: ""},
@@ -35,8 +36,16 @@ func sampleMessages() []Msg {
 		&RecoverBlock{Blk: BlockID{4, 4, 6}, Reencode: true},
 		&DegradedUpdate{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7, 7}},
 		&DegradedRead{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Size: 128},
-		&JournalReplica{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7}},
+		&JournalReplica{Failed: 5, Surrogate: 2, Seq: 9, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7}},
+		&JournalAck{Seq: 9},
+		&JournalAck{Seq: 0, Err: "zone full"},
 		&JournalFetch{Failed: 5},
+		&JournalFetch{Failed: 5, Surrogate: 2, FromSeq: 3},
+		&JournalFetchResp{Items: []JournalItem{
+			{Seq: 4, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7, 8}},
+			{Seq: 5, Blk: BlockID{1, 3, 1}, Off: 0, Data: []byte{9}},
+		}},
+		&JournalFetchResp{Err: "not a holder"},
 		&ReplayUpdate{Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{9, 9, 9}},
 		&Settle{Failed: 3},
 		&LookupResp{OSDs: []NodeID{4, 5}, PG: 3, Epoch: 2, Err: ""},
@@ -56,6 +65,9 @@ func sampleMessages() []Msg {
 		&TransitionStatus{},
 		&TransitionStatusResp{InFlight: true, Staged: 2, Committed: 1,
 			PGs: []PGStatus{{PG: 3, Stage: 1}, {PG: 9, Stage: 5}}},
+		&TransitionStatusResp{InFlight: true, Staged: 2, Committed: 1,
+			PGs:   []PGStatus{{PG: 3, Stage: 1}},
+			Beats: []BeatStatus{{OSD: 4, Misses: 2}, {OSD: 7, Misses: 11}}},
 		&TransitionStatusResp{Err: "no transition"},
 	}
 }
