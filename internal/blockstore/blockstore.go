@@ -30,6 +30,10 @@ type entry struct {
 	// it to detect blocks dirtied between the bulk copy and the cutover
 	// fence, so only those pay a catch-up re-copy.
 	ver uint64
+	// sum is the CRC-32C of data, maintained on every write and verified on
+	// ReadRange so at-rest rot (CorruptStored) surfaces as wire.ErrChecksum
+	// instead of silently corrupt bytes.
+	sum uint32
 }
 
 // New creates a store on dev with fixed blockSize.
@@ -76,6 +80,7 @@ func (s *Store) Put(p *sim.Proc, blk wire.BlockID, data []byte) error {
 	}
 	copy(e.data, data)
 	e.ver++
+	e.sum = wire.Checksum(e.data)
 	s.dev.Write(p, s.zone, s.offset(e, 0), s.blockSize, exists)
 	return nil
 }
@@ -100,6 +105,9 @@ func (s *Store) ReadRange(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byt
 	if off < 0 || size < 0 || off+size > s.blockSize {
 		return nil, fmt.Errorf("blockstore: ReadRange %v [%d,%d) out of range", blk, off, off+size)
 	}
+	if wire.Checksum(e.data) != e.sum {
+		return nil, fmt.Errorf("blockstore: ReadRange %v: %w", blk, wire.ErrChecksum)
+	}
 	s.dev.Read(p, s.zone, s.offset(e, off), size)
 	return append([]byte(nil), e.data[off:off+size]...), nil
 }
@@ -116,6 +124,7 @@ func (s *Store) WriteRange(p *sim.Proc, blk wire.BlockID, off int64, data []byte
 	}
 	copy(e.data[off:], data)
 	e.ver++
+	e.sum = wire.Checksum(e.data)
 	s.dev.Write(p, s.zone, s.offset(e, off), int64(len(data)), true)
 	return nil
 }
@@ -128,6 +137,50 @@ func (s *Store) Peek(blk wire.BlockID) ([]byte, bool) {
 		return nil, false
 	}
 	return e.data, true
+}
+
+// CorruptStored flips one stored byte of blk at off WITHOUT updating the
+// entry checksum — at-rest bit rot for fault-injection tests. The next
+// ReadRange of the block fails with wire.ErrChecksum; VerifyStored reports
+// it immediately.
+func (s *Store) CorruptStored(blk wire.BlockID, off int64) error {
+	e, ok := s.blocks[blk]
+	if !ok {
+		return fmt.Errorf("blockstore: CorruptStored: no such block %v", blk)
+	}
+	if off < 0 || off >= s.blockSize {
+		return fmt.Errorf("blockstore: CorruptStored %v off %d out of range", blk, off)
+	}
+	e.data[off] ^= 0xff
+	return nil
+}
+
+// VerifyStored re-checks blk's bytes against its stored checksum without
+// charging the device (scrub path); absent blocks verify trivially.
+func (s *Store) VerifyStored(blk wire.BlockID) bool {
+	e, ok := s.blocks[blk]
+	if !ok {
+		return true
+	}
+	return wire.Checksum(e.data) == e.sum
+}
+
+// Rewrite restores blk's bytes AND checksum from known-good data without
+// charging the device beyond a normal overwrite — the scrub-repair store
+// step for a rotted block (ReadRange would refuse to touch it).
+func (s *Store) Rewrite(p *sim.Proc, blk wire.BlockID, data []byte) error {
+	if int64(len(data)) != s.blockSize {
+		return fmt.Errorf("blockstore: Rewrite %v size %d != block size %d", blk, len(data), s.blockSize)
+	}
+	e, ok := s.blocks[blk]
+	if !ok {
+		return s.Put(p, blk, data)
+	}
+	copy(e.data, data)
+	e.ver++
+	e.sum = wire.Checksum(e.data)
+	s.dev.Write(p, s.zone, s.offset(e, 0), s.blockSize, true)
+	return nil
 }
 
 // Delete removes blk (used when simulating data loss on a failed OSD).

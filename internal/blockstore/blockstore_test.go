@@ -2,6 +2,7 @@ package blockstore
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"tsue/internal/device"
@@ -138,4 +139,61 @@ func TestPeekNoDeviceCharge(t *testing.T) {
 		}
 	})
 	_ = st
+}
+
+func TestCorruptStoredDetected(t *testing.T) {
+	withStore(t, func(p *sim.Proc, s *Store) {
+		data := make([]byte, 4096)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		if err := s.Put(p, blk, data); err != nil {
+			t.Fatal(err)
+		}
+		if !s.VerifyStored(blk) {
+			t.Fatal("fresh block fails verification")
+		}
+		if err := s.CorruptStored(blk, 1234); err != nil {
+			t.Fatal(err)
+		}
+		if s.VerifyStored(blk) {
+			t.Fatal("corrupted block passes verification")
+		}
+		// The rot is detected even by reads of ranges not covering the
+		// flipped byte — the checksum guards the whole block.
+		if _, err := s.ReadRange(p, blk, 0, 100); !errors.Is(err, wire.ErrChecksum) {
+			t.Fatalf("ReadRange on rotted block: err=%v, want ErrChecksum", err)
+		}
+		// Rewrite with known-good data repairs both bytes and checksum.
+		if err := s.Rewrite(p, blk, data); err != nil {
+			t.Fatal(err)
+		}
+		if !s.VerifyStored(blk) {
+			t.Fatal("Rewrite did not restore checksum")
+		}
+		got, err := s.ReadRange(p, blk, 1200, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data[1200:1300]) {
+			t.Fatal("repaired bytes wrong")
+		}
+		// A partial WriteRange recomputes the whole-block sum, so later
+		// reads verify.
+		if err := s.WriteRange(p, blk, 64, []byte{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		if !s.VerifyStored(blk) {
+			t.Fatal("WriteRange left a stale checksum")
+		}
+		if err := s.CorruptStored(blk, 9999); err == nil {
+			t.Fatal("out-of-range corruption accepted")
+		}
+		if err := s.CorruptStored(wire.BlockID{Ino: 9}, 0); err == nil {
+			t.Fatal("corrupting absent block accepted")
+		}
+		if !s.VerifyStored(wire.BlockID{Ino: 9}) {
+			t.Fatal("absent block should verify trivially")
+		}
+	})
 }

@@ -79,7 +79,8 @@ func (cl *Client) WriteFile(p *sim.Proc, ino uint64, data []byte) error {
 			cl.c.Env.Go("put", func(hp *sim.Proc) {
 				defer wg.Done()
 				blk := wire.BlockID{Ino: ino, Stripe: uint32(s), Index: uint16(i)}
-				resp, err := cl.c.Fabric.Call(hp, cl.id, osds[i], &wire.PutBlock{Blk: blk, Data: shards[i]})
+				resp, err := cl.c.Fabric.Call(hp, cl.id, osds[i],
+					&wire.PutBlock{Blk: blk, Data: shards[i], Sum: wire.Checksum(shards[i])})
 				if err == nil {
 					if a, ok := resp.(*wire.Ack); ok && a.Err != "" {
 						err = fmt.Errorf("%s", a.Err)
@@ -136,20 +137,21 @@ func (cl *Client) Update(p *sim.Proc, ino uint64, off int64, data []byte) error 
 // transitions (failure detection, degraded registration, recovery cutover,
 // rebalance cutover).
 func (cl *Client) updateBlock(p *sim.Proc, blk wire.BlockID, boff int64, data []byte) error {
+	sum := wire.Checksum(data)
 	for attempt := 0; ; attempt++ {
 		cl.c.waitGate(p)
 		var resp wire.Msg
 		var err error
 		if failed, surrogate, ok := cl.c.degradedRoute(blk.StripeID()); ok {
 			resp, err = cl.c.Fabric.Call(p, cl.id, surrogate,
-				&wire.DegradedUpdate{Failed: failed, Blk: blk, Off: boff, Data: data})
+				&wire.DegradedUpdate{Failed: failed, Blk: blk, Off: boff, Data: data, Sum: sum})
 		} else {
 			// Counted so recovery's fenceUpdates can wait out in-flight
 			// engine updates before a consistency barrier.
 			cl.c.updatesInFlight++
 			osds, epoch := cl.c.ResolveView(blk.StripeID(), cl.view)
 			resp, err = cl.c.Fabric.Call(p, cl.id, osds[blk.Index],
-				&wire.Update{Blk: blk, Off: boff, Data: data, Epoch: epoch})
+				&wire.Update{Blk: blk, Off: boff, Data: data, Epoch: epoch, Sum: sum})
 			cl.c.updatesInFlight--
 			if cl.c.updatesInFlight == 0 {
 				cl.c.gateCond.Broadcast()
@@ -163,7 +165,9 @@ func (cl *Client) updateBlock(p *sim.Proc, blk wire.BlockID, boff int64, data []
 		if err == nil {
 			return nil
 		}
-		if attempt >= routeRetries || !retryableRouteErr(err) {
+		// Checksum rejections are retryable: the receiver discarded the
+		// corrupt payload before any side effect, so a clean resend repairs.
+		if attempt >= routeRetries || !(retryableRouteErr(err) || checksumErr(err)) {
 			return fmt.Errorf("update %v: %w", blk, err)
 		}
 		if staleEpochErr(err) {
@@ -232,11 +236,19 @@ func (cl *Client) readBlock(p *sim.Proc, blk wire.BlockID, boff, n int64) ([]byt
 				return nil, fmt.Errorf("read %v: unexpected response %T", blk, resp)
 			}
 			if rr.Err == "" {
-				return rr.Data, nil
+				// End-to-end verification: the response payload survived the
+				// wire. A mismatch is retryable like any transient fault.
+				if verr := wire.VerifySum(rr.Data, rr.Sum); verr != nil {
+					cl.c.noteCorruption()
+					err = fmt.Errorf("read %v: %w", blk, verr)
+				} else {
+					return rr.Data, nil
+				}
+			} else {
+				err = fmt.Errorf("%s", rr.Err)
 			}
-			err = fmt.Errorf("%s", rr.Err)
 		}
-		if attempt >= routeRetries || !retryableRouteErr(err) {
+		if attempt >= routeRetries || !(retryableRouteErr(err) || checksumErr(err)) {
 			return nil, fmt.Errorf("read %v: %w", blk, err)
 		}
 		if staleEpochErr(err) {

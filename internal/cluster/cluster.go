@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"time"
@@ -37,6 +38,12 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// HeartbeatTimeout marks an OSD dead when its beat is older than this.
 	HeartbeatTimeout time.Duration
+	// HedgeDelay > 0 arms hedged degraded reads: when an on-the-fly
+	// reconstruction has not completed within this deadline (a straggling
+	// survivor), the surrogate fires a second reconstruction from an
+	// alternate K-of-N survivor set and the first valid result wins. 0
+	// disables hedging.
+	HedgeDelay time.Duration
 }
 
 // DefaultConfig mirrors the paper's SSD testbed: 16 OSD nodes, RS(6,4)
@@ -97,6 +104,12 @@ type Cluster struct {
 	gateCond        *sim.Cond
 	updatesInFlight int
 	surrOpsInFlight int
+
+	// corruptionsDetected counts checksum-verification failures surfaced
+	// anywhere in the cluster (OSD ingress, shard fan-in, client read
+	// verification, at-rest scrub). The chaos grid asserts this equals the
+	// fabric's injected-corruption count: nothing corrupt escapes silently.
+	corruptionsDetected int64
 }
 
 type fileMeta struct {
@@ -395,6 +408,108 @@ func (c *Cluster) Scrub() (int, error) {
 		}
 	}
 	return checked, nil
+}
+
+// noteCorruption records one detected checksum failure (any verify point).
+func (c *Cluster) noteCorruption() { c.corruptionsDetected++ }
+
+// CorruptionsDetected returns how many checksum-verification failures the
+// cluster has surfaced — compared against Fabric.CorruptionsInjected to
+// prove injected corruption never escapes detection.
+func (c *Cluster) CorruptionsDetected() int64 { return c.corruptionsDetected }
+
+// HedgeStats aggregates hedged degraded-read counters across OSDs: fired is
+// how many hedge reconstructions launched (primary missed the HedgeDelay
+// deadline), wins how many of those produced the winning result.
+func (c *Cluster) HedgeStats() (fired, wins int64) {
+	for _, osd := range c.OSDs {
+		fired += osd.hedgeFired
+		wins += osd.hedgeWins
+	}
+	return
+}
+
+// ScrubRepair is the repairing scrub run after a chaos window heals: it
+// re-checks every stored shard against its at-rest checksum, treats
+// checksum-failing (or missing) shards as erasures and reconstructs them
+// from the surviving shards when no more than M are bad, then re-encodes
+// any stripe whose parity disagrees with its data and rewrites the stale
+// parity copies in place. Data shards are authoritative for the
+// parity-tear repair: a message dropped inside an engine's propagation
+// (flap window, partition) leaves data applied and parity stale, never the
+// reverse. Like Scrub it inspects stores directly and requires every host
+// live; it returns the repaired block and stripe counts.
+func (c *Cluster) ScrubRepair(p *sim.Proc) (blocks, stripes int, err error) {
+	cfg := c.Cfg
+	for ino, fm := range c.MDS.files {
+		for s := uint32(0); s < fm.stripes; s++ {
+			sid := wire.StripeID{Ino: ino, Stripe: s}
+			osds := c.Placement(sid)
+			shards := make([][]byte, cfg.K+cfg.M)
+			var bad []int
+			for i := range shards {
+				blk := wire.BlockID{Ino: ino, Stripe: s, Index: uint16(i)}
+				host := c.OSDByID(osds[i])
+				if c.Fabric.Down(osds[i]) {
+					return blocks, stripes, fmt.Errorf("scrub-repair: host %d of %v down", osds[i], blk)
+				}
+				buf, ok := host.store.Peek(blk)
+				if !ok || !host.store.VerifyStored(blk) {
+					if ok {
+						c.noteCorruption()
+					}
+					bad = append(bad, i)
+					continue
+				}
+				shards[i] = append([]byte(nil), buf...)
+			}
+			repaired := false
+			if len(bad) > 0 {
+				if len(bad) > cfg.M {
+					return blocks, stripes, fmt.Errorf("scrub-repair: stripe %v has %d bad shards > M=%d", sid, len(bad), cfg.M)
+				}
+				if err := c.Code.Reconstruct(shards); err != nil {
+					return blocks, stripes, fmt.Errorf("scrub-repair: stripe %v: %w", sid, err)
+				}
+				for _, i := range bad {
+					blk := wire.BlockID{Ino: ino, Stripe: s, Index: uint16(i)}
+					if err := c.OSDByID(osds[i]).store.Rewrite(p, blk, shards[i]); err != nil {
+						return blocks, stripes, err
+					}
+					blocks++
+				}
+				repaired = true
+			}
+			ok, verr := c.Code.Verify(shards[:cfg.K], shards[cfg.K:])
+			if verr != nil {
+				return blocks, stripes, verr
+			}
+			if !ok {
+				parity := make([][]byte, cfg.M)
+				for j := range parity {
+					parity[j] = make([]byte, cfg.BlockSize)
+				}
+				if err := c.Code.Encode(shards[:cfg.K], parity); err != nil {
+					return blocks, stripes, err
+				}
+				for j := 0; j < cfg.M; j++ {
+					if bytes.Equal(parity[j], shards[cfg.K+j]) {
+						continue
+					}
+					blk := wire.BlockID{Ino: ino, Stripe: s, Index: uint16(cfg.K + j)}
+					if err := c.OSDByID(osds[cfg.K+j]).store.Rewrite(p, blk, parity[j]); err != nil {
+						return blocks, stripes, err
+					}
+					blocks++
+				}
+				repaired = true
+			}
+			if repaired {
+				stripes++
+			}
+		}
+	}
+	return blocks, stripes, nil
 }
 
 // resetRecoverySources zeroes the per-OSD reconstruction-source counters

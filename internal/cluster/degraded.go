@@ -58,9 +58,18 @@ const errMigrating = "cluster: pg cutover in progress"
 func retryableRouteErr(err error) bool {
 	s := err.Error()
 	return strings.Contains(s, netsim.ErrNodeDown.Error()) ||
+		strings.Contains(s, netsim.ErrPartitioned.Error()) ||
 		strings.Contains(s, errDegradedGone) ||
 		strings.Contains(s, errStaleEpoch) ||
 		strings.Contains(s, errMigrating)
+}
+
+// checksumErr reports whether the failure (possibly stringified across an
+// OSD hop) was a checksum-verification rejection. Clients retry these: the
+// payload was corrupted in flight and discarded before any side effect, so
+// a clean resend (or re-read) is the repair.
+func checksumErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), wire.ErrChecksum.Error())
 }
 
 // staleEpochErr reports whether the failure was a stale-epoch bounce
@@ -436,6 +445,12 @@ func (o *OSD) handleDegradedUpdate(p *sim.Proc, v *wire.DegradedUpdate) wire.Msg
 	if st == nil || !st.servesDegraded(o.c, o.id, v.Blk) {
 		return &wire.Ack{Err: errDegradedGone}
 	}
+	// Verify before the append: a corrupted record would be overlaid on
+	// degraded reads and replayed at cutover.
+	if err := wire.VerifySum(v.Data, v.Sum); err != nil {
+		o.c.noteCorruption()
+		return &wire.Ack{Err: fmt.Sprintf("degraded update %v: %v", v.Blk, err)}
+	}
 	o.c.surrOpsInFlight++
 	defer o.c.surrOpDone()
 	j := o.journalFor(v.Failed)
@@ -468,7 +483,7 @@ func (o *OSD) handleDegradedUpdate(p *sim.Proc, v *wire.DegradedUpdate) wire.Msg
 			defer wg.Done()
 			resp, err := o.Call(hp, h, &wire.JournalReplica{
 				Failed: v.Failed, Surrogate: o.id, Seq: seq,
-				Blk: v.Blk, Off: v.Off, Data: v.Data,
+				Blk: v.Blk, Off: v.Off, Data: v.Data, Sum: v.Sum,
 			})
 			if err != nil {
 				if !nodeDownErr(err) && firstErr == nil {
@@ -521,7 +536,7 @@ func (o *OSD) handleDegradedRead(p *sim.Proc, v *wire.DegradedRead) wire.Msg {
 	var buf []byte
 	var err error
 	if st.lost[v.Blk] {
-		buf, err = o.reconstructRange(p, v.Blk, v.Off, int64(v.Size))
+		buf, err = o.reconstructRangeHedged(p, v.Blk, v.Off, int64(v.Size))
 	} else {
 		var resp wire.Msg
 		home := o.c.Placement(v.Blk.StripeID())[v.Blk.Index]
@@ -533,6 +548,9 @@ func (o *OSD) handleDegradedRead(p *sim.Proc, v *wire.DegradedRead) wire.Msg {
 			rr, ok := resp.(*wire.ReadResp)
 			if !ok || rr.Err != "" {
 				err = fmt.Errorf("degraded read fwd %v: %v", v.Blk, resp)
+			} else if verr := wire.VerifySum(rr.Data, rr.Sum); verr != nil {
+				o.c.noteCorruption()
+				err = fmt.Errorf("degraded read fwd %v: %w", v.Blk, verr)
 			} else {
 				buf = rr.Data
 			}
@@ -549,7 +567,8 @@ func (o *OSD) handleDegradedRead(p *sim.Proc, v *wire.DegradedRead) wire.Msg {
 		}
 		overlayRange(buf, v.Off, it.Off, it.Data)
 	}
-	return &wire.ReadResp{Data: buf}
+	// The checksum covers the post-overlay bytes the client will consume.
+	return &wire.ReadResp{Data: buf, Sum: wire.Checksum(buf)}
 }
 
 // overlayRange copies the intersection of record (recOff, recData) onto
@@ -570,9 +589,10 @@ func overlayRange(dst []byte, dstOff, recOff int64, recData []byte) {
 
 // reconstructRange rebuilds [off, off+size) of a lost block from the same
 // range of K surviving shards — RS decoding is bytewise, so a degraded read
-// never moves more than K× the requested bytes.
-func (o *OSD) reconstructRange(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error) {
-	shards, err := o.readSurvivingShards(p, blk, off, size)
+// never moves more than K× the requested bytes. alt selects the alternate
+// survivor set (hedged second leg).
+func (o *OSD) reconstructRange(p *sim.Proc, blk wire.BlockID, off, size int64, alt bool) ([]byte, error) {
+	shards, err := o.readSurvivingShards(p, blk, off, size, alt)
 	if err != nil {
 		return nil, err
 	}
@@ -580,6 +600,68 @@ func (o *OSD) reconstructRange(p *sim.Proc, blk wire.BlockID, off, size int64) (
 		return nil, err
 	}
 	return shards[blk.Index], nil
+}
+
+// hedgeResult is one leg's outcome in a hedged reconstruction race.
+type hedgeResult struct {
+	buf   []byte
+	err   error
+	hedge bool
+}
+
+// reconstructRangeHedged is reconstructRange with straggler hedging: if the
+// primary K-shard fan-in has not completed within Config.HedgeDelay, a
+// second reconstruction fires against the alternate survivor set (the last
+// K live shards instead of the first) and the first valid result wins. The
+// losing leg's late result lands in an unconsumed queue — harmless, its
+// reads were charged to the fabric like any raced RPC. With HedgeDelay 0
+// this is plain reconstructRange.
+func (o *OSD) reconstructRangeHedged(p *sim.Proc, blk wire.BlockID, off, size int64) ([]byte, error) {
+	delay := o.c.Cfg.HedgeDelay
+	if delay <= 0 {
+		return o.reconstructRange(p, blk, off, size, false)
+	}
+	results := sim.NewQueue[hedgeResult](o.c.Env)
+	done := false  // a winner was taken; the timer must not fire
+	fired := false // the hedge leg launched (a second result will arrive)
+	o.c.Env.Go("degraded-hedge-primary", func(hp *sim.Proc) {
+		buf, err := o.reconstructRange(hp, blk, off, size, false)
+		results.Put(hedgeResult{buf: buf, err: err})
+	})
+	o.c.Env.Go("degraded-hedge-timer", func(hp *sim.Proc) {
+		hp.Sleep(delay)
+		if done {
+			return
+		}
+		fired = true
+		o.hedgeFired++
+		buf, err := o.reconstructRange(hp, blk, off, size, true)
+		results.Put(hedgeResult{buf: buf, err: err, hedge: true})
+	})
+	first, _ := results.Get(p)
+	if first.err == nil {
+		done = true
+		if first.hedge {
+			o.hedgeWins++
+		}
+		return first.buf, nil
+	}
+	// The first leg failed. If the other leg is still in flight (the hedge
+	// fired, or the failure WAS the hedge so the primary is outstanding),
+	// its result may yet be good — wait for it.
+	if fired || first.hedge {
+		second, _ := results.Get(p)
+		done = true
+		if second.err == nil {
+			if second.hedge {
+				o.hedgeWins++
+			}
+			return second.buf, nil
+		}
+		return nil, first.err
+	}
+	done = true
+	return nil, first.err
 }
 
 // handleJournalFetch serves both journal-retrieval modes. With Surrogate

@@ -260,7 +260,7 @@ func (c *Cluster) promoteSurrogate(p *sim.Proc, st *degradedState, victim wire.N
 			}
 			resp, err := osd.Call(p, h, &wire.JournalReplica{
 				Failed: st.failed, Surrogate: cand, Seq: newSeqs[i],
-				Blk: it.Blk, Off: it.Off, Data: it.Data,
+				Blk: it.Blk, Off: it.Off, Data: it.Data, Sum: wire.Checksum(it.Data),
 			})
 			if err != nil {
 				if nodeDownErr(err) {

@@ -36,6 +36,11 @@ type OSD struct {
 	jrSentBytes int64
 	jrHeldMsgs  int64
 	jrHeldBytes int64
+	// hedgeFired counts hedged degraded-read reconstructions launched after
+	// the primary missed Config.HedgeDelay; hedgeWins counts hedges whose
+	// result won the race (Cluster.HedgeStats).
+	hedgeFired int64
+	hedgeWins  int64
 	// beatMissStreak counts consecutive heartbeat sends that failed to reach
 	// the MDS; reported in the Misses field of the next beat that gets
 	// through and folded into the MDS's per-OSD miss accounting.
@@ -107,6 +112,12 @@ func (o *OSD) JournalBytes() int64 {
 func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 	switch v := m.(type) {
 	case *wire.PutBlock:
+		// Verify before the store write: a payload corrupted on the wire
+		// must never become the stored copy.
+		if err := wire.VerifySum(v.Data, v.Sum); err != nil {
+			o.c.noteCorruption()
+			return &wire.Ack{Err: fmt.Sprintf("put %v: %v", v.Blk, err)}
+		}
 		if err := o.store.Put(p, v.Blk, v.Data); err != nil {
 			return &wire.Ack{Err: err.Error()}
 		}
@@ -133,10 +144,16 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 		if err != nil {
 			return &wire.ReadResp{Err: err.Error()}
 		}
-		return &wire.ReadResp{Data: buf}
+		return &wire.ReadResp{Data: buf, Sum: wire.Checksum(buf)}
 	case *wire.Update:
 		if !o.c.epochOK(v.Blk, v.Epoch) {
 			return &wire.Ack{Err: errStaleEpoch}
+		}
+		// Verify before any engine side effect: a corrupted delta applied to
+		// data or parity would tear the stripe undetectably.
+		if err := wire.VerifySum(v.Data, v.Sum); err != nil {
+			o.c.noteCorruption()
+			return &wire.Ack{Err: fmt.Sprintf("update %v: %v", v.Blk, err)}
 		}
 		if err := o.engine.Update(p, v.Blk, v.Off, v.Data); err != nil {
 			return &wire.Ack{Err: err.Error()}
@@ -171,7 +188,12 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 		// the surrogate's quorum set: persist, keep the sequenced item keyed
 		// by its surrogate so a promotion can read-repair across holders,
 		// and ack — the surrogate acks the client only after every reachable
-		// holder has done this.
+		// holder has done this. Verified first: a corrupted copy acked into
+		// the quorum could later read-repair garbage over good records.
+		if err := wire.VerifySum(v.Data, v.Sum); err != nil {
+			o.c.noteCorruption()
+			return &wire.JournalAck{Seq: v.Seq, Err: err.Error()}
+		}
 		j := o.journalFor(v.Failed)
 		if j.repl == nil {
 			j.repl = make(map[wire.NodeID][]wire.JournalItem)
@@ -222,6 +244,10 @@ func (o *OSD) handleMigrateBlock(p *sim.Proc, v *wire.MigrateBlock) wire.Msg {
 	if !ok || rr.Err != "" {
 		return &wire.Ack{Err: fmt.Sprintf("migrate pull %v from %d: %v", v.Blk, v.From, resp)}
 	}
+	if err := wire.VerifySum(rr.Data, rr.Sum); err != nil {
+		o.c.noteCorruption()
+		return &wire.Ack{Err: fmt.Sprintf("migrate pull %v from %d: %v", v.Blk, v.From, err)}
+	}
 	if err := o.store.Put(p, v.Blk, rr.Data); err != nil {
 		return &wire.Ack{Err: err.Error()}
 	}
@@ -254,21 +280,34 @@ func (o *OSD) handleMigrateLog(p *sim.Proc, v *wire.MigrateLog) wire.Msg {
 	return &wire.ReplicaResp{Items: items}
 }
 
-// readSurvivingShards reads [off, off+size) of the first K live shards of
-// blk's stripe (skipping blk itself) with parallel raw reads, returning the
-// K+M shard slice with the read shards filled in — the fan-in shared by
-// block reconstruction, stripe repair, and degraded reads.
-func (o *OSD) readSurvivingShards(p *sim.Proc, blk wire.BlockID, off, size int64) ([][]byte, error) {
+// readSurvivingShards reads [off, off+size) of K live shards of blk's
+// stripe (skipping blk itself) with parallel raw reads, returning the K+M
+// shard slice with the read shards filled in — the fan-in shared by block
+// reconstruction, stripe repair, and degraded reads. The primary survivor
+// set is the first K live shards in index order; with alt set the LAST K
+// live shards are chosen instead, so whenever more than K shards survive a
+// hedged read's two legs fan in over different sources and a straggler in
+// one set need not stall both.
+func (o *OSD) readSurvivingShards(p *sim.Proc, blk wire.BlockID, off, size int64, alt bool) ([][]byte, error) {
 	cfg := o.c.Cfg
 	s := blk.StripeID()
 	osds := o.c.Placement(s)
 	shards := make([][]byte, cfg.K+cfg.M)
 	var sources []int
-	for i := 0; i < cfg.K+cfg.M && len(sources) < cfg.K; i++ {
-		if uint16(i) == blk.Index || o.c.Fabric.Down(osds[i]) {
-			continue
+	if alt {
+		for i := cfg.K + cfg.M - 1; i >= 0 && len(sources) < cfg.K; i-- {
+			if uint16(i) == blk.Index || o.c.Fabric.Down(osds[i]) {
+				continue
+			}
+			sources = append(sources, i)
 		}
-		sources = append(sources, i)
+	} else {
+		for i := 0; i < cfg.K+cfg.M && len(sources) < cfg.K; i++ {
+			if uint16(i) == blk.Index || o.c.Fabric.Down(osds[i]) {
+				continue
+			}
+			sources = append(sources, i)
+		}
 	}
 	if len(sources) < cfg.K {
 		return nil, fmt.Errorf("recover %v: only %d surviving shards", blk, len(sources))
@@ -295,6 +334,15 @@ func (o *OSD) readSurvivingShards(p *sim.Proc, blk wire.BlockID, off, size int64
 				}
 				return
 			}
+			// A corrupt shard fed into rs.Reconstruct would silently rebuild
+			// wrong bytes — the one place wire rot is most dangerous.
+			if err := wire.VerifySum(rr.Data, rr.Sum); err != nil {
+				o.c.noteCorruption()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("recover read %v: %w", sblk, err)
+				}
+				return
+			}
 			o.c.OSDByID(osds[idx]).recSrcReadBytes += int64(len(rr.Data))
 			shards[idx] = rr.Data
 		})
@@ -315,7 +363,7 @@ func (o *OSD) recoverBlock(p *sim.Proc, req *wire.RecoverBlock) error {
 		return o.recoverStripeRepair(p, req.Blk)
 	}
 	blk := req.Blk
-	shards, err := o.readSurvivingShards(p, blk, 0, o.c.Cfg.BlockSize)
+	shards, err := o.readSurvivingShards(p, blk, 0, o.c.Cfg.BlockSize, false)
 	if err != nil {
 		return err
 	}
@@ -339,7 +387,7 @@ func (o *OSD) recoverStripeRepair(p *sim.Proc, blk wire.BlockID) error {
 	cfg := o.c.Cfg
 	s := blk.StripeID()
 	osds := o.c.Placement(s)
-	shards, err := o.readSurvivingShards(p, blk, 0, cfg.BlockSize)
+	shards, err := o.readSurvivingShards(p, blk, 0, cfg.BlockSize, false)
 	if err != nil {
 		return err
 	}
@@ -368,7 +416,7 @@ func (o *OSD) recoverStripeRepair(p *sim.Proc, blk wire.BlockID) error {
 			continue
 		}
 		pblk := wire.BlockID{Ino: s.Ino, Stripe: s.Stripe, Index: uint16(cfg.K + j)}
-		resp, err := o.Call(p, osds[cfg.K+j], &wire.PutBlock{Blk: pblk, Data: parity[j]})
+		resp, err := o.Call(p, osds[cfg.K+j], &wire.PutBlock{Blk: pblk, Data: parity[j], Sum: wire.Checksum(parity[j])})
 		if err != nil {
 			return fmt.Errorf("parity repair %v: %w", pblk, err)
 		}

@@ -1,0 +1,506 @@
+package harness
+
+// The chaos experiment: the same foreground update + reader-probe workload
+// as the degraded experiment, but with the netsim fault fabric armed —
+// stragglers, asymmetric partitions, flapping OSDs, in-flight payload
+// corruption — measuring the window read-latency tail (p50/p95/p99) each
+// engine exposes under each fault, plus the hedged-read and checksum
+// counters that prove the mitigation machinery ran. The straggler and
+// baseline scenarios kill and recover an OSD (RecoverInterleaved, so
+// degraded reads reconstruct on the fly and hedging has a primary leg to
+// race); the live-fault scenarios (partition, flap, corrupt) keep the
+// cluster whole and bound the fault to a virtual-time window.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"tsue/internal/cluster"
+	"tsue/internal/netsim"
+	"tsue/internal/sim"
+	"tsue/internal/trace"
+	"tsue/internal/update"
+	"tsue/internal/wire"
+)
+
+// Chaos scenario names. Order matters to the driver: baseline runs before
+// straggler so the p99 degradation ratio can be computed in one pass.
+const (
+	ChaosBaseline  = "baseline"  // kill + interleaved recovery, no added fault
+	ChaosStraggler = "straggler" // kill + recovery with one lognormal-slow survivor, hedging armed
+	ChaosPartition = "partition" // asymmetric client→OSD cuts for a window, then heal
+	ChaosFlap      = "flap"      // one OSD flaps down/up; tears scrubbed after heal
+	ChaosCorrupt   = "corrupt"   // every Nth checksum-bearing payload flipped in flight
+)
+
+// ChaosScenarios lists the scenarios in driver order.
+func ChaosScenarios() []string {
+	return []string{ChaosBaseline, ChaosStraggler, ChaosPartition, ChaosFlap, ChaosCorrupt}
+}
+
+// chaosHedgeDelay arms hedged degraded reads for the kill scenarios: well
+// above a healthy small-range reconstruction (device read + one RTT), well
+// below the straggler's median, so the hedge stays quiet on the baseline
+// and wins under the straggler.
+const chaosHedgeDelay = time.Millisecond
+
+// chaosStragglerDist is the straggler's service-time distribution — the
+// lognormal tail the hedging literature models, not a deterministic stall
+// (the chaos grid tests pin the deterministic case).
+func chaosStragglerDist() netsim.Dist {
+	return netsim.Lognormal{Median: 5 * time.Millisecond, Sigma: 0.6}
+}
+
+// chaosCorruptRate flips one in this many eligible (checksum-bearing,
+// data-carrying) payloads during the corrupt window — low enough that even
+// a small-scale run injects a handful, high enough that the retry storm
+// stays a perturbation rather than the workload.
+const chaosCorruptRate = 31
+
+// ChaosResult captures one chaos run.
+type ChaosResult struct {
+	Cfg      RunConfig
+	Scenario string
+	// Report is the recovery report for the kill scenarios; nil for the
+	// live-fault scenarios (partition, flap, corrupt), which never kill.
+	Report *cluster.RecoveryReport
+	// BaselineIOPS is foreground update throughput before the fault
+	// window; DuringIOPS is throughput inside it; DipPct the relative drop.
+	BaselineIOPS float64
+	DuringIOPS   float64
+	DipPct       float64
+	// ReadLats are latencies of reader-probe reads issued inside the fault
+	// window — the tail each fault inflates. ReadErrs counts window reads
+	// that exhausted their retry budget.
+	ReadLats []time.Duration
+	ReadErrs int
+	// HedgeFired/HedgeWins aggregate the hedged-read counters across OSDs.
+	HedgeFired, HedgeWins int64
+	// CorruptInjected is what the fabric flipped; CorruptDetected what the
+	// checksum verify points caught. The run fails if any escape.
+	CorruptInjected, CorruptDetected int64
+	// RepairedBlocks counts blocks ScrubRepair re-encoded after the flap
+	// scenario (stripes torn by mid-update message drops).
+	RepairedBlocks int
+	// Stripes is the number of stripes scrubbed clean after the run.
+	Stripes int
+}
+
+// ReadP returns the p-quantile of the window read latencies.
+func (r *ChaosResult) ReadP(p float64) time.Duration { return percentile(r.ReadLats, p) }
+
+// flipCorruptor corrupts every rate-th checksum-bearing payload crossing
+// the fabric, cloning so the sender's buffers stay intact. Messages
+// without a Sum field are left alone: the engines' internal protocol is
+// not end-to-end verified, so corrupting it would be undetectable by
+// design.
+func flipCorruptor(rate int) netsim.Corruptor {
+	seen := 0
+	flip := func(data []byte) ([]byte, bool) {
+		if len(data) == 0 {
+			return nil, false
+		}
+		seen++
+		if seen%rate != 0 {
+			return nil, false
+		}
+		cp := append([]byte(nil), data...)
+		cp[len(cp)/2] ^= 0xff
+		return cp, true
+	}
+	return func(from, to wire.NodeID, m wire.Msg) (wire.Msg, bool) {
+		switch v := m.(type) {
+		case *wire.PutBlock:
+			if data, ok := flip(v.Data); ok {
+				cp := *v
+				cp.Data = data
+				return &cp, true
+			}
+		case *wire.ReadResp:
+			if v.Err == "" {
+				if data, ok := flip(v.Data); ok {
+					cp := *v
+					cp.Data = data
+					return &cp, true
+				}
+			}
+		case *wire.Update:
+			if data, ok := flip(v.Data); ok {
+				cp := *v
+				cp.Data = data
+				return &cp, true
+			}
+		case *wire.DegradedUpdate:
+			if data, ok := flip(v.Data); ok {
+				cp := *v
+				cp.Data = data
+				return &cp, true
+			}
+		case *wire.JournalReplica:
+			if data, ok := flip(v.Data); ok {
+				cp := *v
+				cp.Data = data
+				return &cp, true
+			}
+		}
+		return nil, false
+	}
+}
+
+// chaosKills reports whether the scenario fails and recovers an OSD.
+func chaosKills(scenario string) bool {
+	return scenario == ChaosBaseline || scenario == ChaosStraggler
+}
+
+// RunChaos preloads a volume, runs the degraded experiment's foreground
+// update + reader-probe workload, arms the scenario's fault a third of the
+// way through, and measures the read tail inside the fault window. Kill
+// scenarios recover under RecoverInterleaved while the fault is live;
+// live-fault scenarios heal the fabric after a fixed virtual window. Every
+// run ends with a drain, a tear-repair scrub where the fault can tear
+// stripes, and a full verification scrub.
+func RunChaos(cfg RunConfig, scenario string) (*ChaosResult, error) {
+	c, err := buildCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Env.Close()
+	admin := c.NewClient()
+	res := &ChaosResult{Cfg: cfg, Scenario: scenario}
+	var runErr error
+	c.Env.Go("chaos-harness", func(p *sim.Proc) {
+		inos, perFile, err := preload(p, c, admin, cfg)
+		if err != nil {
+			runErr = err
+			return
+		}
+		c.ResetStats()
+
+		payload := make([]byte, 1<<20)
+		rand.New(rand.NewSource(cfg.Seed + 999)).Read(payload)
+
+		nClients := cfg.Clients
+		if nClients < 1 {
+			nClients = 1
+		}
+		opsPer := 20 * cfg.Ops / nClients
+		stop := false
+		done := 0
+		start := p.Now()
+		wg := sim.NewWaitGroup(c.Env)
+		wg.Add(nClients)
+		var clientErr error
+		var clientIDs []wire.NodeID
+		for ci := 0; ci < nClients; ci++ {
+			ci := ci
+			cl := c.NewClient()
+			clientIDs = append(clientIDs, cl.ID())
+			ino := inos[ci%len(inos)]
+			prof := cfg.Trace
+			prof.WorkingSet = perFile
+			gen := trace.MustGenerator(prof, cfg.Seed+int64(ci)*7919)
+			c.Env.Go(fmt.Sprintf("fg%d", ci), func(cp *sim.Proc) {
+				defer wg.Done()
+				for j := 0; j < opsPer && !stop; j++ {
+					op := gen.Next()
+					for op.Kind != trace.Write {
+						op = gen.Next()
+					}
+					off := op.Off
+					if off+int64(op.Size) > perFile {
+						off = perFile - int64(op.Size)
+					}
+					pstart := int(off) % (len(payload) - int(op.Size))
+					if err := cl.Update(cp, ino, off, payload[pstart:pstart+int(op.Size)]); err != nil {
+						if clientErr == nil {
+							clientErr = fmt.Errorf("foreground client %d op %d: %w", ci, j, err)
+						}
+						return
+					}
+					done++
+				}
+			})
+		}
+
+		type readSample struct{ start, lat time.Duration }
+		var samples []readSample
+		var errStarts []time.Duration
+		// A denser probe pool than the degraded experiment's: the fault
+		// windows are short fixed slices of virtual time, so the tail
+		// estimate needs every sample it can get.
+		nReaders := nClients / 2
+		if nReaders < 4 {
+			nReaders = 4
+		}
+		for ri := 0; ri < nReaders; ri++ {
+			ri := ri
+			rcl := c.NewClient()
+			clientIDs = append(clientIDs, rcl.ID())
+			ino := inos[ri%len(inos)]
+			prof := cfg.Trace
+			prof.WorkingSet = perFile
+			rgen := trace.MustGenerator(prof, cfg.Seed+int64(1000+ri)*104651)
+			wg.Add(1)
+			c.Env.Go(fmt.Sprintf("rd%d", ri), func(cp *sim.Proc) {
+				defer wg.Done()
+				for j := 0; j < opsPer && !stop; j++ {
+					op := rgen.Next()
+					off := op.Off
+					if off+int64(op.Size) > perFile {
+						off = perFile - int64(op.Size)
+					}
+					issued := cp.Now()
+					if _, err := rcl.Read(cp, ino, off, int64(op.Size)); err != nil {
+						errStarts = append(errStarts, issued)
+					} else {
+						samples = append(samples, readSample{start: issued, lat: cp.Now() - issued})
+					}
+					cp.Sleep(250 * time.Microsecond)
+				}
+			})
+		}
+
+		warmTarget := cfg.Ops / 3
+		if warmTarget < 1 {
+			warmTarget = 1
+		}
+		for done < warmTarget && clientErr == nil {
+			p.Sleep(100 * time.Microsecond)
+		}
+		if clientErr != nil {
+			runErr = clientErr
+			return
+		}
+		preOps := done
+		t0 := p.Now()
+
+		// Target selection: the most-loaded OSD is the kill victim (so the
+		// rebuild volume is representative); the fault target for the
+		// live-fault scenarios and the straggler is the most-loaded
+		// survivor, so the fault actually intersects the workload.
+		mostLoaded := func(exclude wire.NodeID) wire.NodeID {
+			id, most := wire.NodeID(1), -1
+			for _, osd := range c.OSDs {
+				if osd.NodeID() == exclude {
+					continue
+				}
+				if n := osd.Store().Len(); n > most {
+					most = n
+					id = osd.NodeID()
+				}
+			}
+			return id
+		}
+
+		var victim wire.NodeID
+		switch scenario {
+		case ChaosBaseline, ChaosStraggler:
+			// Degraded window of fixed virtual length: the victim is down
+			// and the degraded route serves (reads of lost blocks
+			// reconstruct on the fly, updates journal at the surrogate),
+			// with one lognormal-slow survivor in the straggler variant.
+			// Recovery runs AFTER the window closes, so the measured tail
+			// is the straggler's (and the hedge's), not each engine's
+			// rebuild-duration artifact.
+			victim = mostLoaded(0)
+			target := mostLoaded(victim)
+			if err := c.Fabric.SetDown(victim, true); err != nil {
+				runErr = err
+				return
+			}
+			if err := c.BeginDegraded(p, victim, admin); err != nil {
+				runErr = fmt.Errorf("begin degraded (%s): %w", scenario, err)
+				return
+			}
+			if scenario == ChaosStraggler {
+				if err := c.Fabric.SetNodeShape(target, netsim.LinkShape{Latency: chaosStragglerDist()}); err != nil {
+					runErr = err
+					return
+				}
+			}
+			p.Sleep(10 * time.Millisecond)
+			if scenario == ChaosStraggler {
+				if err := c.Fabric.SetNodeShape(target, netsim.LinkShape{}); err != nil {
+					runErr = err
+					return
+				}
+			}
+		case ChaosPartition:
+			// Asymmetric grey failure: every client loses its link TO one
+			// loaded OSD (requests die pre-handler, so no side effects);
+			// ops touching it retry until the heal.
+			target := mostLoaded(0)
+			for _, cid := range clientIDs {
+				if err := c.Fabric.Partition(cid, target, true); err != nil {
+					runErr = err
+					return
+				}
+			}
+			p.Sleep(4 * time.Millisecond)
+			for _, cid := range clientIDs {
+				if err := c.Fabric.Partition(cid, target, false); err != nil {
+					runErr = err
+					return
+				}
+			}
+			p.Sleep(time.Millisecond) // let retried ops land inside the window
+		case ChaosFlap:
+			// One loaded OSD flaps down/up mid-update. Drops inside the
+			// flap windows can tear stripes (data applied, parity delta
+			// lost, retried delta XORs to zero) — ScrubRepair re-encodes
+			// them after the drain, before the verification scrub.
+			target := mostLoaded(0)
+			if err := c.Fabric.ScheduleFlap(target, p.Now()+200*time.Microsecond, 500*time.Microsecond, 1500*time.Microsecond, 3); err != nil {
+				runErr = err
+				return
+			}
+			p.Sleep(6 * time.Millisecond) // outlasts the last flap window
+		case ChaosCorrupt:
+			c.Fabric.SetCorruptor(flipCorruptor(chaosCorruptRate))
+			p.Sleep(6 * time.Millisecond)
+			c.Fabric.SetCorruptor(nil)
+		default:
+			runErr = fmt.Errorf("unknown chaos scenario %q", scenario)
+			return
+		}
+
+		t1 := p.Now()
+		duringOps := done - preOps
+		stop = true
+		wg.Wait(p)
+		if clientErr != nil {
+			runErr = clientErr
+			return
+		}
+		if chaosKills(scenario) {
+			rep, err := c.Recover(p, victim, 8, cluster.RecoverInterleaved, admin)
+			if err != nil {
+				runErr = fmt.Errorf("recover (%s): %w", scenario, err)
+				return
+			}
+			res.Report = rep
+		}
+
+		for _, sm := range samples {
+			if sm.start >= t0 && sm.start <= t1 {
+				res.ReadLats = append(res.ReadLats, sm.lat)
+			}
+		}
+		for _, es := range errStarts {
+			if es >= t0 && es <= t1 {
+				res.ReadErrs++
+			}
+		}
+		if d := (t0 - start).Seconds(); d > 0 {
+			res.BaselineIOPS = float64(preOps) / d
+		}
+		if d := (t1 - t0).Seconds(); d > 0 {
+			res.DuringIOPS = float64(duringOps) / d
+		}
+		if res.BaselineIOPS > 0 {
+			res.DipPct = 100 * (1 - res.DuringIOPS/res.BaselineIOPS)
+		}
+		res.HedgeFired, res.HedgeWins = c.HedgeStats()
+		res.CorruptInjected = c.Fabric.CorruptionsInjected()
+		res.CorruptDetected = c.CorruptionsDetected()
+		if res.CorruptDetected != res.CorruptInjected {
+			runErr = fmt.Errorf("%s: %d corruptions injected but %d detected — silent escape",
+				scenario, res.CorruptInjected, res.CorruptDetected)
+			return
+		}
+
+		if err := c.DrainAll(p, admin); err != nil {
+			runErr = err
+			return
+		}
+		if scenario == ChaosFlap {
+			blocks, _, err := c.ScrubRepair(p)
+			if err != nil {
+				runErr = fmt.Errorf("scrub-repair after flap: %w", err)
+				return
+			}
+			res.RepairedBlocks = blocks
+		}
+		if !cfg.SkipVerify {
+			n, err := c.Scrub()
+			if err != nil {
+				runErr = fmt.Errorf("post-chaos scrub failed: %w", err)
+				return
+			}
+			res.Stripes = n
+		}
+	})
+	c.Env.Run(0)
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// Chaos runs the chaos experiment: every engine × every fault scenario
+// under the foreground workload, reporting the window read tail
+// (p50/p95/p99), the IOPS dip, the hedge fired/win counters, the
+// corruption injected/detected counters (which must match), and — the
+// headline comparison — each engine's straggler p99 degradation relative
+// to its own clean-recovery baseline.
+func Chaos(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "== Chaos: read tail under injected faults (SSD, RS(6,4), interleaved recovery for kill scenarios) ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tscenario\trecover(ms)\tbase IOPS\tduring IOPS\tdip\trd p50(ms)\trd p95(ms)\trd p99(ms)\trd err\thedge f/w\tcorrupt i/d\trepaired\tp99 vs base")
+	for _, eng := range update.Names() {
+		var baselineP99 float64
+		for _, scen := range ChaosScenarios() {
+			cfg := baseRun(s)
+			cfg.Engine = eng
+			cfg.Clients = 16
+			cfg.Trace = s.traceProfile("ali")
+			if chaosKills(scen) {
+				cfg.Hedge = chaosHedgeDelay
+			}
+			r, err := RunChaos(cfg, scen)
+			if err != nil {
+				return fmt.Errorf("chaos %s %s: %w", eng, scen, err)
+			}
+			recoverMS := 0.0
+			if r.Report != nil {
+				recoverMS = ms(r.Report.TotalTime)
+			}
+			p99 := ms(r.ReadP(0.99))
+			ratio := ""
+			labels := map[string]string{"engine": eng, "scenario": scen}
+			if scen == ChaosBaseline {
+				baselineP99 = p99
+			} else if scen == ChaosStraggler && baselineP99 > 0 {
+				rr := p99 / baselineP99
+				ratio = fmt.Sprintf("%.2fx", rr)
+				s.Sink.Record("chaos", "straggler_p99_ratio", map[string]string{"engine": eng}, rr)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.0f\t%.0f\t%.0f%%\t%.2f\t%.2f\t%.2f\t%d\t%d/%d\t%d/%d\t%d\t%s\n",
+				eng, scen, recoverMS,
+				r.BaselineIOPS, r.DuringIOPS, r.DipPct,
+				ms(r.ReadP(0.50)), ms(r.ReadP(0.95)), p99, r.ReadErrs,
+				r.HedgeFired, r.HedgeWins,
+				r.CorruptInjected, r.CorruptDetected,
+				r.RepairedBlocks, ratio)
+			s.Sink.Record("chaos", "read_p50_ms", labels, ms(r.ReadP(0.50)))
+			s.Sink.Record("chaos", "read_p95_ms", labels, ms(r.ReadP(0.95)))
+			s.Sink.Record("chaos", "read_p99_ms", labels, p99)
+			s.Sink.Record("chaos", "read_errs", labels, float64(r.ReadErrs))
+			s.Sink.Record("chaos", "dip_pct", labels, r.DipPct)
+			s.Sink.Record("chaos", "hedge_fired", labels, float64(r.HedgeFired))
+			s.Sink.Record("chaos", "hedge_wins", labels, float64(r.HedgeWins))
+			s.Sink.Record("chaos", "corrupt_injected", labels, float64(r.CorruptInjected))
+			s.Sink.Record("chaos", "corrupt_detected", labels, float64(r.CorruptDetected))
+			if r.Report != nil {
+				s.Sink.Record("chaos", "recover_ms", labels, recoverMS)
+			}
+			if scen == ChaosFlap {
+				s.Sink.Record("chaos", "repaired_blocks", labels, float64(r.RepairedBlocks))
+			}
+		}
+	}
+	return tw.Flush()
+}

@@ -43,6 +43,11 @@ type RunConfig struct {
 	PGs int
 	// MaxTime caps the replay in virtual time (0 = ops only).
 	MaxTime time.Duration
+	// Hedge > 0 arms hedged degraded reads (cluster.Config.HedgeDelay):
+	// on-the-fly reconstructions launch a second attempt from the
+	// alternate survivor set after this deadline. The chaos experiment's
+	// straggler scenarios set it; everything else leaves it off.
+	Hedge time.Duration
 	// SkipVerify disables the drain+scrub gate (never set in experiments;
 	// used by tests that verify separately).
 	SkipVerify bool
@@ -159,6 +164,7 @@ func buildCluster(cfg RunConfig) (*cluster.Cluster, error) {
 	ccfg.BlockSize = cfg.BlockSize
 	ccfg.Engine = cfg.Engine
 	ccfg.EngineOpts = cfg.Opts
+	ccfg.HedgeDelay = cfg.Hedge
 	ccfg.DeviceKind = cfg.Device
 	if cfg.Device == device.HDD {
 		ccfg.DeviceParams = device.HDDParams()

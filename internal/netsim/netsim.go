@@ -3,11 +3,20 @@
 // (propagation plus RPC software overhead), and complete traffic accounting.
 // The paper's SSD testbed uses 25 Gb/s Ethernet and the HDD testbed 40 Gb/s
 // InfiniBand (§5.1, §5.4); both are expressible as Params.
+//
+// Beyond the clean fabric, netsim is a fault-injection surface for the
+// grey-failure space the SSD-array studies (Koh et al.) document: per-link
+// and per-node latency/bandwidth overrides with pluggable distributions
+// (straggler NICs), asymmetric one-way partitions, scripted down/up flapping
+// on the sim clock, and payload-corruption hooks that flip bytes in flight
+// so end-to-end checksums can be exercised.
 package netsim
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"time"
 
 	"tsue/internal/sim"
@@ -33,8 +42,67 @@ func Infiniband40G() Params {
 // ErrNodeDown is returned for calls to a failed node.
 var ErrNodeDown = errors.New("netsim: node down")
 
+// ErrPartitioned is returned when a call crosses a partitioned link
+// direction. A request-direction cut fails before the handler runs (no side
+// effects); a response-direction cut fails after the handler completed — the
+// caller cannot tell whether its operation was applied.
+var ErrPartitioned = errors.New("netsim: link partitioned")
+
+// ErrUnknownNode is wrapped by accessors handed a NodeID that was never
+// registered with AddNode.
+var ErrUnknownNode = errors.New("netsim: unknown node")
+
 // Handler processes one inbound message on a node and returns the response.
 type Handler func(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg
+
+// Corruptor inspects a message in flight on the from->to direction and may
+// replace it with a corrupted copy (return the mutated message and true).
+// Implementations must not mutate the original message or its payload
+// slices in place: messages pass by reference through the simulated
+// transport, so an in-place flip would corrupt the sender's buffers too.
+// Loopback traffic is exempt (it never crosses a wire).
+type Corruptor func(from, to wire.NodeID, m wire.Msg) (wire.Msg, bool)
+
+// Dist is a latency distribution sampled once per one-way hop.
+type Dist interface {
+	Sample(r *rand.Rand) time.Duration
+}
+
+// Fixed is a degenerate distribution: every sample is the same duration.
+// It never consumes randomness, so fabrics using only Fixed latencies stay
+// bit-deterministic regardless of call interleaving. Fixed(0) is a valid
+// explicit zero-latency link (only a nil Dist means "inherit").
+type Fixed time.Duration
+
+// Sample returns the fixed duration; r is unused.
+func (f Fixed) Sample(_ *rand.Rand) time.Duration { return time.Duration(f) }
+
+// Lognormal is a heavy-tailed latency distribution — the straggler shape
+// observed for limping NICs/SSDs: exp(N(ln median, sigma^2)), i.e. median
+// multiplied by a lognormal factor. Sigma around 1.5-2 produces the
+// occasional 10-100x outlier that hedged reads exist to cut.
+type Lognormal struct {
+	Median time.Duration
+	Sigma  float64
+}
+
+// Sample draws one latency from the distribution.
+func (l Lognormal) Sample(r *rand.Rand) time.Duration {
+	d := time.Duration(float64(l.Median) * math.Exp(l.Sigma*r.NormFloat64()))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// LinkShape overrides the fabric-default bandwidth and/or latency for a
+// link or node. Zero values inherit: Bandwidth 0 means "use the next level
+// down" (use math.Inf(1) for an infinitely fast link), Latency nil likewise
+// (use Fixed(0) for a true zero-latency link).
+type LinkShape struct {
+	Bandwidth float64 // bytes/sec; 0 = inherit, +Inf = instantaneous
+	Latency   Dist    // nil = inherit
+}
 
 // Stats holds traffic counters.
 type Stats struct {
@@ -49,21 +117,41 @@ type node struct {
 	tx, rx  *sim.Resource
 	handler Handler
 	down    bool
+	shape   LinkShape
 	stats   Stats
 }
 
+type linkKey struct{ from, to wire.NodeID }
+
 // Fabric connects nodes.
 type Fabric struct {
-	env    *sim.Env
-	params Params
-	nodes  map[wire.NodeID]*node
-	total  Stats
+	env       *sim.Env
+	params    Params
+	nodes     map[wire.NodeID]*node
+	links     map[linkKey]LinkShape
+	parts     map[linkKey]bool
+	corrupt   Corruptor
+	corrupted int64
+	rng       *rand.Rand
+	total     Stats
 }
 
-// New creates an empty fabric.
+// New creates an empty fabric. Latency distributions share a fabric-local
+// deterministic RNG (reseed with SetSeed); the default Fixed latency path
+// never touches it.
 func New(e *sim.Env, p Params) *Fabric {
-	return &Fabric{env: e, params: p, nodes: make(map[wire.NodeID]*node)}
+	return &Fabric{
+		env:    e,
+		params: p,
+		nodes:  make(map[wire.NodeID]*node),
+		links:  make(map[linkKey]LinkShape),
+		parts:  make(map[linkKey]bool),
+		rng:    rand.New(rand.NewSource(1)),
+	}
 }
+
+// SetSeed reseeds the fabric's latency-sampling RNG.
+func (f *Fabric) SetSeed(seed int64) { f.rng = rand.New(rand.NewSource(seed)) }
 
 // AddNode registers a node; handler may be nil for pure clients.
 func (f *Fabric) AddNode(id wire.NodeID, h Handler) {
@@ -78,17 +166,158 @@ func (f *Fabric) AddNode(id wire.NodeID, h Handler) {
 	}
 }
 
-// SetHandler replaces a node's handler.
-func (f *Fabric) SetHandler(id wire.NodeID, h Handler) { f.nodes[id].handler = h }
+// SetHandler replaces a node's handler. Unknown nodes are an error, not a
+// panic.
+func (f *Fabric) SetHandler(id wire.NodeID, h Handler) error {
+	n, ok := f.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	n.handler = h
+	return nil
+}
 
-// SetDown marks a node failed (true) or restored (false).
-func (f *Fabric) SetDown(id wire.NodeID, down bool) { f.nodes[id].down = down }
+// SetDown marks a node failed (true) or restored (false). Unknown nodes are
+// an error, not a panic.
+func (f *Fabric) SetDown(id wire.NodeID, down bool) error {
+	n, ok := f.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	n.down = down
+	return nil
+}
 
-// Down reports whether the node is failed.
-func (f *Fabric) Down(id wire.NodeID) bool { return f.nodes[id].down }
+// Down reports whether the node is failed; unknown nodes report false.
+func (f *Fabric) Down(id wire.NodeID) bool {
+	n, ok := f.nodes[id]
+	return ok && n.down
+}
 
-func (f *Fabric) xfer(p *sim.Proc, r *sim.Resource, size int64) {
-	d := time.Duration(float64(size) / f.params.Bandwidth * float64(time.Second))
+// SetLink overrides the shape of the directed link from -> to (request and
+// response directions are independent links). A zero LinkShape restores
+// full inheritance.
+func (f *Fabric) SetLink(from, to wire.NodeID, s LinkShape) error {
+	if _, ok := f.nodes[from]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, from)
+	}
+	if _, ok := f.nodes[to]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	f.links[linkKey{from, to}] = s
+	return nil
+}
+
+// ClearLink removes a directed link override.
+func (f *Fabric) ClearLink(from, to wire.NodeID) { delete(f.links, linkKey{from, to}) }
+
+// SetNodeShape overrides the shape of every link touching a node (a limping
+// NIC): its bandwidth applies to the node's own NIC legs and its latency to
+// hops the node sends (and, when the sender has no shape, hops it
+// receives). Link-specific overrides still win.
+func (f *Fabric) SetNodeShape(id wire.NodeID, s LinkShape) error {
+	n, ok := f.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	n.shape = s
+	return nil
+}
+
+// Partition cuts (on=true) or heals (on=false) the directed link
+// from -> to. Cutting only one direction yields the asymmetric grey
+// failure: A's calls to B die while B's calls to A — including responses to
+// requests that arrived before the cut — still flow.
+func (f *Fabric) Partition(from, to wire.NodeID, on bool) error {
+	if _, ok := f.nodes[from]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, from)
+	}
+	if _, ok := f.nodes[to]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	if on {
+		f.parts[linkKey{from, to}] = true
+	} else {
+		delete(f.parts, linkKey{from, to})
+	}
+	return nil
+}
+
+// PartitionBoth cuts or heals both directions between two nodes.
+func (f *Fabric) PartitionBoth(a, b wire.NodeID, on bool) error {
+	if err := f.Partition(a, b, on); err != nil {
+		return err
+	}
+	return f.Partition(b, a, on)
+}
+
+// Partitioned reports whether the directed link from -> to is cut.
+func (f *Fabric) Partitioned(from, to wire.NodeID) bool { return f.parts[linkKey{from, to}] }
+
+// ScheduleFlap scripts a membership flap on the sim clock: starting at
+// start, the node goes down for downFor, comes back, and repeats every
+// period for cycles iterations. The toggles run in scheduler context, so
+// they land at exact virtual times regardless of traffic.
+func (f *Fabric) ScheduleFlap(id wire.NodeID, start, downFor, period time.Duration, cycles int) error {
+	n, ok := f.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if downFor <= 0 || cycles < 1 {
+		return fmt.Errorf("netsim: flap needs downFor > 0 and cycles >= 1")
+	}
+	if cycles > 1 && period <= downFor {
+		return fmt.Errorf("netsim: flap period %v must exceed downFor %v", period, downFor)
+	}
+	for i := 0; i < cycles; i++ {
+		at := start + time.Duration(i)*period
+		f.env.At(at, func() { n.down = true })
+		f.env.At(at+downFor, func() { n.down = false })
+	}
+	return nil
+}
+
+// SetCorruptor installs (or, with nil, removes) the in-flight corruption
+// hook. It sees every non-loopback request and response.
+func (f *Fabric) SetCorruptor(c Corruptor) { f.corrupt = c }
+
+// CorruptionsInjected counts messages the corruptor chose to mutate.
+func (f *Fabric) CorruptionsInjected() int64 { return f.corrupted }
+
+// latency resolves the one-way latency of a from -> to hop and samples it:
+// link-specific override first, then the sender's node shape, then the
+// receiver's, then the fabric default.
+func (f *Fabric) latency(from, to *node) time.Duration {
+	if s, ok := f.links[linkKey{from.id, to.id}]; ok && s.Latency != nil {
+		return s.Latency.Sample(f.rng)
+	}
+	if from.shape.Latency != nil {
+		return from.shape.Latency.Sample(f.rng)
+	}
+	if to.shape.Latency != nil {
+		return to.shape.Latency.Sample(f.rng)
+	}
+	return f.params.BaseLat
+}
+
+// bandwidth resolves the bytes/sec charged at node nic's NIC for a transfer
+// in the from -> to direction: link-specific override first, then the NIC
+// owner's node shape, then the fabric default.
+func (f *Fabric) bandwidth(from, to, nic *node) float64 {
+	if s, ok := f.links[linkKey{from.id, to.id}]; ok && s.Bandwidth != 0 {
+		return s.Bandwidth
+	}
+	if nic.shape.Bandwidth != 0 {
+		return nic.shape.Bandwidth
+	}
+	return f.params.Bandwidth
+}
+
+func (f *Fabric) xfer(p *sim.Proc, r *sim.Resource, size int64, bw float64) {
+	var d time.Duration
+	if !math.IsInf(bw, 1) {
+		d = time.Duration(float64(size) / bw * float64(time.Second))
+	}
 	r.Use(p, d)
 }
 
@@ -100,7 +329,7 @@ type callResult struct {
 // Call performs a synchronous RPC from -> to. It charges the sender's TX and
 // the receiver's RX for the request, runs the handler in a fresh process on
 // the receiver, then charges the reverse path for the response. Loopback
-// calls skip the NIC but still run the handler.
+// calls skip the NIC (and all fault injection) but still run the handler.
 func (f *Fabric) Call(p *sim.Proc, from, to wire.NodeID, req wire.Msg) (wire.Msg, error) {
 	src, ok := f.nodes[from]
 	if !ok {
@@ -127,14 +356,27 @@ func (f *Fabric) Call(p *sim.Proc, from, to wire.NodeID, req wire.Msg) (wire.Msg
 		return f.dispatch(p, src, dst, req, true)
 	}
 	reqSize := wire.SizeOf(req)
-	f.xfer(p, src.tx, reqSize)
-	p.Sleep(f.params.BaseLat)
+	f.xfer(p, src.tx, reqSize, f.bandwidth(src, dst, src))
 	src.stats.BytesSent += reqSize
 	src.stats.MsgsSent++
-	dst.stats.BytesRecv += reqSize
-	dst.stats.MsgsRecv++
 	f.total.BytesSent += reqSize
 	f.total.MsgsSent++
+	if f.parts[linkKey{from, to}] {
+		// Request-direction cut: the bytes left the sender and died on the
+		// wire. The receiver never sees the call — no handler side effects —
+		// and the caller burns a timeout-ish round trip discovering it.
+		p.Sleep(2 * f.latency(src, dst))
+		return nil, ErrPartitioned
+	}
+	if f.corrupt != nil {
+		if m, hit := f.corrupt(from, to, req); hit {
+			req = m
+			f.corrupted++
+		}
+	}
+	p.Sleep(f.latency(src, dst))
+	dst.stats.BytesRecv += reqSize
+	dst.stats.MsgsRecv++
 	return f.dispatch(p, src, dst, req, false)
 }
 
@@ -142,7 +384,7 @@ func (f *Fabric) dispatch(p *sim.Proc, src, dst *node, req wire.Msg, local bool)
 	respQ := sim.NewQueue[callResult](f.env)
 	f.env.Go(fmt.Sprintf("rpc@%d", dst.id), func(hp *sim.Proc) {
 		if !local {
-			f.xfer(hp, dst.rx, wire.SizeOf(req))
+			f.xfer(hp, dst.rx, wire.SizeOf(req), f.bandwidth(src, dst, dst))
 		}
 		if dst.down {
 			respQ.Put(callResult{err: ErrNodeDown})
@@ -153,8 +395,22 @@ func (f *Fabric) dispatch(p *sim.Proc, src, dst *node, req wire.Msg, local bool)
 			resp = wire.OK
 		}
 		if !local {
+			if f.parts[linkKey{dst.id, src.id}] {
+				// Response-direction cut: the handler's side effects are
+				// complete but the reply dies on the wire — the caller cannot
+				// tell whether its operation was applied. This is the grey
+				// half of an asymmetric partition.
+				respQ.Put(callResult{err: ErrPartitioned})
+				return
+			}
+			if f.corrupt != nil {
+				if m, hit := f.corrupt(dst.id, src.id, resp); hit {
+					resp = m
+					f.corrupted++
+				}
+			}
 			respSize := wire.SizeOf(resp)
-			f.xfer(hp, dst.tx, respSize)
+			f.xfer(hp, dst.tx, respSize, f.bandwidth(dst, src, dst))
 			dst.stats.BytesSent += respSize
 			dst.stats.MsgsSent++
 			src.stats.BytesRecv += respSize
@@ -169,20 +425,28 @@ func (f *Fabric) dispatch(p *sim.Proc, src, dst *node, req wire.Msg, local bool)
 		return nil, r.err
 	}
 	if !local {
-		p.Sleep(f.params.BaseLat)
+		p.Sleep(f.latency(dst, src))
 	}
 	return r.resp, nil
 }
 
-// NodeStats returns the traffic counters of one node.
-func (f *Fabric) NodeStats(id wire.NodeID) Stats { return f.nodes[id].stats }
+// NodeStats returns the traffic counters of one node; unknown nodes report
+// zeros.
+func (f *Fabric) NodeStats(id wire.NodeID) Stats {
+	n, ok := f.nodes[id]
+	if !ok {
+		return Stats{}
+	}
+	return n.stats
+}
 
 // TotalStats returns fabric-wide traffic (each message counted once).
 func (f *Fabric) TotalStats() Stats { return f.total }
 
-// ResetStats zeroes all traffic counters.
+// ResetStats zeroes all traffic counters (corruption injections included).
 func (f *Fabric) ResetStats() {
 	f.total = Stats{}
+	f.corrupted = 0
 	for _, n := range f.nodes {
 		n.stats = Stats{}
 	}

@@ -177,6 +177,19 @@ func (e *parix) recycleAll(p *sim.Proc) {
 	for _, blk := range blks {
 		lat := work[blk]
 		og := e.orig[blk]
+		if og == nil {
+			// Grey failure: the data OSD shipped this block's first-write
+			// orig round, a fault (node flap, dropped ack) failed the
+			// fan-out, and the client's retry found the range already
+			// marked sent — so only New records ever arrived here. The
+			// baseline is unrecoverable and the stripe is torn no matter
+			// what we fold (the other parities saw different history), so
+			// recycle against an empty baseline instead of crashing and
+			// leave consistency to the scrub/repair pass that owns torn
+			// stripes.
+			og = &logpool.BlockLog{}
+			e.orig[blk] = og
+		}
 		j := int(e.parityFor[blk])
 		pblk := e.parityBlock(blk.StripeID(), j)
 		for _, ext := range lat.Extents() {

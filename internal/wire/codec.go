@@ -71,7 +71,8 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		return binary.LittleEndian.AppendUint32(buf, v.Misses)
 	case *PutBlock:
 		buf = putBlockID(buf, v.Blk)
-		return putBytes(buf, v.Data)
+		buf = putBytes(buf, v.Data)
+		return binary.LittleEndian.AppendUint32(buf, v.Sum)
 	case *ReadBlock:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
@@ -84,12 +85,14 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		return binary.LittleEndian.AppendUint64(buf, v.Epoch)
 	case *ReadResp:
 		buf = putBytes(buf, v.Data)
-		return putString(buf, v.Err)
+		buf = putString(buf, v.Err)
+		return binary.LittleEndian.AppendUint32(buf, v.Sum)
 	case *Update:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		buf = putBytes(buf, v.Data)
-		return binary.LittleEndian.AppendUint64(buf, v.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
+		return binary.LittleEndian.AppendUint32(buf, v.Sum)
 	case *DeltaAppend:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint16(buf, v.ParityIdx)
@@ -143,7 +146,8 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
-		return putBytes(buf, v.Data)
+		buf = putBytes(buf, v.Data)
+		return binary.LittleEndian.AppendUint32(buf, v.Sum)
 	case *DegradedRead:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
 		buf = putBlockID(buf, v.Blk)
@@ -155,7 +159,8 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, v.Seq)
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
-		return putBytes(buf, v.Data)
+		buf = putBytes(buf, v.Data)
+		return binary.LittleEndian.AppendUint32(buf, v.Sum)
 	case *JournalAck:
 		buf = binary.LittleEndian.AppendUint64(buf, v.Seq)
 		return putString(buf, v.Err)
@@ -340,13 +345,13 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 	case THeartbeat:
 		m = &Heartbeat{From: NodeID(r.u32()), Misses: r.u32()}
 	case TPutBlock:
-		m = &PutBlock{Blk: r.blockID(), Data: r.bytes()}
+		m = &PutBlock{Blk: r.blockID(), Data: r.bytes(), Sum: r.u32()}
 	case TReadBlock:
 		m = &ReadBlock{Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32()), Raw: r.bool8(), Epoch: r.u64()}
 	case TReadResp:
-		m = &ReadResp{Data: r.bytes(), Err: r.str()}
+		m = &ReadResp{Data: r.bytes(), Err: r.str(), Sum: r.u32()}
 	case TUpdate:
-		m = &Update{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Epoch: r.u64()}
+		m = &Update{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Epoch: r.u64(), Sum: r.u32()}
 	case TDeltaAppend:
 		m = &DeltaAppend{Blk: r.blockID(), ParityIdx: r.u16(), Off: int64(r.u64()),
 			Data: r.bytes(), Kind: DeltaKind(r.u8()), Replica: r.bool8()}
@@ -374,12 +379,12 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 		}
 		m = v
 	case TDegradedUpdate:
-		m = &DegradedUpdate{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+		m = &DegradedUpdate{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Sum: r.u32()}
 	case TDegradedRead:
 		m = &DegradedRead{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32())}
 	case TJournalReplica:
 		m = &JournalReplica{Failed: NodeID(r.u32()), Surrogate: NodeID(r.u32()), Seq: r.u64(),
-			Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+			Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Sum: r.u32()}
 	case TJournalAck:
 		m = &JournalAck{Seq: r.u64(), Err: r.str()}
 	case TJournalFetch:

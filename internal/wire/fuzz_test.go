@@ -49,7 +49,11 @@ func FuzzMarshalUnmarshal(f *testing.F) {
 	f.Fuzz(func(t *testing.T, ino uint64, stripe uint32, idx uint16, off int64, data []byte, epoch uint64) {
 		blk := BlockID{Ino: ino, Stripe: stripe, Index: idx}
 		msgs := []Msg{
-			&Update{Blk: blk, Off: off, Data: data, Epoch: epoch},
+			&Update{Blk: blk, Off: off, Data: data, Epoch: epoch, Sum: Checksum(data)},
+			&Update{Blk: blk, Off: off, Data: data, Epoch: epoch, Sum: uint32(epoch)},
+			&PutBlock{Blk: blk, Data: data, Sum: Checksum(data)},
+			&ReadResp{Data: data, Sum: uint32(stripe)},
+			&DegradedUpdate{Failed: NodeID(stripe), Blk: blk, Off: off, Data: data, Sum: Checksum(data)},
 			&ReadBlock{Blk: blk, Off: off, Size: int32(len(data)), Raw: epoch%2 == 0, Epoch: epoch},
 			&MigrateBlock{Blk: blk, From: NodeID(stripe)},
 			&MigrateLog{Blk: blk},
@@ -57,7 +61,7 @@ func FuzzMarshalUnmarshal(f *testing.F) {
 			&PGCutover{PG: stripe, Epoch: epoch},
 			&EpochUpdate{Kind: EpochKind(idx), OSD: NodeID(stripe), Factor: uint32(off)},
 			&ReplayUpdate{Blk: blk, Off: off, Data: data},
-			&JournalReplica{Failed: NodeID(stripe), Surrogate: NodeID(idx), Seq: epoch, Blk: blk, Off: off, Data: data},
+			&JournalReplica{Failed: NodeID(stripe), Surrogate: NodeID(idx), Seq: epoch, Blk: blk, Off: off, Data: data, Sum: Checksum(data)},
 			&JournalAck{Seq: epoch},
 			&JournalFetch{Failed: NodeID(stripe), Surrogate: NodeID(idx), FromSeq: epoch},
 			&JournalFetchResp{Items: []JournalItem{{Seq: epoch, Blk: blk, Off: off, Data: data}}},

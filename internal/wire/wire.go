@@ -6,7 +6,32 @@
 // and real network volumes agree.
 package wire
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrChecksum is the sentinel for an end-to-end payload checksum mismatch:
+// the bytes delivered are not the bytes summed at the source. Receivers
+// surface it (directly or as an error string containing this text) instead
+// of ever acting on — or returning — corrupt data.
+var ErrChecksum = errors.New("wire: checksum mismatch")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum is the end-to-end payload digest carried by the data-bearing
+// messages (CRC-32C). Checksum(nil) == 0, so empty payloads verify against
+// a zero Sum.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, crcTable) }
+
+// VerifySum checks data against a carried Sum.
+func VerifySum(data []byte, sum uint32) error {
+	if Checksum(data) != sum {
+		return ErrChecksum
+	}
+	return nil
+}
 
 // NodeID identifies a cluster node (MDS or OSD or client).
 type NodeID int32
@@ -200,13 +225,15 @@ func (*Heartbeat) PayloadSize() int { return 4 + 4 }
 // ---- block I/O ----
 
 // PutBlock stores a full block (normal write path and recovery store).
+// Sum is the CRC-32C of Data; the receiver verifies before storing.
 type PutBlock struct {
 	Blk  BlockID
 	Data []byte
+	Sum  uint32
 }
 
 func (*PutBlock) Type() Type         { return TPutBlock }
-func (p *PutBlock) PayloadSize() int { return 14 + 4 + len(p.Data) }
+func (p *PutBlock) PayloadSize() int { return 14 + 4 + len(p.Data) + 4 }
 
 // ReadBlock reads [Off, Off+Size) of a block. Raw bypasses the update
 // engine's log overlays and returns the on-store bytes — used by recovery
@@ -226,26 +253,31 @@ type ReadBlock struct {
 func (*ReadBlock) Type() Type       { return TReadBlock }
 func (*ReadBlock) PayloadSize() int { return 14 + 13 + 8 }
 
-// ReadResp returns block data.
+// ReadResp returns block data. Sum is the CRC-32C of Data, computed by the
+// responder; consumers verify before trusting the bytes.
 type ReadResp struct {
 	Data []byte
 	Err  string
+	Sum  uint32
 }
 
 func (*ReadResp) Type() Type         { return TReadResp }
-func (r *ReadResp) PayloadSize() int { return 4 + len(r.Data) + 2 + len(r.Err) }
+func (r *ReadResp) PayloadSize() int { return 4 + len(r.Data) + 2 + len(r.Err) + 4 }
 
 // Update is a client update to the OSD hosting a data block. Epoch is the
 // placement epoch the client resolved the route under (see ReadBlock).
+// Sum is the CRC-32C of Data; the OSD verifies before any engine side
+// effect, so a corrupted update is rejected rather than encoded into parity.
 type Update struct {
 	Blk   BlockID
 	Off   int64
 	Data  []byte
 	Epoch uint64
+	Sum   uint32
 }
 
 func (*Update) Type() Type         { return TUpdate }
-func (u *Update) PayloadSize() int { return 14 + 8 + 4 + len(u.Data) + 8 }
+func (u *Update) PayloadSize() int { return 14 + 8 + 4 + len(u.Data) + 8 + 4 }
 
 // ---- engine-internal forwarding ----
 
@@ -382,15 +414,17 @@ func (r *ReplicaResp) PayloadSize() int {
 // DegradedUpdate routes a client update for a degraded stripe (one whose
 // placement includes the failed node Failed) to the surrogate OSD, which
 // journals it until the stripe is rebuilt and the journal is replayed.
+// Sum is the CRC-32C of Data, verified by the surrogate before journaling.
 type DegradedUpdate struct {
 	Failed NodeID
 	Blk    BlockID
 	Off    int64
 	Data   []byte
+	Sum    uint32
 }
 
 func (*DegradedUpdate) Type() Type         { return TDegradedUpdate }
-func (d *DegradedUpdate) PayloadSize() int { return 4 + 14 + 8 + 4 + len(d.Data) }
+func (d *DegradedUpdate) PayloadSize() int { return 4 + 14 + 8 + 4 + len(d.Data) + 4 }
 
 // DegradedRead asks the surrogate OSD for [Off, Off+Size) of a block in a
 // degraded stripe. Lost blocks are reconstructed on the fly from surviving
@@ -411,7 +445,9 @@ func (*DegradedRead) PayloadSize() int { return 4 + 14 + 8 + 4 }
 // journal). Surrogate names the appending surrogate and Seq is its
 // per-surrogate monotone append sequence (1, 2, ...), so a promotion can
 // union holder copies by (Blk, Off, Seq) newest-wins. Answered with a
-// JournalAck.
+// JournalAck. Sum is the CRC-32C of Data, verified by the holder before it
+// acknowledges durability — a corrupted replica must not count toward the
+// quorum.
 type JournalReplica struct {
 	Failed    NodeID
 	Surrogate NodeID
@@ -419,10 +455,11 @@ type JournalReplica struct {
 	Blk       BlockID
 	Off       int64
 	Data      []byte
+	Sum       uint32
 }
 
 func (*JournalReplica) Type() Type         { return TJournalReplica }
-func (j *JournalReplica) PayloadSize() int { return 4 + 4 + 8 + 14 + 8 + 4 + len(j.Data) }
+func (j *JournalReplica) PayloadSize() int { return 4 + 4 + 8 + 14 + 8 + 4 + len(j.Data) + 4 }
 
 // JournalAck acknowledges a JournalReplica append: the holder has the
 // record durably (persisted to its journal zone). Seq echoes the append

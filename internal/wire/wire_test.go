@@ -21,9 +21,12 @@ func sampleMessages() []Msg {
 		&Heartbeat{From: 11},
 		&Heartbeat{From: 11, Misses: 3},
 		&PutBlock{Blk: BlockID{1, 2, 3}, Data: []byte{9, 8, 7}},
+		&PutBlock{Blk: BlockID{1, 2, 3}, Data: []byte{9, 8, 7}, Sum: Checksum([]byte{9, 8, 7})},
 		&ReadBlock{Blk: BlockID{1, 2, 3}, Off: 4096, Size: 512},
 		&ReadResp{Data: []byte{1, 2}, Err: ""},
+		&ReadResp{Data: []byte{1, 2}, Err: "", Sum: Checksum([]byte{1, 2})},
 		&Update{Blk: BlockID{5, 6, 7}, Off: 123, Data: []byte{0xde, 0xad}},
+		&Update{Blk: BlockID{5, 6, 7}, Off: 123, Data: []byte{0xde, 0xad}, Sum: Checksum([]byte{0xde, 0xad})},
 		&DeltaAppend{Blk: BlockID{1, 1, 0}, ParityIdx: 2, Off: 64, Data: []byte{1}, Kind: KindDataDelta, Replica: true},
 		&DeltaAppend{Blk: BlockID{1, 1, 0}, ParityIdx: 0, Off: 0, Data: nil, Kind: KindParityDelta},
 		&ParixAppend{Blk: BlockID{2, 3, 1}, ParityIdx: 1, Off: 8, New: []byte{5, 5}, Orig: []byte{4, 4}},
@@ -35,8 +38,10 @@ func sampleMessages() []Msg {
 		&RecoverBlock{Blk: BlockID{4, 4, 4}},
 		&RecoverBlock{Blk: BlockID{4, 4, 6}, Reencode: true},
 		&DegradedUpdate{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7, 7}},
+		&DegradedUpdate{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7, 7}, Sum: Checksum([]byte{7, 7})},
 		&DegradedRead{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Size: 128},
 		&JournalReplica{Failed: 5, Surrogate: 2, Seq: 9, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7}},
+		&JournalReplica{Failed: 5, Surrogate: 2, Seq: 9, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7}, Sum: Checksum([]byte{7})},
 		&JournalAck{Seq: 9},
 		&JournalAck{Seq: 0, Err: "zone full"},
 		&JournalFetch{Failed: 5},
@@ -223,6 +228,28 @@ func TestMarshalAppends(t *testing.T) {
 	buf := Marshal(prefix, &Drain{})
 	if !bytes.HasPrefix(buf, prefix) {
 		t.Fatal("Marshal did not append")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	if Checksum(nil) != 0 {
+		t.Fatal("Checksum(nil) != 0: empty payloads must verify against zero Sum")
+	}
+	data := []byte("two-stage update")
+	sum := Checksum(data)
+	if err := VerifySum(data, sum); err != nil {
+		t.Fatalf("VerifySum on intact data: %v", err)
+	}
+	if err := VerifySum(nil, 0); err != nil {
+		t.Fatalf("VerifySum on empty data: %v", err)
+	}
+	// Every single-byte flip must be detected.
+	for i := range data {
+		c := append([]byte(nil), data...)
+		c[i] ^= 0x01
+		if err := VerifySum(c, sum); err != ErrChecksum {
+			t.Fatalf("flip at %d: err=%v, want ErrChecksum", i, err)
+		}
 	}
 }
 
