@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"time"
+)
+
+// ErrOverload is the retryable sentinel for an op the MDS admission policy
+// bounced: the cluster is past its configured rate or queue-depth budget
+// and the submitter should back off and retry (or count the rejection).
+// Unlike the terminal sentinels (ErrClusterDegraded, ErrSurrogateLost) it
+// promises nothing is wrong with the op itself — resubmitting later
+// succeeds once load drains.
+var ErrOverload = errors.New("cluster: admission rejected, overloaded")
+
+// errOverload is the Ack string form of ErrOverload — like errStaleEpoch,
+// the rejection crosses the wire as an Ack and is classified by substring.
+const errOverload = "cluster: admission rejected, overloaded"
+
+// overloadErr reports whether an error (possibly stringified across the
+// MDS hop as an Ack) was an admission rejection.
+func overloadErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), errOverload)
+}
+
+// AdmissionPolicy decides, per foreground client op, whether the MDS admits
+// it. now is the virtual time of the decision and inflight the number of
+// admitted ops not yet completed (the MDS-side queue depth). Policies run
+// in simulation context — single-threaded, no locking needed — and must be
+// deterministic in (call order, now, inflight).
+type AdmissionPolicy interface {
+	Admit(now time.Duration, inflight int) bool
+}
+
+// TokenBucket is the standard AdmissionPolicy: ops are admitted at Rate
+// tokens/second with bursts up to Burst, and — independently — bounced
+// whenever more than MaxInflight admitted ops are still in flight
+// (queue-depth backpressure, the signal that survives even when the rate
+// estimate is wrong). The zero value of either knob disables that check.
+type TokenBucket struct {
+	Rate        float64 // sustained admissions per second (0 = unlimited)
+	Burst       float64 // bucket capacity in tokens (0 = Rate for a 1s burst)
+	MaxInflight int     // admitted-but-uncompleted cap (0 = unlimited)
+
+	tokens float64
+	last   time.Duration
+	primed bool
+}
+
+// Admit refills the bucket for the elapsed virtual time and spends one
+// token, rejecting when the bucket is dry or the in-flight cap is hit.
+func (tb *TokenBucket) Admit(now time.Duration, inflight int) bool {
+	if tb.MaxInflight > 0 && inflight >= tb.MaxInflight {
+		return false
+	}
+	if tb.Rate <= 0 {
+		return true
+	}
+	burst := tb.Burst
+	if burst <= 0 {
+		burst = tb.Rate
+	}
+	if !tb.primed {
+		// A fresh bucket starts full so cold-start ops are not rejected
+		// before any time has elapsed.
+		tb.tokens = burst
+		tb.last = now
+		tb.primed = true
+	}
+	tb.tokens += tb.Rate * (now - tb.last).Seconds()
+	tb.last = now
+	if tb.tokens > burst {
+		tb.tokens = burst
+	}
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// AdmitAll is the no-op policy: every op admitted, only the in-flight
+// accounting runs. Useful to measure admission overhead alone.
+type AdmitAll struct{}
+
+// Admit always reports true.
+func (AdmitAll) Admit(time.Duration, int) bool { return true }
+
+// AdmissionStats is the cluster-wide admission counter snapshot.
+type AdmissionStats struct {
+	Admitted int64 // ops admitted by the policy
+	Rejected int64 // ops bounced with ErrOverload
+	Inflight int   // admitted ops not yet completed
+}
+
+// AdmissionStats snapshots the MDS admission counters. Every rejected op
+// surfaces to its submitter as ErrOverload — the harness asserts rejected
+// equals the retries-plus-reported count, so no op is silently lost.
+func (c *Cluster) AdmissionStats() AdmissionStats {
+	return AdmissionStats{Admitted: c.admittedOps, Rejected: c.rejectedOps, Inflight: c.admittedInFlight}
+}
+
+// admissionDone marks one admitted op completed. The completion is
+// client-side knowledge; the MDS and clients share a process, so the
+// decrement is in-process bookkeeping rather than a wire message (a real
+// deployment would piggyback completions on the next AdmitOp batch).
+func (c *Cluster) admissionDone() {
+	c.admittedInFlight--
+	if c.admittedInFlight < 0 {
+		panic("cluster: admission in-flight count below zero")
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -133,10 +134,43 @@ func (cl *Client) Update(p *sim.Proc, ino uint64, off int64, data []byte) error 
 	return nil
 }
 
+// admit asks the MDS for admission of one foreground op when an admission
+// policy is configured (one metadata round trip). On admission it returns
+// a release closure the caller must invoke when the op completes, so the
+// MDS's queue-depth view drains. On rejection it returns ErrOverload
+// (wrapped, errors.Is-able) WITHOUT consuming the caller's route-retry
+// budget: overload is the submitter's signal to back off, not a routing
+// transient the client should spin on.
+func (cl *Client) admit(p *sim.Proc) (release func(), err error) {
+	if cl.c.Cfg.Admission == nil {
+		return func() {}, nil
+	}
+	resp, err := cl.c.Fabric.Call(p, cl.id, mdsID, &wire.AdmitOp{})
+	if err != nil {
+		return nil, fmt.Errorf("admit: %w", err)
+	}
+	a, ok := resp.(*wire.Ack)
+	if !ok {
+		return nil, fmt.Errorf("admit: unexpected response %T", resp)
+	}
+	if a.Err != "" {
+		if overloadErr(errors.New(a.Err)) {
+			return nil, ErrOverload
+		}
+		return nil, fmt.Errorf("admit: %s", a.Err)
+	}
+	return cl.c.admissionDone, nil
+}
+
 // updateBlock routes one block-local update, retrying through route
 // transitions (failure detection, degraded registration, recovery cutover,
 // rebalance cutover).
 func (cl *Client) updateBlock(p *sim.Proc, blk wire.BlockID, boff int64, data []byte) error {
+	release, aerr := cl.admit(p)
+	if aerr != nil {
+		return fmt.Errorf("update %v: %w", blk, aerr)
+	}
+	defer release()
 	sum := wire.Checksum(data)
 	for attempt := 0; ; attempt++ {
 		cl.c.waitGate(p)
@@ -209,6 +243,11 @@ func (cl *Client) Read(p *sim.Proc, ino uint64, off, size int64) ([]byte, error)
 // readBlock routes one block-local read, retrying through route
 // transitions like updateBlock.
 func (cl *Client) readBlock(p *sim.Proc, blk wire.BlockID, boff, n int64) ([]byte, error) {
+	release, aerr := cl.admit(p)
+	if aerr != nil {
+		return nil, fmt.Errorf("read %v: %w", blk, aerr)
+	}
+	defer release()
 	for attempt := 0; ; attempt++ {
 		var resp wire.Msg
 		var err error

@@ -44,6 +44,12 @@ type Config struct {
 	// alternate K-of-N survivor set and the first valid result wins. 0
 	// disables hedging.
 	HedgeDelay time.Duration
+	// Admission, when non-nil, makes every foreground client op ask the
+	// MDS for admission first (wire.AdmitOp). Rejected ops surface to the
+	// submitter as the retryable ErrOverload and are counted
+	// (AdmissionStats). nil disables admission entirely — no AdmitOp
+	// round trip is sent.
+	Admission AdmissionPolicy
 }
 
 // DefaultConfig mirrors the paper's SSD testbed: 16 OSD nodes, RS(6,4)
@@ -110,6 +116,13 @@ type Cluster struct {
 	// verification, at-rest scrub). The chaos grid asserts this equals the
 	// fabric's injected-corruption count: nothing corrupt escapes silently.
 	corruptionsDetected int64
+
+	// MDS admission accounting (see admission.go): admitted/rejected op
+	// counts and the admitted-but-uncompleted depth the queue-depth
+	// backpressure check reads.
+	admittedOps      int64
+	rejectedOps      int64
+	admittedInFlight int
 }
 
 type fileMeta struct {

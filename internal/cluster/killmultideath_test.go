@@ -158,6 +158,12 @@ func runMultiDeath(t *testing.T, r multiDeathRun) {
 			t.Error("content mismatch after multi-death recovery")
 			return
 		}
+		// Post-Close queue Puts are counted drops rather than panics; no
+		// teardown path closes a live delivery queue today, so any nonzero
+		// count is a new silently-dropping race.
+		if d := c.Env.DroppedPuts(); d != 0 {
+			t.Errorf("multi-death teardown dropped %d queue deliveries", d)
+		}
 		done = true
 	})
 	c.Env.Run(0)

@@ -218,6 +218,13 @@ func runKillAtStage(t *testing.T, engine, role string, stageIdx int, seed int64)
 		if !bytes.Equal(got, content) {
 			t.Fatalf("content mismatch after %s/%s kill + resolution + recovery", ks.name, role)
 		}
+		// A delivery racing the kill must never crash the sim — post-Close
+		// queue Puts are counted drops. Today no teardown path closes a
+		// live delivery queue, so the counter must still be zero; a nonzero
+		// value here means a new race started dropping messages silently.
+		if d := c.Env.DroppedPuts(); d != 0 {
+			t.Fatalf("kill teardown dropped %d queue deliveries", d)
+		}
 		_ = newID
 	})
 }

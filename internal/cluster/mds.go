@@ -235,6 +235,15 @@ func (m *MDS) handle(p *sim.Proc, from wire.NodeID, msg wire.Msg) wire.Msg {
 			m.beatMisses[v.From] += uint64(v.Misses)
 		}
 		return wire.OK
+	case *wire.AdmitOp:
+		pol := m.c.Cfg.Admission
+		if pol == nil || pol.Admit(p.Now(), m.c.admittedInFlight) {
+			m.c.admittedOps++
+			m.c.admittedInFlight++
+			return wire.OK
+		}
+		m.c.rejectedOps++
+		return &wire.Ack{Err: errOverload}
 	}
 	return &wire.Ack{Err: "mds: unhandled message " + msg.Type().String()}
 }

@@ -1,0 +1,303 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tsue/internal/cluster"
+	"tsue/internal/sim"
+	"tsue/internal/trace"
+)
+
+// This file is the open-loop load plane. The closed-loop replay in
+// harness.go issues the next op only after the previous one completes, so
+// offered load self-throttles to whatever the cluster sustains and latency
+// never shows queueing collapse. An open-loop run instead draws arrival
+// instants from an ArrivalProcess that is independent of completions: ops
+// are dispatched at their scheduled virtual times no matter how many are
+// still in flight, which is what exposes the saturation knee (latency vs
+// offered load) and gives admission control something real to push back on.
+
+// ArrivalProcess yields successive arrival instants. Implementations must
+// be deterministic for a given construction (seed or explicit schedule)
+// and must yield nondecreasing times. Next returns ok=false when the
+// process is exhausted.
+type ArrivalProcess interface {
+	Next() (at time.Duration, ok bool)
+}
+
+// PoissonArrivals is a Poisson process: interarrival gaps are exponential
+// with mean 1/rate, drawn from a seeded rng, for a fixed number of
+// arrivals.
+type PoissonArrivals struct {
+	rng  *rand.Rand
+	rate float64
+	at   time.Duration
+	left int
+}
+
+// NewPoissonArrivals builds a Poisson process offering rate ops/sec for n
+// arrivals. Same (rate, n, seed) means the identical schedule.
+func NewPoissonArrivals(rate float64, n int, seed int64) *PoissonArrivals {
+	if rate <= 0 {
+		panic(fmt.Sprintf("harness: Poisson rate must be positive, got %v", rate))
+	}
+	return &PoissonArrivals{rng: rand.New(rand.NewSource(seed)), rate: rate, left: n}
+}
+
+// Next returns the next arrival instant.
+func (a *PoissonArrivals) Next() (time.Duration, bool) {
+	if a.left <= 0 {
+		return 0, false
+	}
+	a.left--
+	a.at += time.Duration(a.rng.ExpFloat64() / a.rate * float64(time.Second))
+	return a.at, true
+}
+
+// TraceArrivals replays an explicit timestamp schedule, e.g. parsed from a
+// real trace's arrival column, shifted so the first op lands at its
+// recorded offset from the trace start.
+type TraceArrivals struct {
+	times []time.Duration
+	i     int
+}
+
+// NewTraceArrivals validates that the schedule is nondecreasing and
+// returns a process replaying it. The slice is copied.
+func NewTraceArrivals(times []time.Duration) (*TraceArrivals, error) {
+	cp := append([]time.Duration(nil), times...)
+	for i, t := range cp {
+		if t < 0 {
+			return nil, fmt.Errorf("harness: trace arrival %d is negative (%v)", i, t)
+		}
+		if i > 0 && t < cp[i-1] {
+			return nil, fmt.Errorf("harness: trace arrivals not sorted at %d (%v < %v)", i, t, cp[i-1])
+		}
+	}
+	return &TraceArrivals{times: cp}, nil
+}
+
+// Next returns the next recorded arrival instant.
+func (a *TraceArrivals) Next() (time.Duration, bool) {
+	if a.i >= len(a.times) {
+		return 0, false
+	}
+	t := a.times[a.i]
+	a.i++
+	return t, true
+}
+
+// ZipfPicker draws object/offset slot indices over [0, n) with Zipf skew,
+// so a few hot slots absorb most of the load — the access pattern that
+// makes saturation engine-dependent (log contention concentrates instead
+// of spreading). s > 1 and v >= 1 per math/rand: larger s is more skewed.
+type ZipfPicker struct {
+	z *rand.Zipf
+	n uint64
+}
+
+// NewZipfPicker builds a deterministic picker over n slots.
+func NewZipfPicker(n uint64, s, v float64, seed int64) *ZipfPicker {
+	if n == 0 {
+		panic("harness: ZipfPicker needs at least one slot")
+	}
+	return &ZipfPicker{z: rand.NewZipf(rand.New(rand.NewSource(seed)), s, v, n-1), n: n}
+}
+
+// Pick returns the next slot index in [0, n).
+func (zp *ZipfPicker) Pick() uint64 { return zp.z.Uint64() }
+
+// Slots returns the picker's slot count.
+func (zp *ZipfPicker) Slots() uint64 { return zp.n }
+
+// OpenLoopConfig parameterizes one open-loop replay on top of a RunConfig
+// (which still supplies the cluster shape, engine, trace profile and
+// seed).
+type OpenLoopConfig struct {
+	// Arrivals is the arrival process (required). Its length bounds the
+	// run: the replay dispatches exactly the ops it yields.
+	Arrivals ArrivalProcess
+	// Zipf, when non-nil, overrides the trace generator's offsets with
+	// Zipf-skewed slot picks (slot size = the profile's Align, or 4 KiB).
+	Zipf *ZipfPicker
+	// Workers is the client-pool size ops round-robin over (default
+	// RunConfig.Clients). Open-loop concurrency is set by the arrival
+	// rate, not the pool; the pool only spreads view-cache refreshes.
+	Workers int
+	// RetryBackoff is the submitter's sleep after an ErrOverload bounce
+	// before retrying (default 2ms).
+	RetryBackoff time.Duration
+	// MaxRetries caps per-op overload retries; an op that exhausts them is
+	// counted in OpenLoopResult.Lost and reported, never silently dropped
+	// (default 10000 — effectively retry-to-success unless the policy
+	// wedges).
+	MaxRetries int
+}
+
+func (ol OpenLoopConfig) withDefaults(cfg RunConfig) OpenLoopConfig {
+	if ol.Workers <= 0 {
+		ol.Workers = cfg.Clients
+	}
+	if ol.RetryBackoff <= 0 {
+		ol.RetryBackoff = 2 * time.Millisecond
+	}
+	if ol.MaxRetries <= 0 {
+		ol.MaxRetries = 10000
+	}
+	return ol
+}
+
+// OpenLoopResult captures one open-loop run.
+type OpenLoopResult struct {
+	Submitted int // arrivals dispatched
+	Completed int // ops that finished successfully
+	Lost      int // ops that exhausted MaxRetries (always reported)
+	// Rejections is the number of ErrOverload bounces submitters saw (each
+	// was retried after RetryBackoff; MDS-side counters must agree).
+	Rejections int64
+	// Lats holds per-op latency = completion - scheduled arrival, so
+	// queueing delay past the saturation knee shows up even though the
+	// cluster never sees the op early. Indexed in completion order.
+	Lats []time.Duration
+	// Elapsed is first arrival to last completion; Achieved is
+	// Completed/Elapsed in ops/sec.
+	Elapsed  time.Duration
+	Achieved float64
+	// Admission mirrors the MDS-side counters at run end.
+	Admission cluster.AdmissionStats
+}
+
+// RunOpenLoop builds the cluster from cfg, preloads the file set, and
+// replays the arrival schedule open-loop. Ops are generated from the trace
+// profile (sizes, read/write mix) with offsets optionally re-skewed by
+// ol.Zipf, and dispatched at their arrival instants regardless of how many
+// ops are still outstanding. The run is deterministic per (cfg.Seed,
+// arrival process, picker) — the sim kernel serializes all procs.
+func RunOpenLoop(cfg RunConfig, ol OpenLoopConfig) (*OpenLoopResult, error) {
+	if ol.Arrivals == nil {
+		return nil, fmt.Errorf("harness: open loop needs an ArrivalProcess")
+	}
+	ol = ol.withDefaults(cfg)
+	c, err := buildCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Env.Close()
+
+	res := &OpenLoopResult{}
+	admin := c.NewClient()
+	var runErr error
+	c.Env.Go("openloop", func(p *sim.Proc) {
+		runErr = openLoop(p, c, admin, cfg, ol, res)
+	})
+	c.Env.Run(0)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if res.Elapsed > 0 {
+		res.Achieved = float64(res.Completed) / res.Elapsed.Seconds()
+	}
+	res.Admission = c.AdmissionStats()
+	return res, nil
+}
+
+func openLoop(p *sim.Proc, c *cluster.Cluster, admin *cluster.Client, cfg RunConfig, ol OpenLoopConfig, res *OpenLoopResult) error {
+	inos, perFile, err := preload(p, c, admin, cfg)
+	if err != nil {
+		return err
+	}
+	c.ResetStats()
+
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(cfg.Seed + 999)).Read(payload)
+
+	prof := cfg.Trace
+	prof.WorkingSet = perFile
+	gen := trace.MustGenerator(prof, cfg.Seed)
+	align := prof.Align
+	if align <= 0 {
+		align = 4 << 10
+	}
+
+	pool := make([]*cluster.Client, ol.Workers)
+	for i := range pool {
+		pool[i] = c.NewClient()
+	}
+
+	start := p.Now()
+	var last time.Duration
+	var firstErr error
+	wg := sim.NewWaitGroup(c.Env)
+	for i := 0; ; i++ {
+		at, ok := ol.Arrivals.Next()
+		if !ok {
+			break
+		}
+		if cfg.MaxTime > 0 && at > cfg.MaxTime {
+			break
+		}
+		// The dispatcher sleeps to the arrival instant and fires the op
+		// into its own proc — it never waits for completions, so in-flight
+		// depth floats with offered load (the open-loop property).
+		if wait := start + at - p.Now(); wait > 0 {
+			p.Sleep(wait)
+		}
+		op := gen.Next()
+		if ol.Zipf != nil {
+			op.Off = int64(ol.Zipf.Pick()) * align
+		}
+		if op.Off+int64(op.Size) > perFile {
+			op.Off = perFile - int64(op.Size)
+			if op.Off < 0 {
+				op.Off = 0
+			}
+		}
+		ino := inos[i%len(inos)]
+		cl := pool[i%len(pool)]
+		arrival := p.Now() - start
+		res.Submitted++
+		wg.Add(1)
+		c.Env.Go(fmt.Sprintf("arrival%d", i), func(cp *sim.Proc) {
+			defer wg.Done()
+			for try := 0; ; try++ {
+				var err error
+				if op.Kind == trace.Write {
+					pstart := int(op.Off) % (len(payload) - int(op.Size))
+					err = cl.Update(cp, ino, op.Off, payload[pstart:pstart+int(op.Size)])
+				} else {
+					_, err = cl.Read(cp, ino, op.Off, int64(op.Size))
+				}
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, cluster.ErrOverload) {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("open-loop op %d: %w", i, err)
+					}
+					return
+				}
+				res.Rejections++
+				if try+1 >= ol.MaxRetries {
+					res.Lost++
+					return
+				}
+				cp.Sleep(ol.RetryBackoff)
+			}
+			res.Completed++
+			t := cp.Now() - start
+			res.Lats = append(res.Lats, t-arrival)
+			if t > last {
+				last = t
+			}
+		})
+	}
+	wg.Wait(p)
+	if firstErr != nil {
+		return firstErr
+	}
+	res.Elapsed = last
+	return nil
+}

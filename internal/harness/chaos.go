@@ -468,25 +468,35 @@ func Chaos(w io.Writer, s Scale) error {
 			if r.Report != nil {
 				recoverMS = ms(r.Report.TotalTime)
 			}
-			p99 := ms(r.ReadP(0.99))
+			dist := NewLatencyDist(r.ReadLats) // one sort for all quantiles below
+			p99 := ms(dist.P(0.99))
 			ratio := ""
 			labels := map[string]string{"engine": eng, "scenario": scen}
 			if scen == ChaosBaseline {
 				baselineP99 = p99
-			} else if scen == ChaosStraggler && baselineP99 > 0 {
-				rr := p99 / baselineP99
-				ratio = fmt.Sprintf("%.2fx", rr)
-				s.Sink.Record("chaos", "straggler_p99_ratio", map[string]string{"engine": eng}, rr)
+			} else if scen == ChaosStraggler {
+				if baselineP99 > 0 {
+					rr := p99 / baselineP99
+					ratio = fmt.Sprintf("%.2fx", rr)
+					s.Sink.Record("chaos", "straggler_p99_ratio", map[string]string{"engine": eng}, rr)
+				} else {
+					// An empty baseline window must not read as "no
+					// regression" in the BENCH trajectory: say so out loud
+					// and leave the ratio metric absent.
+					ratio = "skip (no baseline reads)"
+					fmt.Fprintf(w, "chaos %s: baseline window saw 0 reads; skipping straggler_p99_ratio\n", eng)
+				}
 			}
+			s.Sink.Record("chaos", "read_samples", labels, float64(dist.N()))
 			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.0f\t%.0f\t%.0f%%\t%.2f\t%.2f\t%.2f\t%d\t%d/%d\t%d/%d\t%d\t%s\n",
 				eng, scen, recoverMS,
 				r.BaselineIOPS, r.DuringIOPS, r.DipPct,
-				ms(r.ReadP(0.50)), ms(r.ReadP(0.95)), p99, r.ReadErrs,
+				ms(dist.P(0.50)), ms(dist.P(0.95)), p99, r.ReadErrs,
 				r.HedgeFired, r.HedgeWins,
 				r.CorruptInjected, r.CorruptDetected,
 				r.RepairedBlocks, ratio)
-			s.Sink.Record("chaos", "read_p50_ms", labels, ms(r.ReadP(0.50)))
-			s.Sink.Record("chaos", "read_p95_ms", labels, ms(r.ReadP(0.95)))
+			s.Sink.Record("chaos", "read_p50_ms", labels, ms(dist.P(0.50)))
+			s.Sink.Record("chaos", "read_p95_ms", labels, ms(dist.P(0.95)))
 			s.Sink.Record("chaos", "read_p99_ms", labels, p99)
 			s.Sink.Record("chaos", "read_errs", labels, float64(r.ReadErrs))
 			s.Sink.Record("chaos", "dip_pct", labels, r.DipPct)

@@ -471,6 +471,7 @@ func Experiments() map[string]func(io.Writer, Scale) error {
 		"table1": Table1, "table2": Table2, "fig8a": Fig8a, "fig8b": Fig8b,
 		"sweep": Sweep, "degraded": Degraded, "placement": Placement,
 		"rebalance": Rebalance, "rebalance-kill": RebalanceKill,
-		"degraded-multikill": DegradedMultiKill, "chaos": Chaos, "all": All,
+		"degraded-multikill": DegradedMultiKill, "chaos": Chaos,
+		"saturation": Saturation, "all": All,
 	}
 }

@@ -51,6 +51,12 @@ type RunConfig struct {
 	// SkipVerify disables the drain+scrub gate (never set in experiments;
 	// used by tests that verify separately).
 	SkipVerify bool
+	// Admission, when non-nil, installs MDS admission control
+	// (cluster.Config.Admission): every client block op first asks the MDS
+	// for a slot and overload bounces surface as cluster.ErrOverload. The
+	// saturation experiment sets it; closed-loop replays leave it nil
+	// (zero overhead — no admission round trip at all).
+	Admission cluster.AdmissionPolicy
 }
 
 // DefaultRunConfig returns the paper-shaped SSD configuration scaled to a
@@ -165,6 +171,7 @@ func buildCluster(cfg RunConfig) (*cluster.Cluster, error) {
 	ccfg.Engine = cfg.Engine
 	ccfg.EngineOpts = cfg.Opts
 	ccfg.HedgeDelay = cfg.Hedge
+	ccfg.Admission = cfg.Admission
 	ccfg.DeviceKind = cfg.Device
 	if cfg.Device == device.HDD {
 		ccfg.DeviceParams = device.HDDParams()

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"math"
 	"sort"
 	"time"
 )
@@ -37,20 +38,44 @@ func (s *Sink) Record(experiment, name string, labels map[string]string, value f
 	s.Metrics = append(s.Metrics, Metric{Experiment: experiment, Name: name, Labels: cp, Value: value})
 }
 
-// percentile returns the p-quantile (0..1) of the samples by
-// nearest-rank on a sorted copy; 0 for an empty set.
-func percentile(samples []time.Duration, p float64) time.Duration {
-	if len(samples) == 0 {
-		return 0
-	}
+// LatencyDist is a set of latency samples sorted once at construction, so
+// a result printed at several quantiles (chaos/degraded rows call for p50,
+// p95, p99, p999; the saturation sweep far more) pays for one sort total
+// instead of one per quantile.
+type LatencyDist struct {
+	sorted []time.Duration
+}
+
+// NewLatencyDist copies and sorts samples.
+func NewLatencyDist(samples []time.Duration) LatencyDist {
 	sorted := append([]time.Duration(nil), samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
+	return LatencyDist{sorted: sorted}
+}
+
+// N returns the sample count.
+func (d LatencyDist) N() int { return len(d.sorted) }
+
+// P returns the p-quantile (0..1) by the nearest-rank method: the sample
+// at rank ceil(p*n), 1-based. 0 for an empty set.
+func (d LatencyDist) P(p float64) time.Duration {
+	n := len(d.sorted)
+	if n == 0 {
+		return 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
 	}
-	return sorted[idx]
+	if rank > n {
+		rank = n
+	}
+	return d.sorted[rank-1]
+}
+
+// percentile returns the p-quantile (0..1) of the samples by
+// nearest-rank; 0 for an empty set. Callers taking several quantiles of
+// one sample set should build a LatencyDist instead to sort only once.
+func percentile(samples []time.Duration, p float64) time.Duration {
+	return NewLatencyDist(samples).P(p)
 }

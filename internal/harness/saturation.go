@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"tsue/internal/cluster"
+	"tsue/internal/update"
+)
+
+// satFractions is the offered-load grid, as fractions of each engine's
+// closed-loop calibration throughput: two points below the knee, one at
+// it, two past it.
+var satFractions = []float64{0.25, 0.5, 0.75, 1.0, 1.25}
+
+// satSustainFrac is the goodput bar for "sustainable": a point counts only
+// if achieved throughput is at least this fraction of offered and no op
+// was lost to retry exhaustion.
+const satSustainFrac = 0.9
+
+// Saturation sweeps open-loop offered load per engine (beyond the paper's
+// closed-loop evaluation): Poisson arrivals at a grid of rates calibrated
+// to each engine's closed-loop throughput, Zipf-skewed offsets, and MDS
+// admission control pushing back past the knee. It reports the latency
+// percentiles vs offered load and each engine's max sustainable IOPS —
+// the open-loop numbers a capacity planner would actually quote.
+func Saturation(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "== Saturation: open-loop offered-load sweep (Poisson arrivals, Zipf offsets, MDS admission) ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\toffered(ops/s)\tachieved\tp50(ms)\tp95(ms)\tp99(ms)\trejected\tlost")
+	opsPerPoint := s.Ops / 3
+	if opsPerPoint < 300 {
+		opsPerPoint = 300
+	}
+	for _, eng := range update.Names() {
+		base := baseRun(s)
+		base.Engine = eng
+		base.Trace = s.traceProfile("ali")
+		base.Ops = opsPerPoint
+
+		// Calibrate: the closed-loop replay self-throttles to what the
+		// cluster sustains at this concurrency, anchoring the sweep grid.
+		calib, err := Run(base)
+		if err != nil {
+			return fmt.Errorf("saturation %s calibration: %w", eng, err)
+		}
+		if calib.IOPS <= 0 {
+			return fmt.Errorf("saturation %s: calibration measured zero IOPS", eng)
+		}
+		s.Sink.Record("saturation", "calib_iops", map[string]string{"engine": eng}, calib.IOPS)
+
+		maxSustain := 0.0
+		for _, frac := range satFractions {
+			offered := calib.IOPS * frac
+			cfg := base
+			// Depth-based backpressure: past the knee the in-flight count
+			// balloons, and the MDS bounces arrivals instead of letting the
+			// cluster queue without bound.
+			cfg.Admission = &cluster.TokenBucket{MaxInflight: 4 * cfg.Clients}
+			res, err := RunOpenLoop(cfg, OpenLoopConfig{
+				Arrivals: NewPoissonArrivals(offered, opsPerPoint, cfg.Seed),
+				Zipf:     NewZipfPicker(uint64(cfg.FileBytes/(4<<10)), 1.1, 1, cfg.Seed+1),
+			})
+			if err != nil {
+				return fmt.Errorf("saturation %s %.2fx: %w", eng, frac, err)
+			}
+			dist := NewLatencyDist(res.Lats)
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%d\t%d\n",
+				eng, offered, res.Achieved,
+				ms(dist.P(0.50)), ms(dist.P(0.95)), ms(dist.P(0.99)),
+				res.Rejections, res.Lost)
+			labels := map[string]string{"engine": eng, "load": fmt.Sprintf("%.2fx", frac)}
+			s.Sink.Record("saturation", "offered_iops", labels, offered)
+			s.Sink.Record("saturation", "achieved_iops", labels, res.Achieved)
+			s.Sink.Record("saturation", "lat_p50_ms", labels, ms(dist.P(0.50)))
+			s.Sink.Record("saturation", "lat_p95_ms", labels, ms(dist.P(0.95)))
+			s.Sink.Record("saturation", "lat_p99_ms", labels, ms(dist.P(0.99)))
+			s.Sink.Record("saturation", "rejected", labels, float64(res.Rejections))
+			s.Sink.Record("saturation", "lost", labels, float64(res.Lost))
+			if res.Lost == 0 && res.Achieved >= satSustainFrac*offered && res.Achieved > maxSustain {
+				maxSustain = res.Achieved
+			}
+		}
+		fmt.Fprintf(tw, "%s\tmax sustainable\t%.0f\t\t\t\t\t\n", eng, maxSustain)
+		s.Sink.Record("saturation", "max_sustainable_iops", map[string]string{"engine": eng}, maxSustain)
+	}
+	return tw.Flush()
+}

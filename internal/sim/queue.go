@@ -9,6 +9,7 @@ type Queue[T any] struct {
 	items   []T
 	waiters []*getWaiter[T]
 	closed  bool
+	dropped int
 }
 
 type getWaiter[T any] struct {
@@ -27,10 +28,15 @@ func NewQueue[T any](e *Env) *Queue[T] {
 func (q *Queue[T]) Len() int { return len(q.items) }
 
 // Put appends v, handing it directly to the oldest blocked getter if any.
-// Putting to a closed queue panics.
+// Putting to a closed queue is a counted drop, not a panic: an in-flight
+// delivery racing node teardown (e.g. a netsim response arriving after a
+// kill) must not crash the whole simulation. Drops are visible through
+// Dropped on the queue and DroppedPuts on the environment.
 func (q *Queue[T]) Put(v T) {
 	if q.closed {
-		panic("sim: Put on closed queue")
+		q.dropped++
+		q.env.droppedPuts++
+		return
 	}
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
@@ -77,9 +83,10 @@ func (q *Queue[T]) TryGet() (v T, ok bool) {
 }
 
 // Close marks the queue closed and wakes all blocked getters with ok=false.
-// Buffered items remain retrievable by TryGet (Get on a closed queue with
-// items still returns them first? No: Get prefers items, then reports
-// closed). Closing twice is a no-op.
+// Items buffered before Close stay retrievable: Get and TryGet drain them
+// first and only then report the queue closed. Put after Close silently
+// drops the value and increments the drop counters. Closing twice is a
+// no-op.
 func (q *Queue[T]) Close() {
 	if q.closed {
 		return
@@ -94,6 +101,9 @@ func (q *Queue[T]) Close() {
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Dropped returns the number of values discarded by Put after Close.
+func (q *Queue[T]) Dropped() int { return q.dropped }
 
 // WaitGroup counts outstanding work items; Wait blocks until the count
 // reaches zero.

@@ -1,0 +1,96 @@
+package sim
+
+import "time"
+
+// Sched advances several independent environments in global timestamp
+// order, the control-plane half of a control-plane/data-plane split: each
+// Env is a self-contained data-plane simulator (one OSD group, one client
+// shard, one repair domain) and Sched is the shared-clock scheduler that
+// interleaves their events so causality across simulators is resolved by
+// virtual time alone. Ties between environments break by registration
+// order, keeping multi-instance runs deterministic.
+type Sched struct {
+	envs []*Env
+}
+
+// NewSched returns a scheduler over the given environments. More can be
+// added later with Add.
+func NewSched(envs ...*Env) *Sched {
+	return &Sched{envs: append([]*Env(nil), envs...)}
+}
+
+// Add registers another environment with the scheduler.
+func (s *Sched) Add(e *Env) { s.envs = append(s.envs, e) }
+
+// Envs returns the registered environments in registration order.
+func (s *Sched) Envs() []*Env { return s.envs }
+
+// HasPendingEvents reports whether any registered environment has a
+// pending event.
+func (s *Sched) HasPendingEvents() bool {
+	for _, e := range s.envs {
+		if e.HasPendingEvents() {
+			return true
+		}
+	}
+	return false
+}
+
+// next returns the environment holding the globally earliest pending
+// event, or nil if all environments are idle.
+func (s *Sched) next() *Env {
+	var best *Env
+	var bestT time.Duration
+	for _, e := range s.envs {
+		if !e.HasPendingEvents() {
+			continue
+		}
+		if t := e.PeekNextEventTime(); best == nil || t < bestT {
+			best, bestT = e, t
+		}
+	}
+	return best
+}
+
+// PeekNextEventTime returns the timestamp of the globally earliest pending
+// event. Call only when HasPendingEvents reports true.
+func (s *Sched) PeekNextEventTime() time.Duration {
+	return s.next().PeekNextEventTime()
+}
+
+// ProcessNextEvent executes the globally earliest pending event and
+// reports whether one existed.
+func (s *Sched) ProcessNextEvent() bool {
+	e := s.next()
+	if e == nil {
+		return false
+	}
+	e.ProcessNextEvent()
+	return true
+}
+
+// Run interleaves all environments until every one is idle or until limit
+// (if > 0) is reached, returning the global virtual time at exit. Events
+// past the limit stay queued in their environments.
+func (s *Sched) Run(limit time.Duration) time.Duration {
+	var now time.Duration
+	for {
+		e := s.next()
+		if e == nil {
+			return now
+		}
+		t := e.PeekNextEventTime()
+		if limit > 0 && t > limit {
+			return limit
+		}
+		now = t
+		e.ProcessNextEvent()
+	}
+}
+
+// Close closes every registered environment.
+func (s *Sched) Close() {
+	for _, e := range s.envs {
+		e.Close()
+	}
+}

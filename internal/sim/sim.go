@@ -20,13 +20,14 @@ import (
 // Create with NewEnv, add processes with Go, execute with Run, release
 // leftover processes with Close.
 type Env struct {
-	now     time.Duration
-	seq     uint64
-	events  eventQueue
-	yield   chan struct{}
-	procs   map[*Proc]struct{}
-	closing bool
-	nprocs  int // live (started, unfinished) procs
+	now         time.Duration
+	seq         uint64
+	events      eventQueue
+	yield       chan struct{}
+	procs       map[*Proc]struct{}
+	closing     bool
+	nprocs      int // live (started, unfinished) procs
+	droppedPuts int // values discarded by Queue.Put after Close, env-wide
 }
 
 // NewEnv returns an empty environment at time zero.
@@ -159,17 +160,36 @@ func (p *Proc) Sleep(d time.Duration) {
 // before the process continues.
 func (p *Proc) Yield() { p.Sleep(0) }
 
+// HasPendingEvents reports whether at least one event is scheduled. It is
+// one of the three step primitives (with PeekNextEventTime and
+// ProcessNextEvent) that let an external scheduler drive several
+// environments in global timestamp order.
+func (e *Env) HasPendingEvents() bool { return e.events.Len() > 0 }
+
+// PeekNextEventTime returns the timestamp of the earliest pending event
+// without executing it. Call only when HasPendingEvents reports true.
+func (e *Env) PeekNextEventTime() time.Duration { return e.events[0].t }
+
+// ProcessNextEvent pops the earliest pending event, advances the clock to
+// its timestamp, and executes it. Call only when HasPendingEvents reports
+// true.
+func (e *Env) ProcessNextEvent() {
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.t
+	ev.fn()
+}
+
 // Run executes events until the queue is empty or until limit (if > 0) is
-// reached. It returns the virtual time at exit.
+// reached. It returns the virtual time at exit. An event scheduled past the
+// limit stays queued, so a later Run (or step) call can resume where this
+// one stopped.
 func (e *Env) Run(limit time.Duration) time.Duration {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
-		if limit > 0 && ev.t > limit {
+	for e.HasPendingEvents() {
+		if limit > 0 && e.PeekNextEventTime() > limit {
 			e.now = limit
 			return e.now
 		}
-		e.now = ev.t
-		ev.fn()
+		e.ProcessNextEvent()
 	}
 	return e.now
 }
@@ -179,6 +199,10 @@ func (e *Env) Idle() bool { return e.events.Len() == 0 }
 
 // LiveProcs returns the number of started, unfinished processes.
 func (e *Env) LiveProcs() int { return e.nprocs }
+
+// DroppedPuts returns the total number of values discarded across all of
+// this environment's queues by Put-after-Close.
+func (e *Env) DroppedPuts() int { return e.droppedPuts }
 
 // Close unwinds all parked processes (their blocking calls panic with an
 // internal sentinel that is recovered in the process wrapper) so their

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStepEmptyQueue(t *testing.T) {
+	e := NewEnv()
+	if e.HasPendingEvents() {
+		t.Fatal("fresh env reports pending events")
+	}
+	if end := e.Run(0); end != 0 {
+		t.Fatalf("empty Run ended at %v", end)
+	}
+	if e.HasPendingEvents() {
+		t.Fatal("pending events after empty Run")
+	}
+}
+
+func TestStepMatchesRun(t *testing.T) {
+	build := func() (*Env, *[]int) {
+		e := NewEnv()
+		var order []int
+		for i := 0; i < 5; i++ {
+			i := i
+			e.Go("p", func(p *Proc) {
+				p.Sleep(time.Duration(5-i) * time.Millisecond)
+				order = append(order, i)
+			})
+		}
+		return e, &order
+	}
+
+	er, ordRun := build()
+	er.Run(0)
+
+	es, ordStep := build()
+	for es.HasPendingEvents() {
+		es.ProcessNextEvent()
+	}
+
+	if len(*ordRun) != len(*ordStep) {
+		t.Fatalf("run=%v step=%v", *ordRun, *ordStep)
+	}
+	for i := range *ordRun {
+		if (*ordRun)[i] != (*ordStep)[i] {
+			t.Fatalf("run=%v step=%v", *ordRun, *ordStep)
+		}
+	}
+	if es.Now() != er.Now() {
+		t.Fatalf("clocks diverged: run=%v step=%v", er.Now(), es.Now())
+	}
+}
+
+func TestStepSimultaneousTimestampsSeqOrder(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	for e.HasPendingEvents() {
+		if got := e.PeekNextEventTime(); got != time.Millisecond {
+			t.Fatalf("peek %v, want 1ms", got)
+		}
+		e.ProcessNextEvent()
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not in seq order when stepped: %v", order)
+		}
+	}
+}
+
+func TestStepInterleavedAt(t *testing.T) {
+	// An event handler scheduling new work mid-step must be observable by
+	// the very next Peek/Process cycle, including events at the current
+	// timestamp.
+	e := NewEnv()
+	var hits []time.Duration
+	e.At(time.Millisecond, func() {
+		e.At(time.Millisecond, func() { hits = append(hits, e.Now()) }) // same instant
+		e.After(2*time.Millisecond, func() { hits = append(hits, e.Now()) })
+	})
+	steps := 0
+	for e.HasPendingEvents() {
+		e.ProcessNextEvent()
+		steps++
+	}
+	if steps != 3 {
+		t.Fatalf("steps=%d, want 3", steps)
+	}
+	if len(hits) != 2 || hits[0] != time.Millisecond || hits[1] != 3*time.Millisecond {
+		t.Fatalf("hits=%v", hits)
+	}
+}
+
+func TestStepPeekDoesNotAdvance(t *testing.T) {
+	e := NewEnv()
+	ran := false
+	e.At(5*time.Millisecond, func() { ran = true })
+	for i := 0; i < 3; i++ {
+		if got := e.PeekNextEventTime(); got != 5*time.Millisecond {
+			t.Fatalf("peek %v", got)
+		}
+	}
+	if ran || e.Now() != 0 {
+		t.Fatal("peek executed or advanced the clock")
+	}
+	e.ProcessNextEvent()
+	if !ran || e.Now() != 5*time.Millisecond {
+		t.Fatal("process did not run the event")
+	}
+}
+
+func TestRunLimitKeepsFutureEvents(t *testing.T) {
+	// An event past the limit stays queued, so a later Run resumes it.
+	e := NewEnv()
+	var reached bool
+	e.Go("a", func(p *Proc) {
+		p.Sleep(time.Second)
+		reached = true
+	})
+	e.Run(100 * time.Millisecond)
+	if reached {
+		t.Fatal("event past limit ran")
+	}
+	if !e.HasPendingEvents() {
+		t.Fatal("event past limit was discarded")
+	}
+	if end := e.Run(0); end != time.Second {
+		t.Fatalf("resumed run ended at %v", end)
+	}
+	if !reached {
+		t.Fatal("resumed run skipped the event")
+	}
+}
+
+func TestQueuePutAfterCloseDrops(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e)
+	q.Put(1)
+	q.Close()
+	q.Put(2)
+	q.Put(3)
+	if q.Dropped() != 2 {
+		t.Fatalf("dropped=%d, want 2", q.Dropped())
+	}
+	if e.DroppedPuts() != 2 {
+		t.Fatalf("env dropped=%d, want 2", e.DroppedPuts())
+	}
+	// The pre-close item is still drainable; the dropped ones are gone.
+	if v, ok := q.TryGet(); !ok || v != 1 {
+		t.Fatalf("TryGet=(%d,%v)", v, ok)
+	}
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("dropped value surfaced")
+	}
+	q2 := NewQueue[int](e)
+	if q2.Dropped() != 0 {
+		t.Fatal("fresh queue has drops")
+	}
+	if e.DroppedPuts() != 2 {
+		t.Fatal("env counter changed by unrelated queue")
+	}
+}
+
+func TestSchedGlobalOrder(t *testing.T) {
+	a, b := NewEnv(), NewEnv()
+	var order []string
+	a.At(1*time.Millisecond, func() { order = append(order, "a1") })
+	a.At(4*time.Millisecond, func() { order = append(order, "a4") })
+	b.At(2*time.Millisecond, func() { order = append(order, "b2") })
+	b.At(3*time.Millisecond, func() { order = append(order, "b3") })
+	s := NewSched(a, b)
+	end := s.Run(0)
+	want := []string{"a1", "b2", "b3", "a4"}
+	if len(order) != len(want) {
+		t.Fatalf("order=%v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order=%v want=%v", order, want)
+		}
+	}
+	if end != 4*time.Millisecond {
+		t.Fatalf("end=%v", end)
+	}
+}
+
+func TestSchedTieBreaksByRegistrationOrder(t *testing.T) {
+	a, b := NewEnv(), NewEnv()
+	var order []string
+	a.At(time.Millisecond, func() { order = append(order, "a") })
+	b.At(time.Millisecond, func() { order = append(order, "b") })
+	s := NewSched(b, a) // b registered first wins the tie
+	s.Run(0)
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("order=%v", order)
+	}
+}
+
+func TestSchedLimitAndResume(t *testing.T) {
+	a, b := NewEnv(), NewEnv()
+	var hits int
+	a.At(10*time.Millisecond, func() { hits++ })
+	b.At(30*time.Millisecond, func() { hits++ })
+	s := NewSched(a, b)
+	if end := s.Run(20 * time.Millisecond); end != 20*time.Millisecond {
+		t.Fatalf("end=%v", end)
+	}
+	if hits != 1 {
+		t.Fatalf("hits=%d after limited run", hits)
+	}
+	if !s.HasPendingEvents() {
+		t.Fatal("future event discarded by limit")
+	}
+	if end := s.Run(0); end != 30*time.Millisecond {
+		t.Fatalf("resume end=%v", end)
+	}
+	if hits != 2 {
+		t.Fatalf("hits=%d", hits)
+	}
+}
+
+func TestSchedProcsInterleave(t *testing.T) {
+	// Two independent simulators with real processes advance under one
+	// scheduler; each env's own clock only moves when its events run.
+	a, b := NewEnv(), NewEnv()
+	var aDone, bDone time.Duration
+	a.Go("pa", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		aDone = p.Now()
+	})
+	b.Go("pb", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		bDone = p.Now()
+	})
+	s := NewSched(a, b)
+	s.Run(0)
+	if aDone != 5*time.Millisecond || bDone != 2*time.Millisecond {
+		t.Fatalf("aDone=%v bDone=%v", aDone, bDone)
+	}
+	s.Close()
+	if a.LiveProcs() != 0 || b.LiveProcs() != 0 {
+		t.Fatal("Close left live procs")
+	}
+}

@@ -208,6 +208,8 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		return binary.LittleEndian.AppendUint64(buf, v.Epoch)
 	case *TransitionStatus:
 		return buf
+	case *AdmitOp:
+		return buf
 	case *TransitionStatusResp:
 		buf = putBool(buf, v.InFlight)
 		buf = binary.LittleEndian.AppendUint64(buf, v.Staged)
@@ -417,6 +419,8 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 		m = &PGAbort{PG: r.u32(), Epoch: r.u64()}
 	case TTransitionStatus:
 		m = &TransitionStatus{}
+	case TAdmitOp:
+		m = &AdmitOp{}
 	case TTransitionStatusResp:
 		v := &TransitionStatusResp{InFlight: r.bool8(), Staged: r.u64(), Committed: r.u64()}
 		n := int(r.u32())

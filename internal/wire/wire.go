@@ -98,6 +98,7 @@ const (
 	TTransitionStatusResp
 	TJournalAck
 	TJournalFetchResp
+	TAdmitOp
 )
 
 var typeNames = map[Type]string{
@@ -119,6 +120,7 @@ var typeNames = map[Type]string{
 	TTransitionStatusResp: "TransitionStatusResp",
 	TJournalAck:           "JournalAck",
 	TJournalFetchResp:     "JournalFetchResp",
+	TAdmitOp:              "AdmitOp",
 }
 
 func (t Type) String() string {
@@ -221,6 +223,16 @@ type Heartbeat struct {
 
 func (*Heartbeat) Type() Type       { return THeartbeat }
 func (*Heartbeat) PayloadSize() int { return 4 + 4 }
+
+// AdmitOp asks the MDS for admission of one foreground client op before the
+// client performs it — the backpressure half of the open-loop load plane.
+// The MDS runs its configured admission policy (token-bucket rate plus
+// queue-depth limits) and answers with an Ack: empty Err admits the op, an
+// overload Err bounces it back to the submitter as a retryable rejection.
+type AdmitOp struct{}
+
+func (*AdmitOp) Type() Type       { return TAdmitOp }
+func (*AdmitOp) PayloadSize() int { return 0 }
 
 // ---- block I/O ----
 

@@ -74,6 +74,7 @@ func sampleMessages() []Msg {
 			PGs:   []PGStatus{{PG: 3, Stage: 1}},
 			Beats: []BeatStatus{{OSD: 4, Misses: 2}, {OSD: 7, Misses: 11}}},
 		&TransitionStatusResp{Err: "no transition"},
+		&AdmitOp{},
 	}
 }
 
