@@ -30,6 +30,7 @@ func main() {
 	files := flag.Int("files", 0, "override the placement experiment's file count")
 	addOSD := flag.Int("addosd", 0, "override how many OSDs the rebalance experiment adds online")
 	rebalanceRate := flag.Int64("rebalance-rate", -1, "rebalance copy throttle in MB/s (0 = unthrottled)")
+	traceEvery := flag.Int("obs", 0, "trace every n-th op end-to-end (0 = off; zero-perturbation — results unchanged)")
 	jsonOut := flag.Bool("json", false, "also write machine-readable results to BENCH_<exp>.json")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -87,6 +88,9 @@ func main() {
 	}
 	if *rebalanceRate >= 0 {
 		s.RebalanceRateBps = *rebalanceRate << 20
+	}
+	if *traceEvery > 0 {
+		s.TraceSample = *traceEvery
 	}
 	if *jsonOut {
 		s.Sink = &harness.Sink{}

@@ -94,11 +94,16 @@ type AdmissionStats struct {
 	Inflight int   // admitted ops not yet completed
 }
 
-// AdmissionStats snapshots the MDS admission counters. Every rejected op
-// surfaces to its submitter as ErrOverload — the harness asserts rejected
-// equals the retries-plus-reported count, so no op is silently lost.
+// AdmissionStats snapshots the MDS admission counters (thin reads of the
+// obs registry's admission_admitted/admission_rejected counters). Every
+// rejected op surfaces to its submitter as ErrOverload — the harness asserts
+// rejected equals the retries-plus-reported count, so no op is silently lost.
 func (c *Cluster) AdmissionStats() AdmissionStats {
-	return AdmissionStats{Admitted: c.admittedOps, Rejected: c.rejectedOps, Inflight: c.admittedInFlight}
+	return AdmissionStats{
+		Admitted: int64(c.admitted.Value()),
+		Rejected: int64(c.rejected.Value()),
+		Inflight: c.admittedInFlight,
+	}
 }
 
 // admissionDone marks one admitted op completed. The completion is

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"tsue/internal/obs"
 	"tsue/internal/sim"
 	"tsue/internal/wire"
 )
@@ -77,7 +78,7 @@ func (cl *Client) WriteFile(p *sim.Proc, ino uint64, data []byte) error {
 		wg.Add(len(shards))
 		for i := range shards {
 			i := i
-			cl.c.Env.Go("put", func(hp *sim.Proc) {
+			pp := cl.c.Env.Go("put", func(hp *sim.Proc) {
 				defer wg.Done()
 				blk := wire.BlockID{Ino: ino, Stripe: uint32(s), Index: uint16(i)}
 				resp, err := cl.c.Fabric.Call(hp, cl.id, osds[i],
@@ -91,6 +92,7 @@ func (cl *Client) WriteFile(p *sim.Proc, ino uint64, data []byte) error {
 					firstErr = fmt.Errorf("put %v: %w", blk, err)
 				}
 			})
+			obs.Inherit(pp, p)
 		}
 		wg.Wait(p)
 		if firstErr != nil {
@@ -162,10 +164,30 @@ func (cl *Client) admit(p *sim.Proc) (release func(), err error) {
 	return cl.c.admissionDone, nil
 }
 
+// startOp opens the root span of one foreground client op (when sampled)
+// and records the op's end-to-end latency into the registry's per-kind
+// histogram. The root's client stage wins whatever no deeper span covers:
+// gate waits, retry pauses, overload backoff.
+func (cl *Client) startOp(p *sim.Proc, s wire.StripeID, normal, degraded obs.OpKind) func() {
+	op := normal
+	if _, _, dg := cl.c.degradedRoute(s); dg {
+		op = degraded
+	}
+	fin := cl.c.Obs.Tracer.StartOp(p, op, cl.id, "op:"+op.String())
+	hist := cl.c.Obs.Reg.Histogram("op_lat_" + op.String())
+	start := p.Now()
+	return func() {
+		hist.Record(p.Now() - start)
+		fin()
+	}
+}
+
 // updateBlock routes one block-local update, retrying through route
 // transitions (failure detection, degraded registration, recovery cutover,
 // rebalance cutover).
 func (cl *Client) updateBlock(p *sim.Proc, blk wire.BlockID, boff int64, data []byte) error {
+	finOp := cl.startOp(p, blk.StripeID(), obs.OpUpdate, obs.OpDegradedUpdate)
+	defer finOp()
 	release, aerr := cl.admit(p)
 	if aerr != nil {
 		return fmt.Errorf("update %v: %w", blk, aerr)
@@ -243,6 +265,8 @@ func (cl *Client) Read(p *sim.Proc, ino uint64, off, size int64) ([]byte, error)
 // readBlock routes one block-local read, retrying through route
 // transitions like updateBlock.
 func (cl *Client) readBlock(p *sim.Proc, blk wire.BlockID, boff, n int64) ([]byte, error) {
+	finOp := cl.startOp(p, blk.StripeID(), obs.OpRead, obs.OpDegradedRead)
+	defer finOp()
 	release, aerr := cl.admit(p)
 	if aerr != nil {
 		return nil, fmt.Errorf("read %v: %w", blk, aerr)

@@ -13,6 +13,7 @@ import (
 
 	"tsue/internal/device"
 	"tsue/internal/netsim"
+	"tsue/internal/obs"
 	"tsue/internal/placement"
 	"tsue/internal/rs"
 	"tsue/internal/sim"
@@ -50,6 +51,15 @@ type Config struct {
 	// (AdmissionStats). nil disables admission entirely — no AdmitOp
 	// round trip is sent.
 	Admission AdmissionPolicy
+	// TraceSample > 0 enables sim-time distributed tracing: every n-th
+	// foreground op starts a trace whose spans cover admission, RPC wire
+	// time, handler service, journal persistence and device charges.
+	// Tracing never changes simulated behavior: span contexts are always
+	// encoded on the wire (traced or not), timestamps come from the sim
+	// clock, and ids from monotone counters, so traces are deterministic
+	// per seed and a traced run times out identically to an untraced one.
+	// 0 disables tracing; the metrics registry is always on.
+	TraceSample int
 }
 
 // DefaultConfig mirrors the paper's SSD testbed: 16 OSD nodes, RS(6,4)
@@ -81,6 +91,10 @@ type Cluster struct {
 	Code   *rs.Code
 	MDS    *MDS
 	OSDs   []*OSD
+	// Obs is the cluster's observability plane: the metrics registry every
+	// cluster counter lives in, and the tracer (enabled by
+	// Config.TraceSample) the fabric and device layers stamp spans on.
+	Obs *obs.Obs
 
 	nextClient wire.NodeID
 	// byID indexes OSDs by node ID (IDs are no longer dense once expansion
@@ -111,18 +125,26 @@ type Cluster struct {
 	updatesInFlight int
 	surrOpsInFlight int
 
-	// corruptionsDetected counts checksum-verification failures surfaced
-	// anywhere in the cluster (OSD ingress, shard fan-in, client read
-	// verification, at-rest scrub). The chaos grid asserts this equals the
-	// fabric's injected-corruption count: nothing corrupt escapes silently.
-	corruptionsDetected int64
+	// corruptions counts checksum-verification failures surfaced anywhere
+	// in the cluster (OSD ingress, shard fan-in, client read verification,
+	// at-rest scrub); registry counter "corruptions_detected". The chaos
+	// grid asserts this equals the fabric's injected-corruption count:
+	// nothing corrupt escapes silently.
+	corruptions *obs.Counter
 
 	// MDS admission accounting (see admission.go): admitted/rejected op
-	// counts and the admitted-but-uncompleted depth the queue-depth
-	// backpressure check reads.
-	admittedOps      int64
-	rejectedOps      int64
+	// counts (registry counters "admission_admitted"/"admission_rejected")
+	// and the admitted-but-uncompleted depth the queue-depth backpressure
+	// check reads (mirrored as the "admission_inflight" gauge).
+	admitted         *obs.Counter
+	rejected         *obs.Counter
 	admittedInFlight int
+
+	// hedgeFired counts hedged degraded-read reconstructions launched after
+	// the primary missed Config.HedgeDelay; hedgeWins those whose result
+	// won the race. Registry counters "hedge_fired"/"hedge_wins".
+	hedgeFired *obs.Counter
+	hedgeWins  *obs.Counter
 }
 
 type fileMeta struct {
@@ -181,6 +203,18 @@ func New(cfg Config) (*Cluster, error) {
 		nextClient: wire.NodeID(cfg.OSDs + 1),
 	}
 	c.cutMu = env.NewResource("cutover-mu", 1)
+	// The observability plane precedes every node so constructors can cache
+	// registry counters; gauges are lazy thin reads of state owned elsewhere.
+	c.Obs = obs.New(env, cfg.TraceSample)
+	c.admitted = c.Obs.Reg.Counter("admission_admitted")
+	c.rejected = c.Obs.Reg.Counter("admission_rejected")
+	c.corruptions = c.Obs.Reg.Counter("corruptions_detected")
+	c.hedgeFired = c.Obs.Reg.Counter("hedge_fired")
+	c.hedgeWins = c.Obs.Reg.Counter("hedge_wins")
+	c.Obs.Reg.GaugeFunc("admission_inflight", func() float64 { return float64(c.admittedInFlight) })
+	c.Obs.Reg.GaugeFunc("sim_dropped_puts", func() float64 { return float64(env.DroppedPuts()) })
+	c.Obs.Reg.GaugeFunc("net_corruptions_injected", func() float64 { return float64(c.Fabric.CorruptionsInjected()) })
+	c.Fabric.SetTracer(c.Obs.Tracer)
 	c.MDS = newMDS(c, pmap)
 	c.Fabric.AddNode(mdsID, c.MDS.handle)
 	for i := 0; i < cfg.OSDs; i++ {
@@ -424,22 +458,18 @@ func (c *Cluster) Scrub() (int, error) {
 }
 
 // noteCorruption records one detected checksum failure (any verify point).
-func (c *Cluster) noteCorruption() { c.corruptionsDetected++ }
+func (c *Cluster) noteCorruption() { c.corruptions.Inc() }
 
 // CorruptionsDetected returns how many checksum-verification failures the
 // cluster has surfaced — compared against Fabric.CorruptionsInjected to
 // prove injected corruption never escapes detection.
-func (c *Cluster) CorruptionsDetected() int64 { return c.corruptionsDetected }
+func (c *Cluster) CorruptionsDetected() int64 { return int64(c.corruptions.Value()) }
 
-// HedgeStats aggregates hedged degraded-read counters across OSDs: fired is
-// how many hedge reconstructions launched (primary missed the HedgeDelay
-// deadline), wins how many of those produced the winning result.
+// HedgeStats reads the hedged degraded-read counters: fired is how many
+// hedge reconstructions launched (primary missed the HedgeDelay deadline),
+// wins how many of those produced the winning result.
 func (c *Cluster) HedgeStats() (fired, wins int64) {
-	for _, osd := range c.OSDs {
-		fired += osd.hedgeFired
-		wins += osd.hedgeWins
-	}
-	return
+	return int64(c.hedgeFired.Value()), int64(c.hedgeWins.Value())
 }
 
 // ScrubRepair is the repairing scrub run after a chaos window heals: it

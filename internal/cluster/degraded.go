@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"tsue/internal/netsim"
+	"tsue/internal/obs"
 	"tsue/internal/sim"
 	"tsue/internal/update"
 	"tsue/internal/wire"
@@ -417,20 +418,26 @@ func (o *OSD) journalItems(failed wire.NodeID) []wire.ReplicaItem {
 }
 
 // journalPersist charges one sequential append of n payload bytes to the
-// journal's circular log zone (primary surrogate work).
+// journal's circular log zone (primary surrogate work). The append runs
+// under a journal-stage span so its device cost lands in a trace's journal
+// bucket, not the generic device one.
 func (o *OSD) journalPersist(p *sim.Proc, j *journal, n int64) {
+	fin := obs.SpanOn(p, obs.StageJournal, "journal:persist", o.id)
 	rec := n + 24
 	o.dev.Write(p, j.zone, (j.cursor+j.replCursor)%journalSpan, rec, false)
 	j.cursor += rec
+	fin()
 }
 
 // journalPersistReplica charges a durability copy of a peer surrogate's
 // record; tracked apart from primary appends so JournalBytes reports only
 // surrogate load.
 func (o *OSD) journalPersistReplica(p *sim.Proc, j *journal, n int64) {
+	fin := obs.SpanOn(p, obs.StageJournal, "journal:persist-replica", o.id)
 	rec := n + 24
 	o.dev.Write(p, j.zone, (j.cursor+j.replCursor)%journalSpan, rec, false)
 	j.replCursor += rec
+	fin()
 }
 
 // handleDegradedUpdate journals one client update for a degraded stripe.
@@ -479,7 +486,7 @@ func (o *OSD) handleDegradedUpdate(p *sim.Proc, v *wire.DegradedUpdate) wire.Msg
 		}
 		h := h
 		wg.Add(1)
-		o.c.Env.Go("journal-repl", func(hp *sim.Proc) {
+		jp := o.c.Env.Go("journal-repl", func(hp *sim.Proc) {
 			defer wg.Done()
 			resp, err := o.Call(hp, h, &wire.JournalReplica{
 				Failed: v.Failed, Surrogate: o.id, Seq: seq,
@@ -501,6 +508,7 @@ func (o *OSD) handleDegradedUpdate(p *sim.Proc, v *wire.DegradedUpdate) wire.Msg
 			o.jrSentBytes += int64(len(v.Data))
 			acked++
 		})
+		obs.Inherit(jp, p)
 	}
 	wg.Wait(p)
 	if firstErr != nil {
@@ -624,25 +632,27 @@ func (o *OSD) reconstructRangeHedged(p *sim.Proc, blk wire.BlockID, off, size in
 	results := sim.NewQueue[hedgeResult](o.c.Env)
 	done := false  // a winner was taken; the timer must not fire
 	fired := false // the hedge leg launched (a second result will arrive)
-	o.c.Env.Go("degraded-hedge-primary", func(hp *sim.Proc) {
+	pp := o.c.Env.Go("degraded-hedge-primary", func(hp *sim.Proc) {
 		buf, err := o.reconstructRange(hp, blk, off, size, false)
 		results.Put(hedgeResult{buf: buf, err: err})
 	})
-	o.c.Env.Go("degraded-hedge-timer", func(hp *sim.Proc) {
+	obs.Inherit(pp, p)
+	hp2 := o.c.Env.Go("degraded-hedge-timer", func(hp *sim.Proc) {
 		hp.Sleep(delay)
 		if done {
 			return
 		}
 		fired = true
-		o.hedgeFired++
+		o.c.hedgeFired.Inc()
 		buf, err := o.reconstructRange(hp, blk, off, size, true)
 		results.Put(hedgeResult{buf: buf, err: err, hedge: true})
 	})
+	obs.Inherit(hp2, p)
 	first, _ := results.Get(p)
 	if first.err == nil {
 		done = true
 		if first.hedge {
-			o.hedgeWins++
+			o.c.hedgeWins.Inc()
 		}
 		return first.buf, nil
 	}
@@ -654,7 +664,7 @@ func (o *OSD) reconstructRangeHedged(p *sim.Proc, blk wire.BlockID, off, size in
 		done = true
 		if second.err == nil {
 			if second.hedge {
-				o.hedgeWins++
+				o.c.hedgeWins.Inc()
 			}
 			return second.buf, nil
 		}

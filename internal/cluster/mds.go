@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"tsue/internal/obs"
 	"tsue/internal/placement"
 	"tsue/internal/sim"
 	"tsue/internal/wire"
@@ -31,7 +32,9 @@ type MDS struct {
 	// beatMisses accumulates, per OSD, the missed-heartbeat counts OSDs
 	// report once a beat gets through again (wire.Heartbeat.Misses) — the
 	// partitioned-link signal surfaced in TransitionStatus and kill reports.
-	beatMisses map[wire.NodeID]uint64
+	// Each entry is a registry counter ("mds_beat_misses_osd<n>") so the
+	// unified metrics snapshot carries the per-OSD miss accounting.
+	beatMisses map[wire.NodeID]*obs.Counter
 }
 
 // PGStage enumerates one migrating PG's position in a placement
@@ -107,8 +110,19 @@ func newMDS(c *Cluster, place *placement.Map) *MDS {
 		byName:     make(map[string]uint64),
 		files:      make(map[uint64]*fileMeta),
 		lastBeat:   make(map[wire.NodeID]time.Duration),
-		beatMisses: make(map[wire.NodeID]uint64),
+		beatMisses: make(map[wire.NodeID]*obs.Counter),
 	}
+}
+
+// beatMiss returns (creating on first miss) the registry counter holding the
+// accumulated missed-heartbeat count reported for one OSD.
+func (m *MDS) beatMiss(id wire.NodeID) *obs.Counter {
+	ctr, ok := m.beatMisses[id]
+	if !ok {
+		ctr = m.c.Obs.Reg.Counter(fmt.Sprintf("mds_beat_misses_osd%d", id))
+		m.beatMisses[id] = ctr
+	}
+	return ctr
 }
 
 // PlacementMap exposes the committed placement map (read-only authority for
@@ -232,17 +246,17 @@ func (m *MDS) handle(p *sim.Proc, from wire.NodeID, msg wire.Msg) wire.Msg {
 	case *wire.Heartbeat:
 		m.lastBeat[v.From] = p.Now()
 		if v.Misses > 0 {
-			m.beatMisses[v.From] += uint64(v.Misses)
+			m.beatMiss(v.From).Add(uint64(v.Misses))
 		}
 		return wire.OK
 	case *wire.AdmitOp:
 		pol := m.c.Cfg.Admission
 		if pol == nil || pol.Admit(p.Now(), m.c.admittedInFlight) {
-			m.c.admittedOps++
+			m.c.admitted.Inc()
 			m.c.admittedInFlight++
 			return wire.OK
 		}
-		m.c.rejectedOps++
+		m.c.rejected.Inc()
 		return &wire.Ack{Err: errOverload}
 	}
 	return &wire.Ack{Err: "mds: unhandled message " + msg.Type().String()}
@@ -321,14 +335,20 @@ func (m *MDS) beatStatus() []wire.BeatStatus {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var out []wire.BeatStatus
 	for _, id := range ids {
-		out = append(out, wire.BeatStatus{OSD: id, Misses: m.beatMisses[id]})
+		out = append(out, wire.BeatStatus{OSD: id, Misses: m.beatMisses[id].Value()})
 	}
 	return out
 }
 
 // BeatMisses returns the accumulated missed-heartbeat count reported for
 // one OSD (kill-report accounting, tests).
-func (m *MDS) BeatMisses(id wire.NodeID) uint64 { return m.beatMisses[id] }
+func (m *MDS) BeatMisses(id wire.NodeID) uint64 {
+	ctr, ok := m.beatMisses[id]
+	if !ok {
+		return 0
+	}
+	return ctr.Value()
+}
 
 // DeadOSDs returns OSDs whose last heartbeat is older than timeout at the
 // given time (requires heartbeats enabled).

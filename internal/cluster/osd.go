@@ -6,6 +6,7 @@ import (
 
 	"tsue/internal/blockstore"
 	"tsue/internal/device"
+	"tsue/internal/obs"
 	"tsue/internal/rs"
 	"tsue/internal/sim"
 	"tsue/internal/update"
@@ -36,11 +37,6 @@ type OSD struct {
 	jrSentBytes int64
 	jrHeldMsgs  int64
 	jrHeldBytes int64
-	// hedgeFired counts hedged degraded-read reconstructions launched after
-	// the primary missed Config.HedgeDelay; hedgeWins counts hedges whose
-	// result won the race (Cluster.HedgeStats).
-	hedgeFired int64
-	hedgeWins  int64
 	// beatMissStreak counts consecutive heartbeat sends that failed to reach
 	// the MDS; reported in the Misses field of the next beat that gets
 	// through and folded into the MDS's per-OSD miss accounting.
@@ -88,6 +84,10 @@ func (o *OSD) Alive(id wire.NodeID) bool { return !o.c.Fabric.Down(id) }
 func (o *OSD) Call(p *sim.Proc, to wire.NodeID, req wire.Msg) (wire.Msg, error) {
 	return o.c.Fabric.Call(p, o.id, to, req)
 }
+
+// Tracer exposes the cluster's trace plane (update.TraceHost): background
+// engine work — TSUE recycle passes — starts its own root spans here.
+func (o *OSD) Tracer() *obs.Tracer { return o.c.Obs.Tracer }
 
 // Engine exposes the OSD's update engine (harness and tests).
 func (o *OSD) Engine() update.Engine { return o.engine }
@@ -317,7 +317,7 @@ func (o *OSD) readSurvivingShards(p *sim.Proc, blk wire.BlockID, off, size int64
 	wg.Add(len(sources))
 	for _, idx := range sources {
 		idx := idx
-		o.c.Env.Go("recover-read", func(hp *sim.Proc) {
+		rp := o.c.Env.Go("recover-read", func(hp *sim.Proc) {
 			defer wg.Done()
 			sblk := wire.BlockID{Ino: s.Ino, Stripe: s.Stripe, Index: uint16(idx)}
 			resp, err := o.Call(hp, osds[idx], &wire.ReadBlock{Blk: sblk, Off: off, Size: int32(size), Raw: true})
@@ -346,6 +346,7 @@ func (o *OSD) readSurvivingShards(p *sim.Proc, blk wire.BlockID, off, size int64
 			o.c.OSDByID(osds[idx]).recSrcReadBytes += int64(len(rr.Data))
 			shards[idx] = rr.Data
 		})
+		obs.Inherit(rp, p)
 	}
 	wg.Wait(p)
 	if firstErr != nil {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"tsue/internal/obs"
 	"tsue/internal/sim"
 )
 
@@ -221,7 +222,9 @@ func (d *Disk) Read(p *sim.Proc, z int, off, size int64) {
 	}
 	c := d.cost(seq, false, size)
 	d.stats.BusyTime += c
+	fin := d.ioSpan(p, "dev:read:"+zn.name)
 	d.res.Use(p, c)
+	fin()
 }
 
 // Write charges a write of size bytes at off within zone z. overwrite marks
@@ -254,8 +257,30 @@ func (d *Disk) Write(p *sim.Proc, z int, off, size int64, overwrite bool) {
 	}
 	c := d.cost(seq, true, size)
 	d.stats.BusyTime += c
+	fin := d.ioSpan(p, "dev:write:"+zn.name)
 	d.res.Use(p, c)
+	fin()
 }
+
+// ioSpan opens a device-stage span around one charged I/O (queueing in the
+// disk resource included) when p runs under a live trace; no-op otherwise.
+// An I/O issued under a journal-stage span (surrogate-journal persistence,
+// engine log appends) inherits that stage, so journal time in a trace
+// breakdown includes its own device cost rather than leaking it into the
+// generic device bucket.
+func (d *Disk) ioSpan(p *sim.Proc, name string) func() {
+	a, ok := obs.FromProc(p)
+	if !ok {
+		return nopFinish
+	}
+	stage := obs.StageDevice
+	if a.Stage() == obs.StageJournal {
+		stage = obs.StageJournal
+	}
+	return obs.SpanOn(p, stage, name, 0)
+}
+
+var nopFinish = func() {}
 
 // zoneBase maps each zone into a disjoint logical address range for the FTL.
 func zoneBase(z int) int64 { return int64(z) << 44 }

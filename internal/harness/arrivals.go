@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tsue/internal/cluster"
+	"tsue/internal/obs"
 	"tsue/internal/sim"
 	"tsue/internal/trace"
 )
@@ -135,6 +136,13 @@ type OpenLoopConfig struct {
 	// (default 10000 — effectively retry-to-success unless the policy
 	// wedges).
 	MaxRetries int
+	// Sample, when non-nil, runs every SamplePeriod of virtual time for the
+	// duration of the replay — the obs experiment's hook for polling NIC
+	// queue depths and link busy time into the cluster's metrics registry.
+	// The sampler is stopped before the final drain (an armed sampler keeps
+	// the event queue nonempty forever).
+	Sample       func(c *cluster.Cluster, now time.Duration)
+	SamplePeriod time.Duration // default 1ms when Sample is set
 }
 
 func (ol OpenLoopConfig) withDefaults(cfg RunConfig) OpenLoopConfig {
@@ -168,6 +176,10 @@ type OpenLoopResult struct {
 	Achieved float64
 	// Admission mirrors the MDS-side counters at run end.
 	Admission cluster.AdmissionStats
+	// Spans is a copy of every trace span the run recorded (empty unless
+	// cfg.TraceSample > 0); Metrics is the registry snapshot at run end.
+	Spans   []obs.Span
+	Metrics map[string]float64
 }
 
 // RunOpenLoop builds the cluster from cfg, preloads the file set, and
@@ -189,9 +201,20 @@ func RunOpenLoop(cfg RunConfig, ol OpenLoopConfig) (*OpenLoopResult, error) {
 
 	res := &OpenLoopResult{}
 	admin := c.NewClient()
+	var smp *obs.Sampler
+	if ol.Sample != nil {
+		period := ol.SamplePeriod
+		if period <= 0 {
+			period = time.Millisecond
+		}
+		smp = obs.StartSampler(c.Env, period, func(now time.Duration) { ol.Sample(c, now) })
+	}
 	var runErr error
 	c.Env.Go("openloop", func(p *sim.Proc) {
 		runErr = openLoop(p, c, admin, cfg, ol, res)
+		if smp != nil {
+			smp.Stop()
+		}
 	})
 	c.Env.Run(0)
 	if runErr != nil {
@@ -201,6 +224,15 @@ func RunOpenLoop(cfg RunConfig, ol OpenLoopConfig) (*OpenLoopResult, error) {
 		res.Achieved = float64(res.Completed) / res.Elapsed.Seconds()
 	}
 	res.Admission = c.AdmissionStats()
+	res.Spans = append([]obs.Span(nil), c.Obs.Tracer.Spans()...)
+	res.Metrics = c.Obs.Reg.Snapshot()
+	// Histograms are not part of Snapshot (they are distributions, not
+	// scalars); flatten the aggregates the experiments read.
+	for _, name := range c.Obs.Reg.HistogramNames() {
+		h := c.Obs.Reg.Histogram(name)
+		res.Metrics[name+"_count"] = float64(h.Count())
+		res.Metrics[name+"_sum_ns"] = float64(h.Sum())
+	}
 	return res, nil
 }
 

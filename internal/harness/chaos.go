@@ -87,10 +87,22 @@ type ChaosResult struct {
 	RepairedBlocks int
 	// Stripes is the number of stripes scrubbed clean after the run.
 	Stripes int
+
+	// readDist caches the sorted ReadLats; built on first ReadP call, after
+	// the run has finished appending samples.
+	readDist *LatencyDist
 }
 
-// ReadP returns the p-quantile of the window read latencies.
-func (r *ChaosResult) ReadP(p float64) time.Duration { return percentile(r.ReadLats, p) }
+// ReadP returns the p-quantile of the window read latencies. The samples
+// are sorted once and cached, so printing a row at p50/p95/p99/p999 pays
+// for one sort total.
+func (r *ChaosResult) ReadP(p float64) time.Duration {
+	if r.readDist == nil {
+		d := NewLatencyDist(r.ReadLats)
+		r.readDist = &d
+	}
+	return r.readDist.P(p)
+}
 
 // flipCorruptor corrupts every rate-th checksum-bearing payload crossing
 // the fabric, cloning so the sender's buffers stay intact. Messages

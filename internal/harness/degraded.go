@@ -57,10 +57,22 @@ type DegradedResult struct {
 	ReadErrs int
 	// Stripes is the number of stripes scrubbed clean after the run.
 	Stripes int
+
+	// readDist caches the sorted ReadLats; built on first ReadP call, after
+	// the run has finished appending samples.
+	readDist *LatencyDist
 }
 
-// ReadP returns the p-quantile of the window read latencies.
-func (r *DegradedResult) ReadP(p float64) time.Duration { return percentile(r.ReadLats, p) }
+// ReadP returns the p-quantile of the window read latencies. The samples
+// are sorted once and cached, so printing a row at p50/p95/p99/p999 pays
+// for one sort total.
+func (r *DegradedResult) ReadP(p float64) time.Duration {
+	if r.readDist == nil {
+		d := NewLatencyDist(r.ReadLats)
+		r.readDist = &d
+	}
+	return r.readDist.P(p)
+}
 
 // RunDegraded preloads a volume, runs a continuous foreground update
 // workload, fails one OSD a third of the way through, and recovers it under

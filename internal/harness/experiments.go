@@ -27,6 +27,12 @@ type Scale struct {
 	// (0 = unthrottled).
 	AddOSDs          int
 	RebalanceRateBps int64
+	// TraceSample, when > 0, turns on end-to-end tracing for every run the
+	// experiments launch (RunConfig.TraceSample): every n-th foreground op
+	// is traced. Tracing is zero-perturbation — span context rides every
+	// wire message whether sampled or not — so measured results are
+	// unchanged. The obs experiment forces 1 regardless.
+	TraceSample int
 	// Sink, when non-nil, collects machine-readable metrics alongside the
 	// human tables (tsuebench -json writes them to BENCH_*.json).
 	Sink *Sink
@@ -80,6 +86,7 @@ func baseRun(s Scale) RunConfig {
 	cfg := DefaultRunConfig()
 	cfg.Ops = s.Ops
 	cfg.FileBytes = s.FileMB << 20
+	cfg.TraceSample = s.TraceSample
 	return cfg
 }
 
@@ -472,6 +479,6 @@ func Experiments() map[string]func(io.Writer, Scale) error {
 		"sweep": Sweep, "degraded": Degraded, "placement": Placement,
 		"rebalance": Rebalance, "rebalance-kill": RebalanceKill,
 		"degraded-multikill": DegradedMultiKill, "chaos": Chaos,
-		"saturation": Saturation, "all": All,
+		"saturation": Saturation, "obs": Obs, "all": All,
 	}
 }

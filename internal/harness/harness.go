@@ -57,6 +57,12 @@ type RunConfig struct {
 	// saturation experiment sets it; closed-loop replays leave it nil
 	// (zero overhead — no admission round trip at all).
 	Admission cluster.AdmissionPolicy
+	// TraceSample, when > 0, traces every n-th foreground op end-to-end
+	// (cluster.Config.TraceSample). Tracing never perturbs virtual time —
+	// span context rides every wire message whether sampled or not — so any
+	// run can turn it on without changing its measurements. The obs
+	// experiment sets 1 (trace everything); everything else leaves it 0.
+	TraceSample int
 }
 
 // DefaultRunConfig returns the paper-shaped SSD configuration scaled to a
@@ -172,6 +178,7 @@ func buildCluster(cfg RunConfig) (*cluster.Cluster, error) {
 	ccfg.EngineOpts = cfg.Opts
 	ccfg.HedgeDelay = cfg.Hedge
 	ccfg.Admission = cfg.Admission
+	ccfg.TraceSample = cfg.TraceSample
 	ccfg.DeviceKind = cfg.Device
 	if cfg.Device == device.HDD {
 		ccfg.DeviceParams = device.HDDParams()

@@ -1,0 +1,239 @@
+package harness
+
+// The obs experiment (beyond the paper's figures): per-stage latency
+// attribution for the update path of every engine, from end-to-end traces.
+// Each engine is calibrated closed-loop, then driven open-loop at two
+// offered-load points (below and near the knee) with every op traced.
+// The assembled traces break each update's end-to-end time into
+// client/admission/network/service/journal/codec/device stages — the sums
+// reproduce the end-to-end duration exactly, which the stage_sum_ratio
+// metric asserts — and the dominant-hop signatures of the p99 tail name
+// the critical path a profiler would point at. A same-seed repeat of one
+// point byte-compares the canonical span encoding, pinning the tracer's
+// determinism claim in the bench artifact itself.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"tsue/internal/cluster"
+	"tsue/internal/obs"
+	"tsue/internal/update"
+	"tsue/internal/wire"
+)
+
+// obsFractions is the offered-load grid as fractions of each engine's
+// closed-loop calibration throughput: one point comfortably below the
+// saturation knee, one near it, so queueing's migration between stages
+// (device-bound at low load, network/service-bound near the knee) shows
+// in the breakdown deltas.
+var obsFractions = []float64{0.4, 0.8}
+
+// obsNICPeriod is the virtual-time period of the NIC load sampler.
+const obsNICPeriod = 500 * time.Microsecond
+
+// nicSampler returns the periodic NIC poll: per node, the tx/rx busy-time
+// gained since the previous tick (utilization = mean gain / period) and
+// the instantaneous queue depths, all recorded into the cluster's
+// registry histograms. Queue depths are unitless counts stored in
+// duration histograms (one "nanosecond" per queued message).
+func nicSampler() func(c *cluster.Cluster, now time.Duration) {
+	prevTx := make(map[wire.NodeID]time.Duration)
+	prevRx := make(map[wire.NodeID]time.Duration)
+	return func(c *cluster.Cluster, now time.Duration) {
+		reg := c.Obs.Reg
+		for _, id := range c.Fabric.NodeIDs() {
+			tx, rx, txq, rxq := c.Fabric.NICLoad(id)
+			reg.Histogram("nic_tx_busy_per_tick").Record(tx - prevTx[id])
+			reg.Histogram("nic_rx_busy_per_tick").Record(rx - prevRx[id])
+			reg.Histogram("nic_txq").Record(time.Duration(txq))
+			reg.Histogram("nic_rxq").Record(time.Duration(rxq))
+			prevTx[id], prevRx[id] = tx, rx
+		}
+	}
+}
+
+// obsPoint is the derived view of one engine x load point.
+type obsPoint struct {
+	traces int
+	e2e    time.Duration // mean end-to-end update latency
+	stages [obs.NStages]time.Duration
+	ratio  float64 // sum(stage means) / e2e mean — 1.0 by construction
+	p99    time.Duration
+	sigs   []obs.SigCount // top dominant-hop signatures at p99
+}
+
+// analyzeUpdates assembles spans into traces and reduces the update traces
+// (normal and degraded) to per-stage means.
+func analyzeUpdates(spans []obs.Span) obsPoint {
+	tvs := obs.GroupTraces(spans)
+	var upd []obs.TraceView
+	var durs []time.Duration
+	for _, tv := range tvs {
+		if tv.Op == obs.OpUpdate || tv.Op == obs.OpDegradedUpdate {
+			upd = append(upd, tv)
+			durs = append(durs, tv.Duration())
+		}
+	}
+	pt := obsPoint{traces: len(upd)}
+	if len(upd) == 0 {
+		return pt
+	}
+	var sumE2E, sumStages time.Duration
+	var stageSums [obs.NStages]time.Duration
+	for i := range upd {
+		sumE2E += upd[i].Duration()
+		bd := upd[i].Breakdown()
+		for s := range bd {
+			stageSums[s] += bd[s]
+			sumStages += bd[s]
+		}
+	}
+	n := time.Duration(len(upd))
+	pt.e2e = sumE2E / n
+	for s := range stageSums {
+		pt.stages[s] = stageSums[s] / n
+	}
+	pt.ratio = float64(sumStages) / float64(sumE2E)
+	pt.p99 = NewLatencyDist(durs).P(0.99)
+	pt.sigs = obs.TopSignatures(upd, pt.p99, 3)
+	return pt
+}
+
+// obsPointConfig is one fully-specified load point: every op traced,
+// depth-based admission armed (so the admission stage has real content,
+// as in the saturation sweep).
+func obsPointConfig(base RunConfig) RunConfig {
+	cfg := base
+	cfg.TraceSample = 1
+	cfg.Admission = &cluster.TokenBucket{MaxInflight: 4 * cfg.Clients}
+	return cfg
+}
+
+// nicTxUtil reduces the sampler's per-tick busy-time histogram to a mean
+// tx-link utilization percentage: total busy time gained across all ticks
+// and nodes, over the virtual time those ticks spanned.
+func nicTxUtil(res *OpenLoopResult) float64 {
+	n := res.Metrics["nic_tx_busy_per_tick_count"]
+	if n == 0 {
+		return 0
+	}
+	return 100 * res.Metrics["nic_tx_busy_per_tick_sum_ns"] / (n * float64(obsNICPeriod))
+}
+
+func obsRunPoint(cfg RunConfig, offered float64, ops int, sample bool) (*OpenLoopResult, error) {
+	ol := OpenLoopConfig{
+		Arrivals: NewPoissonArrivals(offered, ops, cfg.Seed),
+		Zipf:     NewZipfPicker(uint64(cfg.FileBytes/(4<<10)), 1.1, 1, cfg.Seed+1),
+	}
+	if sample {
+		ol.Sample = nicSampler()
+		ol.SamplePeriod = obsNICPeriod
+	}
+	return RunOpenLoop(cfg, ol)
+}
+
+// Obs runs the observability experiment: per-engine, per-load-point stage
+// breakdown of update latency, p99 critical-path signatures, NIC
+// utilization from the periodic sampler, and a same-seed trace-determinism
+// byte check.
+func Obs(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "== Obs: per-stage update-latency attribution from end-to-end traces ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tload\ttraces\te2e(ms)\tclient\tadmission\tnetwork\tservice\tjournal\tcodec\tdevice\tsum/e2e\tnicTx%\ttop p99 hop")
+	opsPerPoint := s.Ops / 3
+	if opsPerPoint < 300 {
+		opsPerPoint = 300
+	}
+	for _, eng := range update.Names() {
+		base := baseRun(s)
+		base.Engine = eng
+		base.Trace = s.traceProfile("ali")
+		base.Ops = opsPerPoint
+
+		// Calibrate closed-loop to anchor the offered-load grid, exactly as
+		// the saturation sweep does.
+		calib, err := Run(base)
+		if err != nil {
+			return fmt.Errorf("obs %s calibration: %w", eng, err)
+		}
+		if calib.IOPS <= 0 {
+			return fmt.Errorf("obs %s: calibration measured zero IOPS", eng)
+		}
+
+		for _, frac := range obsFractions {
+			offered := calib.IOPS * frac
+			cfg := obsPointConfig(base)
+			res, err := obsRunPoint(cfg, offered, opsPerPoint, true)
+			if err != nil {
+				return fmt.Errorf("obs %s %.2fx: %w", eng, frac, err)
+			}
+			pt := analyzeUpdates(res.Spans)
+			if pt.traces == 0 {
+				return fmt.Errorf("obs %s %.2fx: no update traces recorded", eng, frac)
+			}
+
+			nicTx := nicTxUtil(res)
+
+			sig := ""
+			if len(pt.sigs) > 0 {
+				sig = fmt.Sprintf("%s x%d", pt.sigs[0].Sig, pt.sigs[0].N)
+			}
+			fmt.Fprintf(tw, "%s\t%.2fx\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.3f\t%.1f\t%s\n",
+				eng, frac, pt.traces, ms(pt.e2e),
+				ms(pt.stages[obs.StageClient]), ms(pt.stages[obs.StageAdmission]),
+				ms(pt.stages[obs.StageNetwork]), ms(pt.stages[obs.StageService]),
+				ms(pt.stages[obs.StageJournal]), ms(pt.stages[obs.StageCodec]),
+				ms(pt.stages[obs.StageDevice]), pt.ratio, nicTx, sig)
+
+			labels := map[string]string{"engine": eng, "load": fmt.Sprintf("%.2fx", frac)}
+			s.Sink.Record("obs", "traces", labels, float64(pt.traces))
+			s.Sink.Record("obs", "e2e_ms", labels, ms(pt.e2e))
+			s.Sink.Record("obs", "stage_sum_ratio", labels, pt.ratio)
+			s.Sink.Record("obs", "p99_ms", labels, ms(pt.p99))
+			s.Sink.Record("obs", "nic_tx_util_pct", labels, nicTx)
+			for st := obs.Stage(0); st < obs.NStages; st++ {
+				s.Sink.Record("obs", "stage_"+st.String()+"_ms", labels, ms(pt.stages[st]))
+			}
+			for rank, sc := range pt.sigs {
+				sl := map[string]string{"engine": eng, "load": labels["load"],
+					"rank": fmt.Sprintf("%d", rank+1), "sig": sc.Sig}
+				s.Sink.Record("obs", "p99_sig_n", sl, float64(sc.N))
+			}
+			if pt.ratio < 0.95 || pt.ratio > 1.05 {
+				return fmt.Errorf("obs %s %.2fx: stage sums are %.3f of end-to-end (want within 5%%)", eng, frac, pt.ratio)
+			}
+		}
+	}
+
+	// Determinism: the same seed must reproduce the same spans, byte for
+	// byte, in the canonical encoding. Two fresh runs of one point (tsue at
+	// the low-load fraction, no sampler — the check is about the tracer,
+	// not the poll cadence).
+	base := baseRun(s)
+	base.Engine = "tsue"
+	base.Trace = s.traceProfile("ali")
+	base.Ops = opsPerPoint
+	cfg := obsPointConfig(base)
+	offered := 200.0
+	a, err := obsRunPoint(cfg, offered, opsPerPoint/2, false)
+	if err != nil {
+		return fmt.Errorf("obs determinism run 1: %w", err)
+	}
+	b, err := obsRunPoint(cfg, offered, opsPerPoint/2, false)
+	if err != nil {
+		return fmt.Errorf("obs determinism run 2: %w", err)
+	}
+	if !bytes.Equal(obs.Encode(a.Spans), obs.Encode(b.Spans)) {
+		return fmt.Errorf("obs: same-seed runs produced different traces (%d vs %d spans)", len(a.Spans), len(b.Spans))
+	}
+	s.Sink.Record("obs", "trace_deterministic", map[string]string{"spans": fmt.Sprintf("%d", len(a.Spans))}, 1)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace determinism: OK (%d spans byte-identical across two same-seed runs)\n", len(a.Spans))
+	return nil
+}

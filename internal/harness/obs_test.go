@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tsue/internal/obs"
+	"tsue/internal/trace"
+)
+
+// TestHistogramAgreesWithLatencyDist pins the two percentile
+// implementations to each other: an obs histogram's quantile must bracket
+// the exact nearest-rank value LatencyDist computes on the same samples —
+// equal below the exact-bucket threshold, and within one log-bucket's
+// relative width (1/32) above it. Shared small-n cases are where
+// nearest-rank conventions usually diverge.
+func TestHistogramAgreesWithLatencyDist(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 10, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		samples := make([]time.Duration, n)
+		var h obs.Histogram
+		for i := range samples {
+			samples[i] = time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+			h.Record(samples[i])
+		}
+		dist := NewLatencyDist(samples)
+		for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0} {
+			exact := dist.P(p)
+			got := h.P(p)
+			if got < exact || got > exact+exact/32 {
+				t.Errorf("n=%d p=%v: histogram %v outside [%v, %v]",
+					n, p, got, exact, exact+exact/32)
+			}
+		}
+	}
+}
+
+// TestTracingZeroPerturbation is the obs plane's core contract: turning
+// tracing on (even at sample=1) must not move virtual time at all. Span
+// context rides every wire message whether traced or not, and span
+// recording never sleeps — so two otherwise-identical replays must produce
+// identical per-op completion times, not merely similar throughput.
+func TestTracingZeroPerturbation(t *testing.T) {
+	run := func(sample int) *Result {
+		cfg := DefaultRunConfig()
+		cfg.Ops = 400
+		cfg.Clients = 4
+		cfg.FileBytes = 8 << 20
+		cfg.Trace = trace.AliCloud(cfg.FileBytes)
+		cfg.TraceSample = sample
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("sample=%d: %v", sample, err)
+		}
+		return r
+	}
+	off := run(0)
+	on := run(1)
+	if off.Elapsed != on.Elapsed {
+		t.Errorf("tracing moved virtual time: %v untraced vs %v traced", off.Elapsed, on.Elapsed)
+	}
+	if len(off.Completions) != len(on.Completions) {
+		t.Fatalf("op counts differ: %d vs %d", len(off.Completions), len(on.Completions))
+	}
+	for i := range off.Completions {
+		if off.Completions[i] != on.Completions[i] {
+			t.Fatalf("op %d completed at %v untraced vs %v traced", i, off.Completions[i], on.Completions[i])
+		}
+	}
+}
+
+// TestOpenLoopCarriesSpans checks the open-loop plumbing the obs
+// experiment rides: a traced run returns its spans (assembling into
+// update/read traces whose stage sums equal end-to-end exactly) and the
+// flattened registry aggregates, while an untraced run returns none.
+func TestOpenLoopCarriesSpans(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Ops = 200
+	cfg.Clients = 4
+	cfg.FileBytes = 8 << 20
+	cfg.Trace = trace.AliCloud(cfg.FileBytes)
+	cfg.TraceSample = 1
+	res, err := RunOpenLoop(cfg, OpenLoopConfig{
+		Arrivals: NewPoissonArrivals(500, 200, cfg.Seed),
+		Sample:   nicSampler(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spans) == 0 {
+		t.Fatal("traced open-loop run returned no spans")
+	}
+	tvs := obs.GroupTraces(res.Spans)
+	if len(tvs) == 0 {
+		t.Fatal("spans assembled into no complete traces")
+	}
+	for i := range tvs {
+		var sum time.Duration
+		for _, d := range tvs[i].Breakdown() {
+			sum += d
+		}
+		if sum != tvs[i].Duration() {
+			t.Fatalf("trace %d: stage sum %v != end-to-end %v", tvs[i].Trace, sum, tvs[i].Duration())
+		}
+	}
+	if res.Metrics["nic_tx_busy_per_tick_count"] == 0 {
+		t.Error("NIC sampler recorded no ticks")
+	}
+
+	cfg.TraceSample = 0
+	res2, err := RunOpenLoop(cfg, OpenLoopConfig{
+		Arrivals: NewPoissonArrivals(500, 200, cfg.Seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Spans) != 0 {
+		t.Fatalf("untraced run recorded %d spans", len(res2.Spans))
+	}
+}

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
+	"tsue/internal/obs"
 	"tsue/internal/sim"
 	"tsue/internal/wire"
 )
@@ -134,6 +136,7 @@ type Fabric struct {
 	corrupted int64
 	rng       *rand.Rand
 	total     Stats
+	tracer    *obs.Tracer
 }
 
 // New creates an empty fabric. Latency distributions share a fabric-local
@@ -277,6 +280,16 @@ func (f *Fabric) ScheduleFlap(id wire.NodeID, start, downFor, period time.Durati
 	return nil
 }
 
+// SetTracer attaches the observability plane's tracer: every Call whose
+// request is wire.Spanned and whose calling proc runs under a live trace
+// gets a wire-stage span covering the full round trip, the message is
+// stamped with the child context, and the receiving handler runs under a
+// resumed handler span — cross-node tracing with no per-call-site plumbing.
+// Tracing records spans only; it never schedules events, consumes
+// randomness, or changes message sizes, so fabric timing is identical with
+// it on or off.
+func (f *Fabric) SetTracer(t *obs.Tracer) { f.tracer = t }
+
 // SetCorruptor installs (or, with nil, removes) the in-flight corruption
 // hook. It sees every non-loopback request and response.
 func (f *Fabric) SetCorruptor(c Corruptor) { f.corrupt = c }
@@ -339,6 +352,9 @@ func (f *Fabric) Call(p *sim.Proc, from, to wire.NodeID, req wire.Msg) (wire.Msg
 	if !ok {
 		return nil, fmt.Errorf("netsim: unknown target node %d", to)
 	}
+	if fin := f.rpcSpan(p, req, to); fin != nil {
+		defer fin()
+	}
 	if src.down {
 		return nil, ErrNodeDown
 	}
@@ -380,6 +396,42 @@ func (f *Fabric) Call(p *sim.Proc, from, to wire.NodeID, req wire.Msg) (wire.Msg
 	return f.dispatch(p, src, dst, req, false)
 }
 
+// rpcSpan opens the wire-stage span for a traced outgoing request and
+// stamps the message with the child context; returns nil when untraced.
+func (f *Fabric) rpcSpan(p *sim.Proc, req wire.Msg, to wire.NodeID) func() {
+	if !f.tracer.Enabled() {
+		return nil
+	}
+	sp, ok := req.(wire.Spanned)
+	if !ok {
+		return nil
+	}
+	a, on := obs.FromProc(p)
+	if !on {
+		return nil
+	}
+	child, fin := a.Child(obs.RPCStage(req.Type()), "rpc:"+req.Type().String(), to)
+	*sp.SpanRef() = child.Ctx()
+	return fin
+}
+
+// handlerSpan resumes a traced request's wire context on the handler proc
+// and opens the receiver-side span; no-op when untraced.
+func (f *Fabric) handlerSpan(hp *sim.Proc, req wire.Msg, at wire.NodeID) func() {
+	if !f.tracer.Enabled() {
+		return nil
+	}
+	sp, ok := req.(wire.Spanned)
+	if !ok || sp.SpanRef().Trace == 0 {
+		return nil
+	}
+	stage := obs.HandlerStage(req.Type())
+	h := obs.Resume(f.tracer, *sp.SpanRef(), stage)
+	hc, fin := h.Child(stage, "handle:"+req.Type().String(), at)
+	hp.SetSpan(hc)
+	return fin
+}
+
 func (f *Fabric) dispatch(p *sim.Proc, src, dst *node, req wire.Msg, local bool) (wire.Msg, error) {
 	respQ := sim.NewQueue[callResult](f.env)
 	f.env.Go(fmt.Sprintf("rpc@%d", dst.id), func(hp *sim.Proc) {
@@ -390,7 +442,11 @@ func (f *Fabric) dispatch(p *sim.Proc, src, dst *node, req wire.Msg, local bool)
 			respQ.Put(callResult{err: ErrNodeDown})
 			return
 		}
+		hFin := f.handlerSpan(hp, req, dst.id)
 		resp := dst.handler(hp, src.id, req)
+		if hFin != nil {
+			hFin()
+		}
 		if resp == nil {
 			resp = wire.OK
 		}
@@ -428,6 +484,27 @@ func (f *Fabric) dispatch(p *sim.Proc, src, dst *node, req wire.Msg, local bool)
 		p.Sleep(f.latency(dst, src))
 	}
 	return r.resp, nil
+}
+
+// NICLoad reports one node's NIC state for utilization sampling: cumulative
+// busy time and instantaneous waiter-queue depth, per direction. Unknown
+// nodes report zeros.
+func (f *Fabric) NICLoad(id wire.NodeID) (txBusy, rxBusy time.Duration, txQueue, rxQueue int) {
+	n, ok := f.nodes[id]
+	if !ok {
+		return 0, 0, 0, 0
+	}
+	return n.tx.BusyTime, n.rx.BusyTime, n.tx.QueueLen(), n.rx.QueueLen()
+}
+
+// NodeIDs returns the registered node ids in ascending order.
+func (f *Fabric) NodeIDs() []wire.NodeID {
+	ids := make([]wire.NodeID, 0, len(f.nodes))
+	for id := range f.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // NodeStats returns the traffic counters of one node; unknown nodes report

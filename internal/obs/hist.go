@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// histSubBits sets the histogram resolution: 1<<histSubBits sub-buckets per
+// power of two, bounding the relative quantile error below 1/2^histSubBits
+// (~3.1% at 5 bits).
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// histBuckets covers every non-negative int64 duration: buckets
+	// 0..2*histSub-1 hold exact values, then histSub buckets per octave.
+	histBuckets = (64 - histSubBits + 1) * histSub
+)
+
+// Histogram is a mergeable log-bucketed duration histogram. Record is a
+// couple of bit operations plus a slice increment, cheap enough for the
+// per-op path; Merge adds bucket counts, so merging is exact and
+// associative (unlike merging precomputed percentiles). Quantiles come back
+// as the upper bound of the nearest-rank bucket: for a true nearest-rank
+// value x, x <= P <= x + x/histSub (exact below 2*histSub ns).
+type Histogram struct {
+	counts   []uint64 // allocated on first Record
+	n        uint64
+	sum      time.Duration
+	min, max time.Duration
+}
+
+func bucketOf(v time.Duration) int {
+	u := uint64(v)
+	if v < 0 {
+		u = 0
+	}
+	if u < 2*histSub {
+		return int(u)
+	}
+	l := bits.Len64(u) // 2^(l-1) <= u < 2^l, l >= histSubBits+2
+	shift := l - histSubBits - 1
+	return (l-histSubBits)*histSub + int(u>>shift) - histSub
+}
+
+// bucketUpper returns the largest value mapping to bucket b.
+func bucketUpper(b int) time.Duration {
+	if b < 2*histSub {
+		return time.Duration(b)
+	}
+	o := b / histSub
+	s := b % histSub
+	shift := o - 1
+	return time.Duration((uint64(histSub+s+1) << shift) - 1)
+}
+
+// Record adds one sample (negative values clamp to zero).
+func (h *Histogram) Record(v time.Duration) {
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, histBuckets)
+	}
+	h.counts[bucketOf(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of recorded samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean returns the average recorded sample (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// P returns the p-quantile (0 < p <= 1) under the same nearest-rank rule as
+// harness.LatencyDist — rank ceil(p*n), 1-based — reported as the upper
+// bound of the bucket holding that rank. Returns 0 when empty.
+func (h *Histogram) P(p float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			u := bucketUpper(b)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Merge folds o into h (bucket-count addition — exact and associative).
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, histBuckets)
+	}
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestBucketBounds(t *testing.T) {
+	// Exact below 2*histSub; bounded relative error above.
+	for _, v := range []time.Duration{0, 1, 31, 32, 63} {
+		b := bucketOf(v)
+		if got := bucketUpper(b); got != v {
+			t.Fatalf("small value %d: upper(bucket)=%d, want exact", v, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	prev := -1
+	for i := 0; i < 200000; i++ {
+		v := time.Duration(rng.Int63n(int64(72 * time.Hour)))
+		b := bucketOf(v)
+		u := bucketUpper(b)
+		if u < v {
+			t.Fatalf("upper %d < value %d", u, v)
+		}
+		if u > v+v/histSub {
+			t.Fatalf("upper %d exceeds %d + 1/%d relative bound", u, v, histSub)
+		}
+		_ = prev
+	}
+	// Monotone: bucket index never decreases with the value.
+	last := 0
+	for v := time.Duration(0); v < 1<<22; v += 97 {
+		b := bucketOf(v)
+		if b < last {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", v, b, last)
+		}
+		last = b
+	}
+	if b := bucketOf(time.Duration(math.MaxInt64)); b >= histBuckets {
+		t.Fatalf("max duration bucket %d out of range %d", b, histBuckets)
+	}
+}
+
+// exactNearestRank mirrors harness.LatencyDist: 1-based rank ceil(p*n) on
+// the sorted samples.
+func exactNearestRank(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func TestPercentileAgreesWithNearestRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 5, 10, 1000} {
+		var h Histogram
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration(rng.Int63n(int64(3 * time.Second)))
+			h.Record(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0} {
+			exact := exactNearestRank(samples, p)
+			got := h.P(p)
+			if got < exact || got > exact+exact/histSub {
+				t.Fatalf("n=%d p=%v: hist %d vs exact %d (allowed +1/%d)",
+					n, p, got, exact, histSub)
+			}
+		}
+	}
+}
+
+func TestMergeAssociativeAndLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	mk := func(n int) (*Histogram, []time.Duration) {
+		h := &Histogram{}
+		var vals []time.Duration
+		for i := 0; i < n; i++ {
+			v := time.Duration(rng.Int63n(int64(time.Minute)))
+			h.Record(v)
+			vals = append(vals, v)
+		}
+		return h, vals
+	}
+	a, av := mk(100)
+	b, bv := mk(7)
+	c, cv := mk(931)
+
+	merge := func(hs ...*Histogram) *Histogram {
+		out := &Histogram{}
+		for _, h := range hs {
+			out.Merge(h)
+		}
+		return out
+	}
+	ab := merge(a, b)
+	left := merge(ab, c) // (a+b)+c
+	bc := merge(b, c)
+	right := merge(a, bc) // a+(b+c)
+	if !reflect.DeepEqual(left, right) {
+		t.Fatal("merge is not associative")
+	}
+	// Merging equals recording everything into one histogram.
+	all := &Histogram{}
+	for _, v := range append(append(append([]time.Duration{}, av...), bv...), cv...) {
+		all.Record(v)
+	}
+	if !reflect.DeepEqual(left, all) {
+		t.Fatal("merged histogram differs from directly-recorded histogram")
+	}
+	if left.Count() != 1038 {
+		t.Fatalf("count %d", left.Count())
+	}
+}
+
+func TestHistogramEmptyAndEdges(t *testing.T) {
+	var h Histogram
+	if h.P(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must read as zero")
+	}
+	h.Record(-5 * time.Second) // clamps to 0
+	if h.Min() != 0 || h.Max() != 0 || h.P(1.0) != 0 {
+		t.Fatal("negative sample must clamp to zero")
+	}
+	h.Record(10)
+	if h.P(1.0) != 10 || h.Max() != 10 || h.Min() != 0 {
+		t.Fatalf("P(1.0)=%d max=%d min=%d", h.P(1.0), h.Max(), h.Min())
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("ops") != c || c.Value() != 3 {
+		t.Fatal("counter get-or-create broken")
+	}
+	depth := 7
+	r.GaugeFunc("depth", func() float64 { return float64(depth) })
+	r.Observe("lat", 100*time.Millisecond)
+	snap := r.Snapshot()
+	if snap["ops"] != 3 || snap["depth"] != 7 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	names := r.Names()
+	if !reflect.DeepEqual(names, []string{"depth", "ops"}) {
+		t.Fatalf("names %v", names)
+	}
+	if !reflect.DeepEqual(r.HistogramNames(), []string{"lat"}) {
+		t.Fatalf("hist names %v", r.HistogramNames())
+	}
+}

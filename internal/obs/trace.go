@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"tsue/internal/sim"
+	"tsue/internal/wire"
+)
+
+// Span is one recorded interval of a trace: [Start, End] on the simulated
+// clock, on one node, under one stage. Parent == 0 marks a root span.
+type Span struct {
+	Trace  uint64
+	ID     uint64
+	Parent uint64
+	Op     OpKind
+	Stage  Stage
+	Name   string
+	Node   wire.NodeID
+	Start  time.Duration
+	End    time.Duration
+}
+
+// Tracer allocates trace/span ids from monotone counters, samples ops with
+// a plain counter, and stamps times from the sim clock — every source of
+// nondeterminism is excluded by construction, so the recorded span set is
+// byte-identical across runs with the same seed.
+type Tracer struct {
+	env       *sim.Env
+	sample    int
+	seen      uint64
+	nextTrace uint64
+	nextSpan  uint64
+	spans     []Span
+}
+
+// NewTracer returns a tracer for env. sample <= 0 disables it; sample == n
+// starts a trace on every n-th StartOp call.
+func NewTracer(env *sim.Env, sample int) *Tracer {
+	if sample < 0 {
+		sample = 0
+	}
+	return &Tracer{env: env, sample: sample}
+}
+
+// Enabled reports whether the tracer records anything at all.
+func (t *Tracer) Enabled() bool { return t != nil && t.sample > 0 }
+
+// Spans returns every span recorded so far, in completion order.
+func (t *Tracer) Spans() []Span { return t.spans }
+
+// Active is the live handle to one span of one trace — the value carried in
+// a Proc's span slot. The zero Active is the untraced handle: every method
+// no-ops on it, so call sites never branch on whether tracing is on.
+type Active struct {
+	t     *Tracer
+	trace uint64
+	span  uint64
+	op    OpKind
+	stage Stage
+}
+
+// Traced reports whether the handle belongs to a live trace.
+func (a Active) Traced() bool { return a.t != nil && a.trace != 0 }
+
+// Stage returns the handle's span stage (StageClient when untraced).
+func (a Active) Stage() Stage { return a.stage }
+
+// Ctx returns the wire context for stamping an outgoing message.
+func (a Active) Ctx() wire.SpanCtx {
+	if !a.Traced() {
+		return wire.SpanCtx{}
+	}
+	return wire.SpanCtx{Trace: a.trace, Span: a.span, Op: uint8(a.op)}
+}
+
+// Child opens a sub-span under a. The returned finish records the span with
+// End = now; the Active it returns parents further descendants.
+func (a Active) Child(stage Stage, name string, node wire.NodeID) (Active, func()) {
+	if !a.Traced() {
+		return Active{}, func() {}
+	}
+	t := a.t
+	t.nextSpan++
+	id := t.nextSpan
+	start := t.env.Now()
+	c := Active{t: t, trace: a.trace, span: id, op: a.op, stage: stage}
+	return c, func() {
+		t.spans = append(t.spans, Span{
+			Trace: a.trace, ID: id, Parent: a.span, Op: a.op, Stage: stage,
+			Name: name, Node: node, Start: start, End: t.env.Now(),
+		})
+	}
+}
+
+// StartOp begins a root span for one operation running on p, if sampled.
+// The root becomes p's active span so everything downstream — RPCs, device
+// charges, spawned children — links to it; finish records the root and
+// restores p's previous attachment. Not-sampled ops get a no-op finish.
+func (t *Tracer) StartOp(p *sim.Proc, op OpKind, node wire.NodeID, name string) func() {
+	if !t.Enabled() {
+		return func() {}
+	}
+	t.seen++
+	if (t.seen-1)%uint64(t.sample) != 0 {
+		return func() {}
+	}
+	t.nextTrace++
+	t.nextSpan++
+	tr, id := t.nextTrace, t.nextSpan
+	start := t.env.Now()
+	prev := p.Span()
+	p.SetSpan(Active{t: t, trace: tr, span: id, op: op, stage: StageClient})
+	return func() {
+		p.SetSpan(prev)
+		t.spans = append(t.spans, Span{
+			Trace: tr, ID: id, Parent: 0, Op: op, Stage: StageClient,
+			Name: name, Node: node, Start: start, End: t.env.Now(),
+		})
+	}
+}
+
+// Resume reconstructs the handle for a context that arrived on the wire,
+// with the receiver-side stage.
+func Resume(t *Tracer, c wire.SpanCtx, stage Stage) Active {
+	if t == nil || c.Trace == 0 {
+		return Active{}
+	}
+	return Active{t: t, trace: c.Trace, span: c.Span, op: OpKind(c.Op), stage: stage}
+}
+
+// FromProc returns p's active span handle, if p is running under a live
+// trace.
+func FromProc(p *sim.Proc) (Active, bool) {
+	a, ok := p.Span().(Active)
+	if !ok || !a.Traced() {
+		return Active{}, false
+	}
+	return a, true
+}
+
+// SpanOn opens a child span of p's active trace, makes it p's active span,
+// and returns a finish that records it and restores the previous
+// attachment. No-op (and allocation-free) when p is untraced — the one-line
+// hook used by the device layer, journal persistence, and engine codec
+// sites.
+func SpanOn(p *sim.Proc, stage Stage, name string, node wire.NodeID) func() {
+	a, ok := FromProc(p)
+	if !ok {
+		return nopFinish
+	}
+	c, fin := a.Child(stage, name, node)
+	p.SetSpan(c)
+	return func() {
+		p.SetSpan(a)
+		fin()
+	}
+}
+
+var nopFinish = func() {}
+
+// Inherit copies parent's active span onto child — the spawn-site hook that
+// carries a trace across sim.Env.Go (fan-out procs, hedged legs, recovery
+// readers).
+func Inherit(child, parent *sim.Proc) {
+	if a, ok := FromProc(parent); ok {
+		child.SetSpan(a)
+	}
+}
+
+// Encode serializes spans with a fixed field order and decimal timestamps —
+// the canonical form byte-compared by the determinism tests and emitted for
+// offline inspection.
+func Encode(spans []Span) []byte {
+	var buf []byte
+	for _, s := range spans {
+		buf = fmt.Appendf(buf, "%d %d %d %s %s %q %d %d %d\n",
+			s.Trace, s.ID, s.Parent, s.Op, s.Stage, s.Name, s.Node,
+			int64(s.Start), int64(s.End))
+	}
+	return buf
+}

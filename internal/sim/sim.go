@@ -88,6 +88,7 @@ type Proc struct {
 	resume  chan struct{}
 	killed  bool
 	started bool
+	span    any
 }
 
 // Env returns the environment that owns p.
@@ -95,6 +96,15 @@ func (p *Proc) Env() *Env { return p.env }
 
 // Name returns the process name given to Go.
 func (p *Proc) Name() string { return p.name }
+
+// SetSpan attaches an opaque annotation to the process. The kernel never
+// reads it; the observability layer (internal/obs) uses the slot to carry
+// trace context across process spawns — Go returns the child Proc before it
+// runs, so a spawner may SetSpan on the child to make it inherit a trace.
+func (p *Proc) SetSpan(v any) { p.span = v }
+
+// Span returns the annotation set by SetSpan (nil if none).
+func (p *Proc) Span() any { return p.span }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() time.Duration { return p.env.now }

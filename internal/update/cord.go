@@ -82,7 +82,9 @@ func (e *cord) append(p *sim.Proc, da *wire.DeltaAppend) {
 			e.cond.Wait(p)
 			continue
 		}
+		fin := e.logSpan(p, "log:append:cord")
 		e.h.Store().Device().Write(p, e.zone, e.cursor%(2*e.o.CordBufferSize), int64(len(da.Data))+24, false)
+		fin()
 		e.cursor += int64(len(da.Data)) + 24
 		if mem := e.pool.Stats().MemBytes; mem > e.peak {
 			e.peak = mem

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tsue/internal/blockstore"
+	"tsue/internal/obs"
 	"tsue/internal/rs"
 	"tsue/internal/sim"
 	"tsue/internal/wire"
@@ -35,6 +36,22 @@ type Host interface {
 	Alive(id wire.NodeID) bool
 	// Call performs an RPC to a peer OSD.
 	Call(p *sim.Proc, to wire.NodeID, req wire.Msg) (wire.Msg, error)
+}
+
+// TraceHost is optionally implemented by hosts that expose the cluster's
+// trace plane; background engine work (TSUE recycle passes) starts its own
+// root spans on it. Hosts without it (unit-test fakes) stay untraced.
+type TraceHost interface {
+	Tracer() *obs.Tracer
+}
+
+// tracerOf returns h's tracer when it has one; a nil tracer is a valid
+// disabled tracer (every obs entry point no-ops on it).
+func tracerOf(h Host) *obs.Tracer {
+	if th, ok := h.(TraceHost); ok {
+		return th.Tracer()
+	}
+	return nil
 }
 
 // Engine is one update scheme running on one OSD.
@@ -235,6 +252,9 @@ func (b *base) readModifyWrite(p *sim.Proc, blk wire.BlockID, off int64, data []
 	}
 	delta := make([]byte, len(data))
 	rs.DataDelta(delta, data, old)
+	// Zero-width codec marker: the simulator charges no CPU for the delta
+	// computation, but the hop still shows in traces.
+	obs.SpanOn(p, obs.StageCodec, "codec:data-delta", b.h.NodeID())()
 	if err := b.h.Store().WriteRange(p, blk, off, data); err != nil {
 		return nil, err
 	}
@@ -253,6 +273,7 @@ func (b *base) applyParityDelta(p *sim.Proc, blk wire.BlockID, off int64, delta 
 		return err
 	}
 	rs.ApplyParityDelta(cur, delta)
+	obs.SpanOn(p, obs.StageCodec, "codec:parity-fold", b.h.NodeID())()
 	return b.h.Store().WriteRange(p, blk, off, cur)
 }
 
@@ -288,15 +309,22 @@ func (b *base) fanout(p *sim.Proc, n int, fn func(hp *sim.Proc, i int) error) er
 	var firstErr error
 	for i := 0; i < n; i++ {
 		i := i
-		env.Go("fanout", func(hp *sim.Proc) {
+		fp := env.Go("fanout", func(hp *sim.Proc) {
 			if err := fn(hp, i); err != nil && firstErr == nil {
 				firstErr = err
 			}
 			wg.Done()
 		})
+		obs.Inherit(fp, p)
 	}
 	wg.Wait(p)
 	return firstErr
+}
+
+// logSpan opens a journal-stage span around one engine log append so the
+// device write inside is charged to the journal stage of a trace breakdown.
+func (b *base) logSpan(p *sim.Proc, name string) func() {
+	return obs.SpanOn(p, obs.StageJournal, name, b.h.NodeID())
 }
 
 // errAck wraps an error into an Ack response.

@@ -113,7 +113,9 @@ func (e *parix) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, boo
 	}
 	// Sequential append of the record to the local parity log.
 	n := int64(len(pa.New)+len(pa.Orig)) + 32
+	fin := e.logSpan(p, "log:append:parix")
 	e.h.Store().Device().Write(p, e.logZone, e.logCursor%(2*e.o.RecycleThreshold), n, false)
+	fin()
 	e.logCursor += n
 
 	lat, ok := e.latest[pa.Blk]

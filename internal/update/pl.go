@@ -81,7 +81,9 @@ func (e *pl) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool) 
 	// Sequential append to the local parity log (memory + SSD).
 	pos := e.logCursor % (2 * e.o.RecycleThreshold)
 	e.logCursor += int64(len(da.Data)) + 24
+	fin := e.logSpan(p, "log:append:pl")
 	e.h.Store().Device().Write(p, e.logZone, pos, int64(len(da.Data))+24, false)
+	fin()
 	e.records[pblk] = append(e.records[pblk], plRec{off: da.Off, delta: append([]byte(nil), da.Data...), pos: pos})
 	e.logBytes += int64(len(da.Data))
 	if e.logBytes > e.peak {

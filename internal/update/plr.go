@@ -113,8 +113,10 @@ func (e *plr) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool)
 	// (scattered small logs defeat any sequential append stream — the
 	// paper's "log appending operations resemble random writes").
 	base := e.slot(pblk) * e.o.PLRReserve
+	fin := e.logSpan(p, "log:append:plr")
 	e.h.Store().Device().Write(p, e.zone, base+lg.fill, need, false)
 	e.h.Store().Device().Write(p, e.metaZone, e.slot(pblk)*512, 512, true)
+	fin()
 	lg.recs = append(lg.recs, plRec{off: da.Off, delta: append([]byte(nil), da.Data...), pos: base + lg.fill})
 	lg.fill += need
 	e.mem += int64(len(da.Data))

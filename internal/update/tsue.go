@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tsue/internal/logpool"
+	"tsue/internal/obs"
 	"tsue/internal/rs"
 	"tsue/internal/sim"
 	"tsue/internal/wire"
@@ -181,6 +182,7 @@ func (*tsue) Name() string { return "tsue" }
 // read-modify-write, while an idle pool still recycles unit-by-unit with no
 // added latency. Units of one pool always recycle in seal order.
 func (t *tsue) startRecyclers(l *tsueLayer, fn func(p *sim.Proc, poolIdx int, units []*logpool.Unit)) {
+	tracer := tracerOf(t.h)
 	for i := range l.pools {
 		i := i
 		t.h.Env().Go(fmt.Sprintf("tsue-recycle-%s-%d@%d", l.name, i, t.h.NodeID()), func(p *sim.Proc) {
@@ -206,7 +208,12 @@ func (t *tsue) startRecyclers(l *tsueLayer, fn func(p *sim.Proc, poolIdx int, un
 					}
 				}
 				l.recycling++
+				// A recycle pass is its own root trace (when sampled): the
+				// background work is asynchronous to any foreground op, so it
+				// cannot ride a client trace.
+				finOp := tracer.StartOp(p, obs.OpRecycle, t.h.NodeID(), "op:recycle:"+l.name)
 				fn(p, i, batch)
+				finOp()
 				l.recycling--
 				for _, u := range batch {
 					l.pools[i].MarkRecycled(u, p.Now())
@@ -243,7 +250,9 @@ func (t *tsue) appendLayer(p *sim.Proc, l *tsueLayer, poolIdx int, blk wire.Bloc
 		span := int64(t.o.MaxUnits) * t.o.UnitSize
 		pos := l.cursors[poolIdx] % span
 		l.cursors[poolIdx] += rec
+		fin := t.logSpan(p, "log:append:tsue-"+l.name)
 		t.h.Store().Device().Write(p, l.zones[poolIdx], pos, rec, false)
+		fin()
 		if sealed != nil {
 			l.queues[poolIdx].Put(sealed)
 		}
@@ -306,7 +315,9 @@ func (t *tsue) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool
 	case *wire.LogReplica:
 		rec := int64(len(v.Data)) + 32
 		span := int64(t.o.MaxUnits) * t.o.UnitSize * 2
+		fin := t.logSpan(p, "log:append:tsue-replog")
 		t.h.Store().Device().Write(p, t.replicaZone, t.replicaCursor%span, rec, false)
+		fin()
 		t.replicaCursor += rec
 		key := replicaKey{src: v.SrcNode, pool: v.Pool}
 		t.replicas[key] = append(t.replicas[key], replicaItem{
@@ -349,7 +360,9 @@ func (t *tsue) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, bool
 			// parity holder's SSD only; never recycled, dropped implicitly).
 			rec := int64(len(v.Data)) + 32
 			span := int64(t.o.MaxUnits) * t.o.UnitSize * 2
+			fin := t.logSpan(p, "log:append:tsue-replog")
 			t.h.Store().Device().Write(p, t.replicaZone, t.replicaCursor%span, rec, false)
+			fin()
 			t.replicaCursor += rec
 			return wire.OK, true
 		}

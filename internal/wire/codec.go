@@ -43,6 +43,12 @@ func putBool(buf []byte, b bool) []byte {
 	return append(buf, 0)
 }
 
+func putSpan(buf []byte, s SpanCtx) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, s.Trace)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Span)
+	return append(buf, s.Op)
+}
+
 func marshalPayload(buf []byte, m Msg) []byte {
 	switch v := m.(type) {
 	case *Ack:
@@ -72,7 +78,8 @@ func marshalPayload(buf []byte, m Msg) []byte {
 	case *PutBlock:
 		buf = putBlockID(buf, v.Blk)
 		buf = putBytes(buf, v.Data)
-		return binary.LittleEndian.AppendUint32(buf, v.Sum)
+		buf = binary.LittleEndian.AppendUint32(buf, v.Sum)
+		return putSpan(buf, v.Span)
 	case *ReadBlock:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
@@ -82,7 +89,8 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		} else {
 			buf = append(buf, 0)
 		}
-		return binary.LittleEndian.AppendUint64(buf, v.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
+		return putSpan(buf, v.Span)
 	case *ReadResp:
 		buf = putBytes(buf, v.Data)
 		buf = putString(buf, v.Err)
@@ -92,34 +100,36 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		buf = putBytes(buf, v.Data)
 		buf = binary.LittleEndian.AppendUint64(buf, v.Epoch)
-		return binary.LittleEndian.AppendUint32(buf, v.Sum)
+		buf = binary.LittleEndian.AppendUint32(buf, v.Sum)
+		return putSpan(buf, v.Span)
 	case *DeltaAppend:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint16(buf, v.ParityIdx)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		buf = putBytes(buf, v.Data)
 		buf = append(buf, byte(v.Kind))
-		if v.Replica {
-			return append(buf, 1)
-		}
-		return append(buf, 0)
+		buf = putBool(buf, v.Replica)
+		return putSpan(buf, v.Span)
 	case *ParixAppend:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint16(buf, v.ParityIdx)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		buf = putBytes(buf, v.New)
-		return putBytes(buf, v.Orig)
+		buf = putBytes(buf, v.Orig)
+		return putSpan(buf, v.Span)
 	case *ParityDelta:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
-		return putBytes(buf, v.Data)
+		buf = putBytes(buf, v.Data)
+		return putSpan(buf, v.Span)
 	case *LogReplica:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.SrcNode))
 		buf = binary.LittleEndian.AppendUint16(buf, v.Pool)
 		buf = binary.LittleEndian.AppendUint64(buf, v.UnitSeq)
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
-		return putBytes(buf, v.Data)
+		buf = putBytes(buf, v.Data)
+		return putSpan(buf, v.Span)
 	case *UnitDone:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.SrcNode))
 		buf = binary.LittleEndian.AppendUint16(buf, v.Pool)
@@ -128,10 +138,8 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		return buf
 	case *RecoverBlock:
 		buf = putBlockID(buf, v.Blk)
-		if v.Reencode {
-			return append(buf, 1)
-		}
-		return append(buf, 0)
+		buf = putBool(buf, v.Reencode)
+		return putSpan(buf, v.Span)
 	case *ReplicaFetch:
 		return binary.LittleEndian.AppendUint32(buf, uint32(v.Node))
 	case *ReplicaResp:
@@ -147,12 +155,14 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		buf = putBytes(buf, v.Data)
-		return binary.LittleEndian.AppendUint32(buf, v.Sum)
+		buf = binary.LittleEndian.AppendUint32(buf, v.Sum)
+		return putSpan(buf, v.Span)
 	case *DegradedRead:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
-		return binary.LittleEndian.AppendUint32(buf, uint32(v.Size))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Size))
+		return putSpan(buf, v.Span)
 	case *JournalReplica:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Surrogate))
@@ -160,7 +170,8 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		buf = putBytes(buf, v.Data)
-		return binary.LittleEndian.AppendUint32(buf, v.Sum)
+		buf = binary.LittleEndian.AppendUint32(buf, v.Sum)
+		return putSpan(buf, v.Span)
 	case *JournalAck:
 		buf = binary.LittleEndian.AppendUint64(buf, v.Seq)
 		return putString(buf, v.Err)
@@ -180,7 +191,8 @@ func marshalPayload(buf []byte, m Msg) []byte {
 	case *ReplayUpdate:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
-		return putBytes(buf, v.Data)
+		buf = putBytes(buf, v.Data)
+		return putSpan(buf, v.Span)
 	case *Settle:
 		return binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
 	case *EpochUpdate:
@@ -209,7 +221,7 @@ func marshalPayload(buf []byte, m Msg) []byte {
 	case *TransitionStatus:
 		return buf
 	case *AdmitOp:
-		return buf
+		return putSpan(buf, v.Span)
 	case *TransitionStatusResp:
 		buf = putBool(buf, v.InFlight)
 		buf = binary.LittleEndian.AppendUint64(buf, v.Staged)
@@ -319,6 +331,17 @@ func (r *reader) blockID() BlockID {
 	return BlockID{Ino: r.u64(), Stripe: r.u32(), Index: r.u16()}
 }
 
+// span decodes a strict SpanCtx: an untraced context (Trace == 0) must be
+// all-zero, so every successfully decoded message re-encodes to an
+// identical frame (same invariant as bool8).
+func (r *reader) span() SpanCtx {
+	s := SpanCtx{Trace: r.u64(), Span: r.u64(), Op: r.u8()}
+	if r.err == nil && s.Trace == 0 && (s.Span != 0 || s.Op != 0) {
+		r.err = fmt.Errorf("wire: nonzero span fields under zero trace id at %d", r.pos)
+	}
+	return s
+}
+
 // Unmarshal decodes one message from a payload of the given type.
 func Unmarshal(t Type, payload []byte) (Msg, error) {
 	r := &reader{data: payload}
@@ -347,30 +370,30 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 	case THeartbeat:
 		m = &Heartbeat{From: NodeID(r.u32()), Misses: r.u32()}
 	case TPutBlock:
-		m = &PutBlock{Blk: r.blockID(), Data: r.bytes(), Sum: r.u32()}
+		m = &PutBlock{Blk: r.blockID(), Data: r.bytes(), Sum: r.u32(), Span: r.span()}
 	case TReadBlock:
-		m = &ReadBlock{Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32()), Raw: r.bool8(), Epoch: r.u64()}
+		m = &ReadBlock{Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32()), Raw: r.bool8(), Epoch: r.u64(), Span: r.span()}
 	case TReadResp:
 		m = &ReadResp{Data: r.bytes(), Err: r.str(), Sum: r.u32()}
 	case TUpdate:
-		m = &Update{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Epoch: r.u64(), Sum: r.u32()}
+		m = &Update{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Epoch: r.u64(), Sum: r.u32(), Span: r.span()}
 	case TDeltaAppend:
 		m = &DeltaAppend{Blk: r.blockID(), ParityIdx: r.u16(), Off: int64(r.u64()),
-			Data: r.bytes(), Kind: DeltaKind(r.u8()), Replica: r.bool8()}
+			Data: r.bytes(), Kind: DeltaKind(r.u8()), Replica: r.bool8(), Span: r.span()}
 	case TParixAppend:
 		m = &ParixAppend{Blk: r.blockID(), ParityIdx: r.u16(), Off: int64(r.u64()),
-			New: r.bytes(), Orig: r.bytes()}
+			New: r.bytes(), Orig: r.bytes(), Span: r.span()}
 	case TParityDelta:
-		m = &ParityDelta{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+		m = &ParityDelta{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Span: r.span()}
 	case TLogReplica:
 		m = &LogReplica{SrcNode: NodeID(r.u32()), Pool: r.u16(), UnitSeq: r.u64(),
-			Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+			Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Span: r.span()}
 	case TUnitDone:
 		m = &UnitDone{SrcNode: NodeID(r.u32()), Pool: r.u16(), UnitSeq: r.u64()}
 	case TDrain:
 		m = &Drain{}
 	case TRecoverBlock:
-		m = &RecoverBlock{Blk: r.blockID(), Reencode: r.bool8()}
+		m = &RecoverBlock{Blk: r.blockID(), Reencode: r.bool8(), Span: r.span()}
 	case TReplicaFetch:
 		m = &ReplicaFetch{Node: NodeID(r.u32())}
 	case TReplicaResp:
@@ -381,12 +404,12 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 		}
 		m = v
 	case TDegradedUpdate:
-		m = &DegradedUpdate{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Sum: r.u32()}
+		m = &DegradedUpdate{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Sum: r.u32(), Span: r.span()}
 	case TDegradedRead:
-		m = &DegradedRead{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32())}
+		m = &DegradedRead{Failed: NodeID(r.u32()), Blk: r.blockID(), Off: int64(r.u64()), Size: int32(r.u32()), Span: r.span()}
 	case TJournalReplica:
 		m = &JournalReplica{Failed: NodeID(r.u32()), Surrogate: NodeID(r.u32()), Seq: r.u64(),
-			Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Sum: r.u32()}
+			Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Sum: r.u32(), Span: r.span()}
 	case TJournalAck:
 		m = &JournalAck{Seq: r.u64(), Err: r.str()}
 	case TJournalFetch:
@@ -400,7 +423,7 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 		v.Err = r.str()
 		m = v
 	case TReplayUpdate:
-		m = &ReplayUpdate{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes()}
+		m = &ReplayUpdate{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Span: r.span()}
 	case TSettle:
 		m = &Settle{Failed: NodeID(r.u32())}
 	case TEpochUpdate:
@@ -420,7 +443,7 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 	case TTransitionStatus:
 		m = &TransitionStatus{}
 	case TAdmitOp:
-		m = &AdmitOp{}
+		m = &AdmitOp{Span: r.span()}
 	case TTransitionStatusResp:
 		v := &TransitionStatusResp{InFlight: r.bool8(), Staged: r.u64(), Committed: r.u64()}
 		n := int(r.u32())

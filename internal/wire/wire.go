@@ -145,6 +145,34 @@ type Msg interface {
 // SizeOf returns the total on-wire size of a message.
 func SizeOf(m Msg) int64 { return int64(headerSize + m.PayloadSize()) }
 
+// ---- tracing ----
+
+// SpanCtx is the compact trace context piggybacked on payload-bearing
+// messages by the observability plane (internal/obs): the trace id of the
+// originating op, the id of the network span this message travels under,
+// and the op kind. A zero Trace means "untraced" and forces the other
+// fields to zero, so untraced messages have one canonical encoding. The
+// context is always encoded (spanSize bytes), traced or not, so wire sizes
+// — and therefore simulated network timing — are identical whether tracing
+// is enabled or disabled.
+type SpanCtx struct {
+	Trace uint64
+	Span  uint64
+	Op    uint8
+}
+
+// spanSize is the encoded size of a SpanCtx.
+const spanSize = 8 + 8 + 1
+
+// Spanned is implemented by the messages that carry a SpanCtx: the netsim
+// fabric stamps the context on traced sends and the receiving handler
+// resumes it, which is what links a trace across nodes.
+type Spanned interface {
+	Msg
+	// SpanRef exposes the carried context for stamping and resumption.
+	SpanRef() *SpanCtx
+}
+
 // ---- generic ----
 
 // Ack is the generic response; Err is empty on success.
@@ -229,10 +257,13 @@ func (*Heartbeat) PayloadSize() int { return 4 + 4 }
 // The MDS runs its configured admission policy (token-bucket rate plus
 // queue-depth limits) and answers with an Ack: empty Err admits the op, an
 // overload Err bounces it back to the submitter as a retryable rejection.
-type AdmitOp struct{}
+type AdmitOp struct {
+	Span SpanCtx
+}
 
-func (*AdmitOp) Type() Type       { return TAdmitOp }
-func (*AdmitOp) PayloadSize() int { return 0 }
+func (*AdmitOp) Type() Type          { return TAdmitOp }
+func (*AdmitOp) PayloadSize() int    { return spanSize }
+func (a *AdmitOp) SpanRef() *SpanCtx { return &a.Span }
 
 // ---- block I/O ----
 
@@ -242,10 +273,12 @@ type PutBlock struct {
 	Blk  BlockID
 	Data []byte
 	Sum  uint32
+	Span SpanCtx
 }
 
-func (*PutBlock) Type() Type         { return TPutBlock }
-func (p *PutBlock) PayloadSize() int { return 14 + 4 + len(p.Data) + 4 }
+func (*PutBlock) Type() Type          { return TPutBlock }
+func (p *PutBlock) PayloadSize() int  { return 14 + 4 + len(p.Data) + 4 + spanSize }
+func (p *PutBlock) SpanRef() *SpanCtx { return &p.Span }
 
 // ReadBlock reads [Off, Off+Size) of a block. Raw bypasses the update
 // engine's log overlays and returns the on-store bytes — used by recovery
@@ -260,10 +293,12 @@ type ReadBlock struct {
 	Size  int32
 	Raw   bool
 	Epoch uint64
+	Span  SpanCtx
 }
 
-func (*ReadBlock) Type() Type       { return TReadBlock }
-func (*ReadBlock) PayloadSize() int { return 14 + 13 + 8 }
+func (*ReadBlock) Type() Type          { return TReadBlock }
+func (*ReadBlock) PayloadSize() int    { return 14 + 13 + 8 + spanSize }
+func (b *ReadBlock) SpanRef() *SpanCtx { return &b.Span }
 
 // ReadResp returns block data. Sum is the CRC-32C of Data, computed by the
 // responder; consumers verify before trusting the bytes.
@@ -286,10 +321,12 @@ type Update struct {
 	Data  []byte
 	Epoch uint64
 	Sum   uint32
+	Span  SpanCtx
 }
 
-func (*Update) Type() Type         { return TUpdate }
-func (u *Update) PayloadSize() int { return 14 + 8 + 4 + len(u.Data) + 8 + 4 }
+func (*Update) Type() Type          { return TUpdate }
+func (u *Update) PayloadSize() int  { return 14 + 8 + 4 + len(u.Data) + 8 + 4 + spanSize }
+func (u *Update) SpanRef() *SpanCtx { return &u.Span }
 
 // ---- engine-internal forwarding ----
 
@@ -316,10 +353,12 @@ type DeltaAppend struct {
 	Data      []byte
 	Kind      DeltaKind
 	Replica   bool
+	Span      SpanCtx
 }
 
-func (*DeltaAppend) Type() Type         { return TDeltaAppend }
-func (d *DeltaAppend) PayloadSize() int { return 14 + 2 + 8 + 4 + len(d.Data) + 2 }
+func (*DeltaAppend) Type() Type          { return TDeltaAppend }
+func (d *DeltaAppend) PayloadSize() int  { return 14 + 2 + 8 + 4 + len(d.Data) + 2 + spanSize }
+func (d *DeltaAppend) SpanRef() *SpanCtx { return &d.Span }
 
 // ParixAppend carries a PARIX speculative record: the new data and, on the
 // first overwrite of a location, the original data.
@@ -329,12 +368,14 @@ type ParixAppend struct {
 	Off       int64
 	New       []byte
 	Orig      []byte // nil except on first overwrite
+	Span      SpanCtx
 }
 
 func (*ParixAppend) Type() Type { return TParixAppend }
 func (p *ParixAppend) PayloadSize() int {
-	return 14 + 2 + 8 + 4 + len(p.New) + 4 + len(p.Orig)
+	return 14 + 2 + 8 + 4 + len(p.New) + 4 + len(p.Orig) + spanSize
 }
+func (p *ParixAppend) SpanRef() *SpanCtx { return &p.Span }
 
 // ParityDelta carries a ready-to-XOR parity delta for the given parity
 // block (TSUE DeltaLog recycle output, CoRD collector output).
@@ -342,10 +383,12 @@ type ParityDelta struct {
 	Blk  BlockID // the parity block
 	Off  int64
 	Data []byte
+	Span SpanCtx
 }
 
-func (*ParityDelta) Type() Type         { return TParityDelta }
-func (p *ParityDelta) PayloadSize() int { return 14 + 8 + 4 + len(p.Data) }
+func (*ParityDelta) Type() Type          { return TParityDelta }
+func (p *ParityDelta) PayloadSize() int  { return 14 + 8 + 4 + len(p.Data) + spanSize }
+func (p *ParityDelta) SpanRef() *SpanCtx { return &p.Span }
 
 // LogReplica replicates one DataLog append to the replica holder.
 type LogReplica struct {
@@ -355,10 +398,12 @@ type LogReplica struct {
 	Blk     BlockID
 	Off     int64
 	Data    []byte
+	Span    SpanCtx
 }
 
-func (*LogReplica) Type() Type         { return TLogReplica }
-func (l *LogReplica) PayloadSize() int { return 4 + 2 + 8 + 14 + 8 + 4 + len(l.Data) }
+func (*LogReplica) Type() Type          { return TLogReplica }
+func (l *LogReplica) PayloadSize() int  { return 4 + 2 + 8 + 14 + 8 + 4 + len(l.Data) + spanSize }
+func (l *LogReplica) SpanRef() *SpanCtx { return &l.Span }
 
 // UnitDone tells the replica holder that a replicated unit was recycled and
 // its copy can be dropped.
@@ -386,10 +431,12 @@ func (*Drain) PayloadSize() int { return 0 }
 type RecoverBlock struct {
 	Blk      BlockID
 	Reencode bool
+	Span     SpanCtx
 }
 
-func (*RecoverBlock) Type() Type       { return TRecoverBlock }
-func (*RecoverBlock) PayloadSize() int { return 14 + 1 }
+func (*RecoverBlock) Type() Type           { return TRecoverBlock }
+func (*RecoverBlock) PayloadSize() int     { return 14 + 1 + spanSize }
+func (rb *RecoverBlock) SpanRef() *SpanCtx { return &rb.Span }
 
 // ReplicaItem is one unrecycled DataLog record replicated for reliability.
 type ReplicaItem struct {
@@ -433,10 +480,12 @@ type DegradedUpdate struct {
 	Off    int64
 	Data   []byte
 	Sum    uint32
+	Span   SpanCtx
 }
 
-func (*DegradedUpdate) Type() Type         { return TDegradedUpdate }
-func (d *DegradedUpdate) PayloadSize() int { return 4 + 14 + 8 + 4 + len(d.Data) + 4 }
+func (*DegradedUpdate) Type() Type          { return TDegradedUpdate }
+func (d *DegradedUpdate) PayloadSize() int  { return 4 + 14 + 8 + 4 + len(d.Data) + 4 + spanSize }
+func (d *DegradedUpdate) SpanRef() *SpanCtx { return &d.Span }
 
 // DegradedRead asks the surrogate OSD for [Off, Off+Size) of a block in a
 // degraded stripe. Lost blocks are reconstructed on the fly from surviving
@@ -447,10 +496,12 @@ type DegradedRead struct {
 	Blk    BlockID
 	Off    int64
 	Size   int32
+	Span   SpanCtx
 }
 
-func (*DegradedRead) Type() Type       { return TDegradedRead }
-func (*DegradedRead) PayloadSize() int { return 4 + 14 + 8 + 4 }
+func (*DegradedRead) Type() Type          { return TDegradedRead }
+func (*DegradedRead) PayloadSize() int    { return 4 + 14 + 8 + 4 + spanSize }
+func (d *DegradedRead) SpanRef() *SpanCtx { return &d.Span }
 
 // JournalReplica copies one surrogate-journal record to a member of the
 // surrogate's fixed quorum holder set (durability of the degraded-update
@@ -468,10 +519,14 @@ type JournalReplica struct {
 	Off       int64
 	Data      []byte
 	Sum       uint32
+	Span      SpanCtx
 }
 
-func (*JournalReplica) Type() Type         { return TJournalReplica }
-func (j *JournalReplica) PayloadSize() int { return 4 + 4 + 8 + 14 + 8 + 4 + len(j.Data) + 4 }
+func (*JournalReplica) Type() Type { return TJournalReplica }
+func (j *JournalReplica) PayloadSize() int {
+	return 4 + 4 + 8 + 14 + 8 + 4 + len(j.Data) + 4 + spanSize
+}
+func (j *JournalReplica) SpanRef() *SpanCtx { return &j.Span }
 
 // JournalAck acknowledges a JournalReplica append: the holder has the
 // record durably (persisted to its journal zone). Seq echoes the append
@@ -535,10 +590,12 @@ type ReplayUpdate struct {
 	Blk  BlockID
 	Off  int64
 	Data []byte
+	Span SpanCtx
 }
 
-func (*ReplayUpdate) Type() Type         { return TReplayUpdate }
-func (r *ReplayUpdate) PayloadSize() int { return 14 + 8 + 4 + len(r.Data) }
+func (*ReplayUpdate) Type() Type          { return TReplayUpdate }
+func (r *ReplayUpdate) PayloadSize() int  { return 14 + 8 + 4 + len(r.Data) + spanSize }
+func (r *ReplayUpdate) SpanRef() *SpanCtx { return &r.Span }
 
 // ---- placement epochs / rebalance ----
 

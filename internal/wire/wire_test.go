@@ -75,7 +75,30 @@ func sampleMessages() []Msg {
 			Beats: []BeatStatus{{OSD: 4, Misses: 2}, {OSD: 7, Misses: 11}}},
 		&TransitionStatusResp{Err: "no transition"},
 		&AdmitOp{},
+		// Traced variants: every Spanned message round-trips its SpanCtx.
+		&AdmitOp{Span: SpanCtx{Trace: 11, Span: 12, Op: 1}},
+		&Update{Blk: BlockID{5, 6, 7}, Off: 123, Data: []byte{1}, Epoch: 9, Span: SpanCtx{Trace: 3, Span: 4, Op: 1}},
+		&ReadBlock{Blk: BlockID{1, 2, 3}, Off: 64, Size: 32, Span: SpanCtx{Trace: 3, Span: 5, Op: 2}},
+		&PutBlock{Blk: BlockID{1, 2, 3}, Data: []byte{9}, Span: SpanCtx{Trace: 8, Span: 1, Op: 1}},
+		&DeltaAppend{Blk: BlockID{1, 1, 0}, ParityIdx: 2, Off: 64, Data: []byte{1}, Kind: KindDataDelta, Span: SpanCtx{Trace: 2, Span: 2, Op: 1}},
+		&ParixAppend{Blk: BlockID{2, 3, 1}, ParityIdx: 1, Off: 8, New: []byte{5}, Span: SpanCtx{Trace: 2, Span: 3, Op: 1}},
+		&ParityDelta{Blk: BlockID{2, 3, 8}, Off: 16, Data: []byte{1}, Span: SpanCtx{Trace: 2, Span: 4, Op: 1}},
+		&LogReplica{SrcNode: 3, Pool: 1, UnitSeq: 99, Blk: BlockID{1, 0, 2}, Off: 77, Data: []byte{6}, Span: SpanCtx{Trace: 2, Span: 5, Op: 1}},
+		&RecoverBlock{Blk: BlockID{4, 4, 4}, Span: SpanCtx{Trace: 6, Span: 6, Op: 5}},
+		&DegradedUpdate{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7}, Span: SpanCtx{Trace: 4, Span: 7, Op: 3}},
+		&DegradedRead{Failed: 5, Blk: BlockID{1, 2, 0}, Off: 512, Size: 128, Span: SpanCtx{Trace: 4, Span: 8, Op: 4}},
+		&JournalReplica{Failed: 5, Surrogate: 2, Seq: 9, Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{7}, Span: SpanCtx{Trace: 4, Span: 9, Op: 3}},
+		&ReplayUpdate{Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{9}, Span: SpanCtx{Trace: 5, Span: 10, Op: 5}},
 	}
+}
+
+// Compile-time check: the full set of payload-bearing messages on the traced
+// paths implements Spanned.
+var _ = []Spanned{
+	(*AdmitOp)(nil), (*Update)(nil), (*ReadBlock)(nil), (*PutBlock)(nil),
+	(*DeltaAppend)(nil), (*ParixAppend)(nil), (*ParityDelta)(nil),
+	(*LogReplica)(nil), (*RecoverBlock)(nil), (*DegradedUpdate)(nil),
+	(*DegradedRead)(nil), (*JournalReplica)(nil), (*ReplayUpdate)(nil),
 }
 
 func roundTrip(t *testing.T, m Msg) Msg {
@@ -229,6 +252,38 @@ func TestMarshalAppends(t *testing.T) {
 	buf := Marshal(prefix, &Drain{})
 	if !bytes.HasPrefix(buf, prefix) {
 		t.Fatal("Marshal did not append")
+	}
+}
+
+// TestSpanStrictDecode pins the SpanCtx canonical-encoding rule (the bool8
+// idiom applied to the trace context): an untraced context must be all-zero
+// on the wire, so nonzero Span/Op bytes under a zero Trace are rejected
+// rather than decoded into a message that would re-encode differently.
+func TestSpanStrictDecode(t *testing.T) {
+	m := &AdmitOp{Span: SpanCtx{Trace: 7, Span: 9, Op: 2}}
+	out := roundTrip(t, m).(*AdmitOp)
+	if out.Span != m.Span {
+		t.Fatalf("span round trip: got %+v want %+v", out.Span, m.Span)
+	}
+	// Zero the trace id in the encoded payload but keep the span id: the
+	// decoder must reject the non-canonical frame.
+	buf := Marshal(nil, m)
+	payload := buf[5:]
+	for i := 0; i < 8; i++ {
+		payload[i] = 0
+	}
+	if _, err := Unmarshal(TAdmitOp, payload); err == nil {
+		t.Fatal("nonzero span fields under zero trace id not rejected")
+	}
+	// The same rule holds at the tail of a data-bearing message.
+	u := &Update{Blk: BlockID{1, 2, 3}, Data: []byte{1}, Span: SpanCtx{Trace: 5, Span: 6, Op: 1}}
+	ubuf := Marshal(nil, u)
+	up := ubuf[5:]
+	for i := len(up) - 17; i < len(up)-9; i++ {
+		up[i] = 0
+	}
+	if _, err := Unmarshal(TUpdate, up); err == nil {
+		t.Fatal("Update: nonzero span fields under zero trace id not rejected")
 	}
 }
 
