@@ -1,0 +1,156 @@
+// Command benchgate is the perf-regression gate: it diffs freshly produced
+// BENCH_<exp>.json result files (tsuebench -json) against the committed
+// baseline trajectory under bench/baselines/ and fails when a gated metric
+// regresses by more than the threshold. CI runs it after regenerating the
+// quick-scale saturation and obs experiments, so a change that silently
+// inflates the admitted-load p99 or deflates the max sustainable IOPS
+// breaks the build instead of the trajectory.
+//
+// Usage:
+//
+//	benchgate                              # gate saturation,obs at 25%
+//	benchgate -exps saturation -pct 10
+//	benchgate -baseline bench/baselines -fresh .
+//
+// Gated metrics:
+//
+//	lat_p99_ms, p99_ms      higher is worse — fail if fresh > base*(1+pct/100)
+//	max_sustainable_iops    higher is better — fail if fresh < base*(1-pct/100)
+//
+// Sub-50µs latency baselines are exempt from the ratio check (a scheduler
+// tick there is already >25%); they gate on an absolute 50µs ceiling
+// instead. A gated metric present in the baseline but missing from the
+// fresh run is itself a failure — a gate that can be silently narrowed is
+// no gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// benchFile mirrors cmd/tsuebench's result envelope.
+type benchFile struct {
+	Experiment string   `json:"experiment"`
+	Scale      string   `json:"scale"`
+	Ops        int      `json:"ops"`
+	Metrics    []metric `json:"metrics"`
+}
+
+type metric struct {
+	Experiment string            `json:"experiment"`
+	Name       string            `json:"name"`
+	Labels     map[string]string `json:"labels,omitempty"`
+	Value      float64           `json:"value"`
+}
+
+// key canonicalizes a metric identity: name plus sorted labels.
+func (m metric) key() string {
+	parts := make([]string, 0, len(m.Labels))
+	for k, v := range m.Labels {
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return m.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// higherWorse metrics gate on inflation, higherBetter on deflation.
+var (
+	higherWorse  = map[string]bool{"lat_p99_ms": true, "p99_ms": true}
+	higherBetter = map[string]bool{"max_sustainable_iops": true}
+)
+
+// latFloorMs exempts microscopic latency baselines from the ratio check:
+// below this, one scheduler tick of drift already exceeds any reasonable
+// percentage, so such metrics gate on the absolute ceiling instead.
+const latFloorMs = 0.05
+
+func load(path string) (*benchFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func gateExperiment(baseDir, freshDir, exp string, pct float64) []string {
+	name := "BENCH_" + exp + ".json"
+	base, err := load(filepath.Join(baseDir, name))
+	if err != nil {
+		return []string{fmt.Sprintf("%s: baseline: %v", exp, err)}
+	}
+	fresh, err := load(filepath.Join(freshDir, name))
+	if err != nil {
+		return []string{fmt.Sprintf("%s: fresh run: %v", exp, err)}
+	}
+	if base.Scale != fresh.Scale || base.Ops != fresh.Ops {
+		return []string{fmt.Sprintf("%s: incomparable runs: baseline %s/%d ops vs fresh %s/%d ops",
+			exp, base.Scale, base.Ops, fresh.Scale, fresh.Ops)}
+	}
+	got := make(map[string]float64, len(fresh.Metrics))
+	for _, m := range fresh.Metrics {
+		got[m.key()] = m.Value
+	}
+	var fails []string
+	checked := 0
+	for _, m := range base.Metrics {
+		worse, better := higherWorse[m.Name], higherBetter[m.Name]
+		if !worse && !better {
+			continue
+		}
+		cur, ok := got[m.key()]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: %s missing from fresh run", exp, m.key()))
+			continue
+		}
+		checked++
+		switch {
+		case worse && m.Value < latFloorMs:
+			if cur > latFloorMs {
+				fails = append(fails, fmt.Sprintf("%s: %s rose %.4f -> %.4f ms (above the %.0fµs sub-floor ceiling)",
+					exp, m.key(), m.Value, cur, latFloorMs*1000))
+			}
+		case worse:
+			if cur > m.Value*(1+pct/100) {
+				fails = append(fails, fmt.Sprintf("%s: %s regressed %.4f -> %.4f (+%.1f%%, gate %.0f%%)",
+					exp, m.key(), m.Value, cur, 100*(cur/m.Value-1), pct))
+			}
+		case better:
+			if cur < m.Value*(1-pct/100) {
+				fails = append(fails, fmt.Sprintf("%s: %s regressed %.1f -> %.1f (-%.1f%%, gate %.0f%%)",
+					exp, m.key(), m.Value, cur, 100*(1-cur/m.Value), pct))
+			}
+		}
+	}
+	fmt.Printf("benchgate: %s: %d gated metrics checked, %d failed\n", exp, checked, len(fails))
+	return fails
+}
+
+func main() {
+	baseDir := flag.String("baseline", "bench/baselines", "directory holding the committed BENCH_<exp>.json baselines")
+	freshDir := flag.String("fresh", ".", "directory holding the freshly produced BENCH_<exp>.json files")
+	exps := flag.String("exps", "saturation,obs", "comma-separated experiments to gate")
+	pct := flag.Float64("pct", 25, "regression threshold in percent")
+	flag.Parse()
+
+	var fails []string
+	for _, exp := range strings.Split(*exps, ",") {
+		fails = append(fails, gateExperiment(*baseDir, *freshDir, strings.TrimSpace(exp), *pct)...)
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}

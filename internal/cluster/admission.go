@@ -88,6 +88,8 @@ type AdmitAll struct{}
 func (AdmitAll) Admit(time.Duration, int) bool { return true }
 
 // AdmissionStats is the cluster-wide admission counter snapshot.
+//
+//lint:allow obsregistry(pre-registry snapshot struct returned by the admission API; its counters are mirrored onto the registry)
 type AdmissionStats struct {
 	Admitted int64 // ops admitted by the policy
 	Rejected int64 // ops bounced with ErrOverload

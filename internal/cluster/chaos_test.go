@@ -87,9 +87,11 @@ func (r *chaosRun) ops(p *sim.Proc, phase string, n int) {
 
 // chaosCorruptor corrupts every rate-th checksum-bearing payload crossing
 // the fabric (request or response), cloning so the sender's buffers stay
-// intact. Messages without a Sum field are left alone: the engines'
-// internal protocol is not end-to-end verified, so corrupting it would be
-// undetectable by design.
+// intact. The engines' internal fan-out messages now carry Sums too
+// (verified centrally at OSD dispatch) but are deliberately left alone:
+// a rejected XOR delta retried mid-fan-out re-applies to parities that
+// already took it, which is not idempotent — their verify path is pinned
+// by the wire unit tests instead.
 func chaosCorruptor(rate int) netsim.Corruptor {
 	seen := 0
 	flip := func(data []byte) ([]byte, bool) {

@@ -425,7 +425,10 @@ func (c *Cluster) DrainAll(p *sim.Proc, via *Client) error {
 // DrainAll. It returns the number of stripes checked.
 func (c *Cluster) Scrub() (int, error) {
 	checked := 0
-	for ino, fm := range c.MDS.files {
+	// Sweep inodes in sorted order so the partial count and first error
+	// surfaced on a bad tree are deterministic.
+	for _, ino := range c.MDS.sortedInos() {
+		fm := c.MDS.files[ino]
 		for s := uint32(0); s < fm.stripes; s++ {
 			sid := wire.StripeID{Ino: ino, Stripe: s}
 			osds := c.Placement(sid)
@@ -484,7 +487,10 @@ func (c *Cluster) HedgeStats() (fired, wins int64) {
 // live; it returns the repaired block and stripe counts.
 func (c *Cluster) ScrubRepair(p *sim.Proc) (blocks, stripes int, err error) {
 	cfg := c.Cfg
-	for ino, fm := range c.MDS.files {
+	// Repair in sorted inode order: the repair writes and the counts
+	// returned on early error must not depend on map iteration order.
+	for _, ino := range c.MDS.sortedInos() {
+		fm := c.MDS.files[ino]
 		for s := uint32(0); s < fm.stripes; s++ {
 			sid := wire.StripeID{Ino: ino, Stripe: s}
 			osds := c.Placement(sid)

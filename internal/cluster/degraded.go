@@ -175,9 +175,13 @@ func (c *Cluster) waitGate(p *sim.Proc) {
 // ---- routing ----
 
 // degradedRoute returns the surrogate serving stripe s if s is degraded:
-// the surrogate assigned to the stripe's placement group.
+// the surrogate assigned to the stripe's placement group. With concurrent
+// deaths a stripe can be degraded under several windows at once, so the
+// windows are consulted in failed-node order — every client must resolve
+// the same route or same-seed runs diverge.
 func (c *Cluster) degradedRoute(s wire.StripeID) (failed, surrogate wire.NodeID, ok bool) {
-	for _, st := range c.degraded {
+	for _, id := range c.degradedNodes() {
+		st := c.degraded[id]
 		if st.stripes[s] {
 			return st.failed, st.surr[c.PG(s)], true
 		}

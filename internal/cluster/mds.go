@@ -155,16 +155,23 @@ func (m *MDS) authEpochOf(s wire.StripeID) uint64 {
 	return m.committed
 }
 
-// allStripes enumerates every stripe of every file in deterministic order —
-// the population a transition's diff and minimal-remap bound cover.
-func (m *MDS) allStripes() []wire.StripeID {
+// sortedInos returns every file inode in ascending order — the
+// deterministic iteration order for whole-namespace sweeps (scrubs,
+// transition diffs).
+func (m *MDS) sortedInos() []uint64 {
 	inos := make([]uint64, 0, len(m.files))
 	for ino := range m.files {
 		inos = append(inos, ino)
 	}
 	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	return inos
+}
+
+// allStripes enumerates every stripe of every file in deterministic order —
+// the population a transition's diff and minimal-remap bound cover.
+func (m *MDS) allStripes() []wire.StripeID {
 	var out []wire.StripeID
-	for _, ino := range inos {
+	for _, ino := range m.sortedInos() {
 		for s := uint32(0); s < m.files[ino].stripes; s++ {
 			out = append(out, wire.StripeID{Ino: ino, Stripe: s})
 		}

@@ -175,6 +175,12 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 		}
 		return wire.OK
 	case *wire.ReplayUpdate:
+		// A corrupted replay record applied during recovery would bake wrong
+		// bytes into the rebuilt block — verify before touching the engine.
+		if err := wire.VerifySum(v.Data, v.Sum); err != nil {
+			o.c.noteCorruption()
+			return &wire.Ack{Err: fmt.Sprintf("replay %v: %v", v.Blk, err)}
+		}
 		if err := update.Replay(p, o.engine, v.Blk, v.Off, v.Data); err != nil {
 			return &wire.Ack{Err: err.Error()}
 		}
@@ -212,6 +218,16 @@ func (o *OSD) handle(p *sim.Proc, from wire.NodeID, m wire.Msg) wire.Msg {
 	case *wire.MigrateLog:
 		return o.handleMigrateLog(p, v)
 	default:
+		// Engine-internal messages (delta/log fan-outs) carry their own
+		// payload checksums via wire.SummedPayload; verify centrally before
+		// any engine side effect so a wire-corrupted delta never reaches a
+		// log or parity block.
+		if sp, ok := m.(wire.SummedPayload); ok {
+			if err := sp.VerifyPayload(); err != nil {
+				o.c.noteCorruption()
+				return &wire.Ack{Err: fmt.Sprintf("osd %d: %v: %v", o.id, m.Type(), err)}
+			}
+		}
 		if resp, handled := o.engine.Handle(p, from, m); handled {
 			return resp
 		}

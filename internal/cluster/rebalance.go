@@ -597,7 +597,7 @@ func (pm *pgMover) extractLog(p *sim.Proc, mv placement.Move) ([]wire.ReplicaIte
 }
 
 func (pm *pgMover) replay(p *sim.Proc, to wire.NodeID, it wire.ReplicaItem) error {
-	resp, err := pm.c.Fabric.Call(p, pm.via.id, to, &wire.ReplayUpdate{Blk: it.Blk, Off: it.Off, Data: it.Data})
+	resp, err := pm.c.Fabric.Call(p, pm.via.id, to, &wire.ReplayUpdate{Blk: it.Blk, Off: it.Off, Data: it.Data, Sum: wire.Checksum(it.Data)})
 	if err != nil {
 		return fmt.Errorf("migrate replay %v: %w", it.Blk, err)
 	}

@@ -385,7 +385,7 @@ func (c *Cluster) cutover(p *sim.Proc, failed wire.NodeID, via *Client, rep *Rec
 			// against each other (overwrites of the same range).
 			for _, it := range rr.Items {
 				osds := c.Placement(it.Blk.StripeID())
-				resp, err := c.Fabric.Call(p, via.id, osds[it.Blk.Index], &wire.ReplayUpdate{Blk: it.Blk, Off: it.Off, Data: it.Data})
+				resp, err := c.Fabric.Call(p, via.id, osds[it.Blk.Index], &wire.ReplayUpdate{Blk: it.Blk, Off: it.Off, Data: it.Data, Sum: wire.Checksum(it.Data)})
 				if err != nil {
 					return fmt.Errorf("replay %v @%d: %w", it.Blk, osds[it.Blk.Index], err)
 				}

@@ -90,6 +90,8 @@ func HDDParams() Params {
 }
 
 // Stats is a snapshot of device counters.
+//
+//lint:allow obsregistry(pre-registry snapshot struct of the device API; harness tables consume it directly)
 type Stats struct {
 	ReadOps, WriteOps         int64
 	ReadBytes, WriteBytes     int64

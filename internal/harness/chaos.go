@@ -105,10 +105,14 @@ func (r *ChaosResult) ReadP(p float64) time.Duration {
 }
 
 // flipCorruptor corrupts every rate-th checksum-bearing payload crossing
-// the fabric, cloning so the sender's buffers stay intact. Messages
-// without a Sum field are left alone: the engines' internal protocol is
-// not end-to-end verified, so corrupting it would be undetectable by
-// design.
+// the fabric, cloning so the sender's buffers stay intact. The corruptor
+// targets the client-facing and repair paths; the engines' internal
+// fan-out messages (DeltaAppend, ParixAppend, ParityDelta, LogReplica,
+// ReplayUpdate) now carry Sums too and are verified centrally at OSD
+// dispatch, but they are deliberately NOT corrupted here: a flipped XOR
+// delta rejected mid-fan-out would make the client's retry re-apply the
+// delta to parities that already took it, which is not idempotent — the
+// detection path is covered by the wire-level unit tests instead.
 func flipCorruptor(rate int) netsim.Corruptor {
 	seen := 0
 	flip := func(data []byte) ([]byte, bool) {

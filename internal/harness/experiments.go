@@ -429,11 +429,13 @@ func Sweep(w io.Writer, s Scale) error {
 			cfg.Trace = s.traceProfile("ali")
 			cfg.Opts.RecycleBatch = batch
 			cfg.Opts.CodecWorkers = workers
+			//lint:allow walltime(the wall(ms) column deliberately reports real elapsed host time of the simulation run, not sim time)
 			wallStart := time.Now()
 			r, err := Run(cfg)
 			if err != nil {
 				return fmt.Errorf("sweep batch=%d workers=%d: %w", batch, workers, err)
 			}
+			//lint:allow walltime(pairs with the wallStart measurement above)
 			wall := time.Since(wallStart)
 			// True per-extent mean across all three layers (comparable to
 			// Table 2's per-layer recycle columns).

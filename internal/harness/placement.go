@@ -52,9 +52,16 @@ func spreadOf[V int | int64](m map[wire.NodeID]V) spread {
 	if len(m) == 0 {
 		return spread{}
 	}
+	// Float accumulation is not associative: sum in sorted-node order so
+	// the reported cv/maxRatio are bit-identical across same-seed runs.
+	ids := make([]wire.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var sum, max float64
-	for _, v := range m {
-		f := float64(v)
+	for _, id := range ids {
+		f := float64(m[id])
 		sum += f
 		if f > max {
 			max = f
@@ -62,8 +69,8 @@ func spreadOf[V int | int64](m map[wire.NodeID]V) spread {
 	}
 	mean := sum / float64(len(m))
 	var varsum float64
-	for _, v := range m {
-		d := float64(v) - mean
+	for _, id := range ids {
+		d := float64(m[id]) - mean
 		varsum += d * d
 	}
 	s := spread{n: len(m), mean: mean}

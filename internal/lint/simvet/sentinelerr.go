@@ -1,0 +1,101 @@
+package simvet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SentinelerrAnalyzer enforces sentinel-error discipline. The cluster layer
+// classifies retryable vs fatal outcomes by matching exported Err* sentinels
+// across RPC boundaries, and wrapping (%w) is how context is attached without
+// destroying that classification — so a raw `err == ErrX` comparison or a
+// `switch err` over sentinels silently stops matching the moment anyone wraps
+// the error. errors.Is is mandatory. In internal/cluster, returning a bare
+// errors.New(...) is flagged too: an ad-hoc error cannot be classified by any
+// retry policy; use a package sentinel or wrap one with %w.
+var SentinelerrAnalyzer = &Analyzer{
+	Name: "sentinelerr",
+	Doc: "require errors.Is for exported Err* sentinels (no == / switch err) " +
+		"and ban unclassifiable errors.New at return sites in internal/cluster",
+	Run: runSentinelerr,
+}
+
+func runSentinelerr(p *Pass) {
+	if !inInternal(p.Path) {
+		return
+	}
+	inCluster := strings.HasSuffix(p.Path, "/internal/cluster") || p.Path == "internal/cluster"
+	for _, f := range p.Files {
+		imps := fileImports(f)
+		testFile := isTestFile(p.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{v.X, v.Y} {
+					if name := sentinelName(side); name != "" {
+						p.Reportf(v.Pos(), "%s compared with %s: sentinel comparisons must use errors.Is so wrapped errors still classify", name, v.Op)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if v.Tag == nil {
+					return true
+				}
+				for _, stmt := range v.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name := sentinelName(e); name != "" {
+							p.Reportf(cc.Pos(), "switch case on sentinel %s compares with ==; use an if/else chain of errors.Is", name)
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				if !inCluster || testFile {
+					return true
+				}
+				for _, res := range v.Results {
+					call, ok := res.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "New" {
+						continue
+					}
+					pkgIdent, ok := sel.X.(*ast.Ident)
+					if ok && p.isPkgIdent(imps, pkgIdent, "errors") {
+						p.Reportf(call.Pos(), "errors.New at a cluster return site creates an error no retry policy can classify; return a package Err* sentinel or wrap one with fmt.Errorf(\"...: %%w\", ErrX)")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sentinelName returns the exported Err* sentinel name the expression refers
+// to, or "". Matches both local (ErrCorrupt) and qualified (wire.ErrShort)
+// references; "Error"-style names (lowercase after Err) do not match.
+func sentinelName(e ast.Expr) string {
+	var name string
+	switch v := e.(type) {
+	case *ast.Ident:
+		name = v.Name
+	case *ast.SelectorExpr:
+		name = v.Sel.Name
+	default:
+		return ""
+	}
+	if len(name) > 3 && strings.HasPrefix(name, "Err") &&
+		name[3] >= 'A' && name[3] <= 'Z' {
+		return name
+	}
+	return ""
+}

@@ -1,0 +1,102 @@
+// Package maporder is the maporder fixture: order-dependent map-iteration
+// bodies must be flagged; the recognized order-independent shapes (integer
+// accumulation, key-indexed writes, body-locals, sorted collects) must stay
+// quiet.
+package maporder
+
+import "sort"
+
+// fanout calls out in map order: flagged.
+func fanout(m map[int]int, send func(int)) {
+	for k := range m {
+		send(k) // want "call to send inside iteration over map"
+	}
+}
+
+// sortedFanout is the sanctioned idiom: collect, sort, then fan out.
+func sortedFanout(m map[int]int, send func(int)) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		send(k)
+	}
+}
+
+// intSum commutes exactly: integer accumulation must stay quiet.
+func intSum(m map[int]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// floatSum does not commute: flagged.
+func floatSum(m map[int]float64) float64 {
+	var n float64
+	for _, v := range m {
+		n += v // want "accumulation into n"
+	}
+	return n
+}
+
+// keyIndexed writes once per distinct key: must stay quiet.
+func keyIndexed(m map[int]int, out map[int]int) {
+	for k, v := range m {
+		out[k] = v * 2
+	}
+}
+
+// bodyLocal only touches variables declared inside the loop: must stay quiet.
+func bodyLocal(m map[int]int) {
+	for _, v := range m {
+		double := v * 2
+		double++
+		_ = double
+	}
+}
+
+// unsortedCollect leaks map order into the returned slice: flagged.
+func unsortedCollect(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want "collects entries in map order"
+	}
+	return keys
+}
+
+// helperSorted collects and sorts through a local sort-prefixed helper —
+// the repo's idiom for comparator-heavy key types: must stay quiet.
+func helperSorted(m map[int]int, send func(int)) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	for _, k := range keys {
+		send(k)
+	}
+}
+
+func sortInts(s []int) { sort.Ints(s) }
+
+// overwrite clobbers one outer variable from every iteration, keeping
+// whichever entry the runtime visited last: flagged.
+func overwrite(m map[int]int) int {
+	var last int
+	for _, v := range m {
+		last = v // want "assignment to last"
+	}
+	return last
+}
+
+// allowed carries a justified escape on the offending line: quiet.
+func allowed(m map[int]int, send func(int)) {
+	for k := range m {
+		//lint:allow maporder(fixture: the callee is order-insensitive by contract)
+		send(k)
+	}
+}

@@ -1,0 +1,38 @@
+// Package nogoroutine is the nogoroutine fixture: raw concurrency in a
+// kernel-scoped unit must be flagged; sim-style spawn calls and justified
+// escapes must stay quiet.
+package nogoroutine
+
+import "sync" // want "import sync in kernel package"
+
+type env struct{}
+
+// Go mimics sim.Env.Go.
+func (env) Go(name string, fn func()) { fn() }
+
+// spawn uses the sim-style spawn method: a method named Go is not a go
+// statement and must stay quiet.
+func spawn(e env) {
+	e.Go("worker", func() {})
+}
+
+func raw() {
+	var mu sync.Mutex
+	mu.Lock()
+	go func() {}() // want "go statement in kernel package"
+	mu.Unlock()
+}
+
+func channels(c chan int) { // want "channel type in kernel package"
+	c <- 1   // want "channel send in kernel package"
+	<-c      // want "channel receive in kernel package"
+	select { // want "select in kernel package"
+	default:
+	}
+}
+
+func allowedChan() {
+	//lint:allow nogoroutine(fixture: kernel-internal plumbing under test)
+	ch := make(chan struct{})
+	close(ch)
+}

@@ -1,0 +1,7 @@
+package obsregistry
+
+// BenchStats lives in a _test.go file: test-local result carriers are out
+// of the rule's scope and must stay quiet.
+type BenchStats struct {
+	Runs int
+}

@@ -1,0 +1,27 @@
+// Package obsregistry is the obsregistry fixture: a sync/atomic import or a
+// new ...Stats struct outside internal/obs must be flagged; non-stats
+// structs, test files, and justified escapes must stay quiet.
+package obsregistry
+
+import (
+	"sync/atomic" // want "sync/atomic outside internal/obs"
+)
+
+var counter atomic.Int64
+
+// FooStats is a parallel counter bag the metrics plane cannot see: flagged.
+type FooStats struct { // want "struct FooStats outside internal/obs"
+	Ops int64
+}
+
+// Results is not a stats struct: must stay quiet.
+type Results struct {
+	Rows []int
+}
+
+// LegacyStats predates the registry and survives with a justification.
+//
+//lint:allow obsregistry(fixture: pre-registry snapshot struct kept for API compatibility)
+type LegacyStats struct {
+	N int64
+}

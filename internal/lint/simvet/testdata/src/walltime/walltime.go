@@ -1,0 +1,45 @@
+// Package walltime is the walltime fixture: wall-clock reads and the global
+// math/rand stream must be flagged; seeded constructors, type references,
+// time.Duration arithmetic, and justified escapes must stay quiet.
+package walltime
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time {
+	return time.Now() // want "wall-clock time.Now"
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock time.Since"
+}
+
+func globalStream() int {
+	return rand.Intn(6) // want "global math/rand stream"
+}
+
+// seeded uses only the sanctioned constructors and a *rand.Rand type
+// reference: neither may be flagged.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// tick is time.Duration arithmetic — virtual time is denominated in
+// time.Duration throughout the repo, so this must stay quiet.
+const tick = 10 * time.Millisecond
+
+func allowedWall() time.Time {
+	//lint:allow walltime(fixture: deliberately reports host wall time)
+	return time.Now()
+}
+
+func emptyReason() time.Time {
+	//lint:allow walltime() // want "has no justification"
+	return time.Now() // want "wall-clock time.Now"
+}

@@ -1,0 +1,41 @@
+package wire
+
+import "errors"
+
+// Msg is the fixture's message interface.
+type Msg interface{ Type() Type }
+
+// Marshal's type switch is where the analyzer reads codec registration from.
+func Marshal(buf []byte, m Msg) []byte {
+	switch m.(type) {
+	case *Good:
+	case *Control:
+	case *Undecodable:
+	case *Unseeded:
+	case *Untraced:
+	case *Unsummed:
+	case *Response:
+	}
+	return buf
+}
+
+// Unmarshal's composite literals are where decodability is read from.
+func Unmarshal(t Type, payload []byte) (Msg, error) {
+	switch t {
+	case 1:
+		return &Good{Data: payload}, nil
+	case 2:
+		return &Control{}, nil
+	case 3:
+		return &Unregistered{Data: payload}, nil
+	case 5:
+		return &Unseeded{Data: payload}, nil
+	case 6:
+		return &Untraced{Data: payload}, nil
+	case 7:
+		return &Unsummed{Data: payload}, nil
+	case 8:
+		return &Response{Data: payload}, nil
+	}
+	return nil, errors.New("unknown type")
+}

@@ -1,0 +1,13 @@
+package wire
+
+// corpus seeds every message except Unseeded — the analyzer reads fuzz
+// coverage from composite literals in _test.go files.
+var corpus = []Msg{
+	&Good{Data: []byte{1}},
+	&Control{N: 2},
+	&Unregistered{},
+	&Undecodable{},
+	&Untraced{},
+	&Unsummed{},
+	&Response{},
+}

@@ -1,0 +1,202 @@
+package simvet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WireprotoAnalyzer turns the wire-protocol conventions into checked
+// properties. It enumerates the message set from the code itself — every
+// struct with a `Type() Type` method is a message; there is no hand-written
+// list to rot — and requires each message to be:
+//
+//   - registered in the codec: named in a `case *X:` of a marshal type
+//     switch AND constructed inside Unmarshal;
+//   - seeded into the fuzz corpus: constructed somewhere in the package's
+//     _test.go files, which is where FuzzUnmarshalRoundTrip takes its seeds;
+//   - traced and end-to-end verified when payload-bearing: a struct with a
+//     []byte data field must carry a SpanCtx field (the tracer follows the
+//     data path hop by hop) and a Sum (CRC) field (corruption injected by
+//     the chaos fabric is detectable at every receiver). Control-plane
+//     messages without payloads ride the requester's span and carry fixed
+//     fields the codec already length-checks.
+var WireprotoAnalyzer = &Analyzer{
+	Name: "wireproto",
+	Doc: "every wire message (struct with a Type() Type method) must be " +
+		"codec-registered and fuzz-corpus-seeded; payload-bearing messages " +
+		"([]byte field) must also be SpanCtx-traced and Sum-checksummed",
+	Run: runWireproto,
+}
+
+func runWireproto(p *Pass) {
+	// The protocol lives in the package named "wire"; fixtures mirror that.
+	if seg := p.Path[strings.LastIndex(p.Path, "/")+1:]; seg != "wire" {
+		return
+	}
+
+	structs := make(map[string]*ast.TypeSpec) // all struct types
+	messages := make(map[string]bool)         // structs with Type() Type
+	marshalCases := make(map[string]bool)     // `case *X:` in type switches
+	unmarshalMade := make(map[string]bool)    // composite lits in Unmarshal
+	corpusMade := make(map[string]bool)       // composite lits in test files
+	haveTests := false
+
+	for _, f := range p.Files {
+		test := isTestFile(p.Fset, f)
+		if test {
+			haveTests = true
+			collectComposites(f, corpusMade)
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.TypeSpec:
+				if _, ok := v.Type.(*ast.StructType); ok {
+					structs[v.Name.Name] = v
+				}
+			case *ast.FuncDecl:
+				if name := typeMethodRecv(v); name != "" {
+					messages[name] = true
+				}
+				if v.Name.Name == "Unmarshal" && v.Recv == nil {
+					collectComposites(v, unmarshalMade)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, stmt := range v.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if star, ok := e.(*ast.StarExpr); ok {
+							if ident, ok := star.X.(*ast.Ident); ok {
+								marshalCases[ident.Name] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// A unit handed over without test files (or a bare fixture) still checks
+	// corpus coverage by parsing the package directory's _test.go files.
+	if !haveTests && p.Dir != "" {
+		haveTests = collectDirTestComposites(p.Dir, corpusMade)
+	}
+
+	for name := range messages {
+		ts, ok := structs[name]
+		if !ok {
+			continue // Type() on a non-struct (e.g. an alias); out of scope
+		}
+		st := ts.Type.(*ast.StructType)
+		hasSpan, hasSum, hasPayload := false, false, false
+		for _, field := range st.Fields.List {
+			if ident, ok := field.Type.(*ast.Ident); ok && ident.Name == "SpanCtx" {
+				hasSpan = true
+			}
+			if isByteSlice(field.Type) {
+				hasPayload = true
+			}
+			for _, fn := range field.Names {
+				if strings.HasSuffix(fn.Name, "Sum") {
+					hasSum = true
+				}
+			}
+		}
+		if !marshalCases[name] {
+			p.Reportf(ts.Pos(), "message %s has no `case *%s:` in a codec type switch: Marshal will reject it at runtime", name, name)
+		}
+		if !unmarshalMade[name] {
+			p.Reportf(ts.Pos(), "message %s is never constructed in Unmarshal: it cannot be decoded", name)
+		}
+		if haveTests && !corpusMade[name] {
+			p.Reportf(ts.Pos(), "message %s is not constructed in any _test.go file: FuzzUnmarshalRoundTrip has no corpus seed for it", name)
+		}
+		if hasPayload && !hasSpan {
+			p.Reportf(ts.Pos(), "payload-bearing message %s (has a []byte field) has no SpanCtx field: the tracer cannot follow the data path across this hop", name)
+		}
+		if hasPayload && !hasSum {
+			p.Reportf(ts.Pos(), "payload-bearing message %s (has a []byte field) has no Sum checksum field: chaos-injected corruption would be undetectable", name)
+		}
+	}
+}
+
+// typeMethodRecv returns the receiver base type name when fn is a
+// `func (x X|*X) Type() Type` method, else "".
+func typeMethodRecv(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || fn.Name.Name != "Type" {
+		return ""
+	}
+	ft := fn.Type
+	if ft.Params.NumFields() != 0 || ft.Results.NumFields() != 1 {
+		return ""
+	}
+	res, ok := ft.Results.List[0].Type.(*ast.Ident)
+	if !ok || res.Name != "Type" {
+		return ""
+	}
+	recv := fn.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	ident, ok := recv.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return ident.Name
+}
+
+func isByteSlice(e ast.Expr) bool {
+	arr, ok := e.(*ast.ArrayType)
+	if !ok || arr.Len != nil {
+		return false
+	}
+	ident, ok := arr.Elt.(*ast.Ident)
+	return ok && ident.Name == "byte"
+}
+
+// collectComposites records every `X{...}` / `&X{...}` composite literal type
+// name under n.
+func collectComposites(n ast.Node, into map[string]bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if ident, ok := cl.Type.(*ast.Ident); ok {
+			into[ident.Name] = true
+		}
+		return true
+	})
+}
+
+// collectDirTestComposites parses dir's _test.go files syntactically and
+// records their composite-literal type names. Returns whether any test file
+// was found.
+func collectDirTestComposites(dir string, into map[string]bool) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	fset := token.NewFileSet()
+	found := false
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		found = true
+		collectComposites(f, into)
+	}
+	return found
+}

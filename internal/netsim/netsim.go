@@ -107,6 +107,8 @@ type LinkShape struct {
 }
 
 // Stats holds traffic counters.
+//
+//lint:allow obsregistry(pre-registry snapshot struct of the fabric traffic API; per-node and total counters feed the harness volume columns)
 type Stats struct {
 	BytesSent int64
 	BytesRecv int64

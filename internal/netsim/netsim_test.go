@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -145,7 +146,7 @@ func TestDownNode(t *testing.T) {
 		_, err = f.Call(p, 0, 1, &wire.Drain{})
 	})
 	e.Run(0)
-	if err != ErrNodeDown {
+	if !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("err=%v", err)
 	}
 	f.SetDown(1, false)

@@ -74,13 +74,20 @@ func (r *Registry) Observe(name string, v time.Duration) {
 }
 
 // Snapshot evaluates every counter and gauge into one name -> value map.
+// Gauges are user callbacks, so they run in sorted-name order: a stateful
+// gauge evaluated in map order would make snapshots seed-unstable.
 func (r *Registry) Snapshot() map[string]float64 {
 	out := make(map[string]float64, len(r.counters)+len(r.gauges))
 	for name, c := range r.counters {
 		out[name] = float64(c.v)
 	}
-	for name, fn := range r.gauges {
-		out[name] = fn()
+	names := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out[name] = r.gauges[name]()
 	}
 	return out
 }

@@ -1,98 +1,29 @@
 package obs
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
+
+	"tsue/internal/lint/simvet"
 )
 
-// TestStatsGuard is the vet-style registry gate: the obs registry is the
-// one place new operational stats live, so no package outside internal/obs
-// may (a) import sync/atomic — the sim kernel's one-runnable-goroutine
-// discipline makes atomics either dead weight or a sign of state the
-// registry should own — or (b) declare a new bare `...Stats struct`
-// counter bag. Both lists below are frozen at the structs/packages that
-// predate the registry; growing either is a review decision, not a drive-by.
+// TestStatsGuard is the vet-style registry gate: the obs registry is the one
+// place new operational stats live. It is now a thin wrapper over the simvet
+// obsregistry analyzer (internal/lint/simvet), which flags sync/atomic
+// imports and new `...Stats` structs outside internal/obs. The frozen
+// allowlists that used to live here are gone: the handful of pre-registry
+// snapshot structs and below-the-kernel atomics carry explicit, justified
+// //lint:allow obsregistry(...) annotations at their declarations, so the
+// exemption sits next to the code it excuses and rots with it.
 func TestStatsGuard(t *testing.T) {
 	root := moduleRoot(t)
-
-	// Host-parallel codec kernels coordinate worker goroutines outside the
-	// sim kernel; they are compute, not stats.
-	atomicOK := map[string]bool{
-		"internal/gf256": true,
-		"internal/rs":    true,
-	}
-	// Pre-registry result carriers: each is a point-in-time snapshot struct
-	// returned to the harness, not a live counter bag.
-	statsOK := map[string]bool{
-		"internal/trace/Stats":            true,
-		"internal/update/LayerStats":      true,
-		"internal/logpool/Stats":          true,
-		"internal/device/Stats":           true,
-		"internal/cluster/AdmissionStats": true,
-		"internal/netsim/Stats":           true,
-	}
-
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if name := d.Name(); name == ".git" || name == "testdata" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		pkgDir := filepath.ToSlash(filepath.Dir(rel))
-		if pkgDir == "internal/obs" {
-			return nil
-		}
-		f, err := parser.ParseFile(fset, path, nil, 0)
-		if err != nil {
-			return err
-		}
-		for _, imp := range f.Imports {
-			if strings.Trim(imp.Path.Value, `"`) == "sync/atomic" && !atomicOK[pkgDir] {
-				t.Errorf("%s imports sync/atomic: the sim kernel is single-runnable, and counters belong on the obs registry", rel)
-			}
-		}
-		for _, decl := range f.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.TYPE {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
-				}
-				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
-					continue
-				}
-				if !strings.HasSuffix(ts.Name.Name, "Stats") {
-					continue
-				}
-				if !statsOK[pkgDir+"/"+ts.Name.Name] {
-					t.Errorf("%s declares new stats struct %s: register counters/gauges/histograms on the obs registry instead", rel, ts.Name.Name)
-				}
-			}
-		}
-		return nil
-	})
+	diags, err := simvet.CheckModule(root, []*simvet.Analyzer{simvet.ObsregistryAnalyzer})
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Error(d.String())
 	}
 }
 

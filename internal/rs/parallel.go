@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	//lint:allow obsregistry(real-parallelism codec worker pool below the sim layer; the atomic is work distribution, not a metrics counter)
 	"sync/atomic"
 
 	"tsue/internal/gf256"

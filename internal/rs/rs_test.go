@@ -2,6 +2,7 @@ package rs
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -313,7 +314,7 @@ func TestSingularMatrix(t *testing.T) {
 	m.Set(0, 1, 2)
 	m.Set(1, 0, 1)
 	m.Set(1, 1, 2) // duplicate row
-	if _, err := m.Invert(); err != ErrSingular {
+	if _, err := m.Invert(); !errors.Is(err, ErrSingular) {
 		t.Fatalf("want ErrSingular, got %v", err)
 	}
 }

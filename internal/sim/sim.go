@@ -13,8 +13,11 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 )
+
+//lint:allow-file nogoroutine(this file is the kernel implementation itself: the goroutines and yield/resume channels here are the machinery that enforces the one-runnable-goroutine discipline everywhere else)
 
 // Env is a simulation environment: a virtual clock plus an event queue.
 // Create with NewEnv, add processes with Go, execute with Run, release
@@ -22,6 +25,7 @@ import (
 type Env struct {
 	now         time.Duration
 	seq         uint64
+	procseq     uint64
 	events      eventQueue
 	yield       chan struct{}
 	procs       map[*Proc]struct{}
@@ -85,6 +89,7 @@ func (e *Env) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
 type Proc struct {
 	env     *Env
 	name    string
+	id      uint64 // spawn order, the deterministic unwind order for Close
 	resume  chan struct{}
 	killed  bool
 	started bool
@@ -116,7 +121,8 @@ func (k killedErr) Error() string { return "sim: proc " + k.name + " killed at C
 // Go starts a new process running fn. The process begins executing at the
 // current virtual time, after the caller yields to the scheduler.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p := &Proc{env: e, name: name, id: e.procseq, resume: make(chan struct{})}
+	e.procseq++
 	e.procs[p] = struct{}{}
 	e.nprocs++
 	e.At(e.now, func() {
@@ -226,11 +232,17 @@ func (e *Env) Close() {
 			e.nprocs--
 		}
 	}
-	for len(e.procs) > 0 {
-		var p *Proc
-		for q := range e.procs {
-			p = q
-			break
+	// Unwind in spawn order: the kill order is observable through user
+	// defers, so like everything else under the kernel it must be
+	// deterministic, not map-iteration order.
+	live := make([]*Proc, 0, len(e.procs))
+	for p := range e.procs {
+		live = append(live, p)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	for _, p := range live {
+		if _, ok := e.procs[p]; !ok {
+			continue // already gone: unwinding another proc released it
 		}
 		p.killed = true
 		p.resume <- struct{}{}

@@ -52,7 +52,7 @@ func (e *cord) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) err
 	// Single message to the collector, regardless of M.
 	s := blk.StripeID()
 	collector := e.h.Placement(s)[e.h.Code().K]
-	req := &wire.DeltaAppend{Blk: blk, Off: off, Data: delta, Kind: wire.KindDataDelta}
+	req := &wire.DeltaAppend{Blk: blk, Off: off, Data: delta, Kind: wire.KindDataDelta, Sum: wire.Checksum(delta)}
 	return e.callAck(p, collector, req)
 }
 
@@ -153,7 +153,7 @@ func (e *cord) recycleUnit(p *sim.Proc, u *logpool.Unit) {
 					}
 					continue
 				}
-				req := &wire.ParityDelta{Blk: pblk, Off: ext.Off, Data: ext.Data}
+				req := &wire.ParityDelta{Blk: pblk, Off: ext.Off, Data: ext.Data, Sum: wire.Checksum(ext.Data)}
 				if err := e.callAck(p, osds[k+j], req); err != nil {
 					if !e.h.Alive(osds[k+j]) || !e.h.Alive(e.h.NodeID()) {
 						break // one end died mid-distribution; recovery repairs

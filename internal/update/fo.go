@@ -46,7 +46,7 @@ func (e *fo) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) error
 			continue
 		}
 		pd := mulDelta(e.h.Code(), j, int(blk.Index), delta)
-		req := &wire.ParityDelta{Blk: e.parityBlock(s, j), Off: off, Data: pd}
+		req := &wire.ParityDelta{Blk: e.parityBlock(s, j), Off: off, Data: pd, Sum: wire.Checksum(pd)}
 		if err := e.callAck(p, osds[k+j], req); err != nil {
 			if !e.h.Alive(osds[k+j]) {
 				continue // died mid-propagation; recovery re-encodes

@@ -91,7 +91,7 @@ func (e *parix) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) er
 	// baseline is still in flight.
 	if orig != nil {
 		if err := e.fanout(p, m, func(hp *sim.Proc, j int) error {
-			req := &wire.ParixAppend{Blk: blk, ParityIdx: uint16(j), Off: off, New: nil, Orig: orig}
+			req := &wire.ParixAppend{Blk: blk, ParityIdx: uint16(j), Off: off, New: nil, Orig: orig, Sum: wire.ChecksumPair(nil, orig)}
 			return e.callAck(hp, osds[k+j], req)
 		}); err != nil {
 			return err
@@ -99,7 +99,7 @@ func (e *parix) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) er
 	}
 	// Speculative phase: ship only the new data.
 	return e.fanout(p, m, func(hp *sim.Proc, j int) error {
-		req := &wire.ParixAppend{Blk: blk, ParityIdx: uint16(j), Off: off, New: data}
+		req := &wire.ParixAppend{Blk: blk, ParityIdx: uint16(j), Off: off, New: data, Sum: wire.ChecksumPair(data, nil)}
 		return e.callAck(hp, osds[k+j], req)
 	})
 }
@@ -150,9 +150,11 @@ func (e *parix) Handle(p *sim.Proc, from wire.NodeID, m wire.Msg) (wire.Msg, boo
 func (e *parix) memBytes() int64 {
 	var n int64
 	for _, b := range e.latest {
+		//lint:allow maporder(BlockLog.Bytes is a pure size accessor; the integer sum commutes)
 		n += b.Bytes()
 	}
 	for _, b := range e.orig {
+		//lint:allow maporder(BlockLog.Bytes is a pure size accessor; the integer sum commutes)
 		n += b.Bytes()
 	}
 	return n
@@ -254,6 +256,7 @@ func (e *parix) PeakMemBytes() int64 { return e.peak }
 // holders' baselines remain valid against their settled parity blocks.
 func (e *parix) ResetStripe(s wire.StripeID) {
 	for blk := range e.sent {
+		//lint:allow maporder(BlockID.StripeID is a pure field projection; delete-by-predicate removes the same set in any order)
 		if blk.StripeID() == s {
 			delete(e.sent, blk)
 		}

@@ -76,7 +76,7 @@ func (e *plr) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) erro
 		pd := mulDelta(e.h.Code(), j, int(blk.Index), delta)
 		req := &wire.DeltaAppend{
 			Blk: blk, ParityIdx: uint16(j), Off: off, Data: pd,
-			Kind: wire.KindParityDelta,
+			Kind: wire.KindParityDelta, Sum: wire.Checksum(pd),
 		}
 		return e.callAck(hp, osds[k+j], req)
 	})

@@ -276,7 +276,7 @@ func (t *tsue) Update(p *sim.Proc, blk wire.BlockID, off int64, data []byte) err
 	return t.fanout(p, nrep, func(hp *sim.Proc, i int) error {
 		req := &wire.LogReplica{
 			SrcNode: self, Pool: uint16(poolIdx), UnitSeq: u.Seq,
-			Blk: blk, Off: off, Data: data,
+			Blk: blk, Off: off, Data: data, Sum: wire.Checksum(data),
 		}
 		return t.callAck(hp, t.replicaTarget(i), req)
 	})
@@ -454,7 +454,7 @@ func (t *tsue) recycleDataUnits(p *sim.Proc, poolIdx int, units []*logpool.Unit)
 			}
 			if t.delta != nil && t.h.Alive(osds[k]) {
 				// Primary delta to P1's DeltaLog; copy to P2 (if M >= 2).
-				req := &wire.DeltaAppend{Blk: blk, Off: ext.Off, Data: delta, Kind: wire.KindDataDelta}
+				req := &wire.DeltaAppend{Blk: blk, Off: ext.Off, Data: delta, Kind: wire.KindDataDelta, Sum: wire.Checksum(delta)}
 				if err := t.callAck(p, osds[k], req); err != nil {
 					if !t.h.Alive(t.h.NodeID()) {
 						return // we died mid-recycle; replicas replay
@@ -468,7 +468,7 @@ func (t *tsue) recycleDataUnits(p *sim.Proc, poolIdx int, units []*logpool.Unit)
 				} else if mm >= 2 && t.o.Copies >= 2 {
 					// Reliability copy; best effort — a dead holder only
 					// narrows the redundancy window.
-					cp := &wire.DeltaAppend{Blk: blk, Off: ext.Off, Data: delta, Kind: wire.KindDataDelta, Replica: true}
+					cp := &wire.DeltaAppend{Blk: blk, Off: ext.Off, Data: delta, Kind: wire.KindDataDelta, Replica: true, Sum: wire.Checksum(delta)}
 					_ = t.callAck(p, osds[k+1], cp)
 				}
 			} else {
@@ -504,7 +504,7 @@ func (t *tsue) forwardParityDirect(p *sim.Proc, s wire.StripeID, blk wire.BlockI
 			continue
 		}
 		pd := mulDelta(c, j, int(blk.Index), delta)
-		req := &wire.ParityDelta{Blk: t.parityBlock(s, j), Off: off, Data: pd}
+		req := &wire.ParityDelta{Blk: t.parityBlock(s, j), Off: off, Data: pd, Sum: wire.Checksum(pd)}
 		if err := t.callAck(p, osds[k+j], req); err != nil {
 			if !t.h.Alive(osds[k+j]) || !t.h.Alive(t.h.NodeID()) {
 				continue // one end died mid-forward; recovery repairs
@@ -550,7 +550,7 @@ func (t *tsue) recycleDeltaUnits(p *sim.Proc, poolIdx int, units []*logpool.Unit
 			}
 			pblk := t.parityBlock(s, j)
 			for _, ext := range folded[j] {
-				req := &wire.ParityDelta{Blk: pblk, Off: ext.Off, Data: ext.Data}
+				req := &wire.ParityDelta{Blk: pblk, Off: ext.Off, Data: ext.Data, Sum: wire.Checksum(ext.Data)}
 				if err := t.callAck(p, osds[k+j], req); err != nil {
 					if !t.h.Alive(osds[k+j]) || !t.h.Alive(t.h.NodeID()) {
 						break // one end died mid-fold; recovery repairs

@@ -109,6 +109,7 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		buf = putBytes(buf, v.Data)
 		buf = append(buf, byte(v.Kind))
 		buf = putBool(buf, v.Replica)
+		buf = binary.LittleEndian.AppendUint32(buf, v.Sum)
 		return putSpan(buf, v.Span)
 	case *ParixAppend:
 		buf = putBlockID(buf, v.Blk)
@@ -116,11 +117,13 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		buf = putBytes(buf, v.New)
 		buf = putBytes(buf, v.Orig)
+		buf = binary.LittleEndian.AppendUint32(buf, v.Sum)
 		return putSpan(buf, v.Span)
 	case *ParityDelta:
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		buf = putBytes(buf, v.Data)
+		buf = binary.LittleEndian.AppendUint32(buf, v.Sum)
 		return putSpan(buf, v.Span)
 	case *LogReplica:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.SrcNode))
@@ -129,6 +132,7 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		buf = putBytes(buf, v.Data)
+		buf = binary.LittleEndian.AppendUint32(buf, v.Sum)
 		return putSpan(buf, v.Span)
 	case *UnitDone:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.SrcNode))
@@ -192,6 +196,7 @@ func marshalPayload(buf []byte, m Msg) []byte {
 		buf = putBlockID(buf, v.Blk)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Off))
 		buf = putBytes(buf, v.Data)
+		buf = binary.LittleEndian.AppendUint32(buf, v.Sum)
 		return putSpan(buf, v.Span)
 	case *Settle:
 		return binary.LittleEndian.AppendUint32(buf, uint32(v.Failed))
@@ -379,15 +384,15 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 		m = &Update{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Epoch: r.u64(), Sum: r.u32(), Span: r.span()}
 	case TDeltaAppend:
 		m = &DeltaAppend{Blk: r.blockID(), ParityIdx: r.u16(), Off: int64(r.u64()),
-			Data: r.bytes(), Kind: DeltaKind(r.u8()), Replica: r.bool8(), Span: r.span()}
+			Data: r.bytes(), Kind: DeltaKind(r.u8()), Replica: r.bool8(), Sum: r.u32(), Span: r.span()}
 	case TParixAppend:
 		m = &ParixAppend{Blk: r.blockID(), ParityIdx: r.u16(), Off: int64(r.u64()),
-			New: r.bytes(), Orig: r.bytes(), Span: r.span()}
+			New: r.bytes(), Orig: r.bytes(), Sum: r.u32(), Span: r.span()}
 	case TParityDelta:
-		m = &ParityDelta{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Span: r.span()}
+		m = &ParityDelta{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Sum: r.u32(), Span: r.span()}
 	case TLogReplica:
 		m = &LogReplica{SrcNode: NodeID(r.u32()), Pool: r.u16(), UnitSeq: r.u64(),
-			Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Span: r.span()}
+			Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Sum: r.u32(), Span: r.span()}
 	case TUnitDone:
 		m = &UnitDone{SrcNode: NodeID(r.u32()), Pool: r.u16(), UnitSeq: r.u64()}
 	case TDrain:
@@ -423,7 +428,7 @@ func Unmarshal(t Type, payload []byte) (Msg, error) {
 		v.Err = r.str()
 		m = v
 	case TReplayUpdate:
-		m = &ReplayUpdate{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Span: r.span()}
+		m = &ReplayUpdate{Blk: r.blockID(), Off: int64(r.u64()), Data: r.bytes(), Sum: r.u32(), Span: r.span()}
 	case TSettle:
 		m = &Settle{Failed: NodeID(r.u32())}
 	case TEpochUpdate:

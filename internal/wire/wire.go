@@ -33,6 +33,30 @@ func VerifySum(data []byte, sum uint32) error {
 	return nil
 }
 
+// ChecksumPair digests two payload slices under one CRC (a then b), for
+// messages that carry two byte fields (ParixAppend's New and Orig): one Sum
+// covers both, and a flip in either fails verification.
+func ChecksumPair(a, b []byte) uint32 {
+	return crc32.Update(crc32.Checksum(a, crcTable), crcTable, b)
+}
+
+// VerifySumPair checks a two-slice payload against a carried Sum.
+func VerifySumPair(a, b []byte, sum uint32) error {
+	if ChecksumPair(a, b) != sum {
+		return ErrChecksum
+	}
+	return nil
+}
+
+// SummedPayload is implemented by the engine-internal payload messages. The
+// OSD dispatch verifies it once, centrally, before any engine side effect —
+// the engines themselves never see unverified bytes.
+type SummedPayload interface {
+	Msg
+	// VerifyPayload re-checksums the payload against the carried Sum.
+	VerifyPayload() error
+}
+
 // NodeID identifies a cluster node (MDS or OSD or client).
 type NodeID int32
 
@@ -301,7 +325,12 @@ func (*ReadBlock) PayloadSize() int    { return 14 + 13 + 8 + spanSize }
 func (b *ReadBlock) SpanRef() *SpanCtx { return &b.Span }
 
 // ReadResp returns block data. Sum is the CRC-32C of Data, computed by the
-// responder; consumers verify before trusting the bytes.
+// responder; consumers verify before trusting the bytes. It carries no
+// SpanCtx: a response travels inside the requester's rpc span (netsim links
+// the return hop to the call), so a second context would be redundant bytes
+// on every read.
+//
+//lint:allow wireproto(response rides the requester's rpc span; netsim links the return hop without a carried context)
 type ReadResp struct {
 	Data []byte
 	Err  string
@@ -353,12 +382,14 @@ type DeltaAppend struct {
 	Data      []byte
 	Kind      DeltaKind
 	Replica   bool
+	Sum       uint32 // CRC-32C of Data, verified before any engine side effect
 	Span      SpanCtx
 }
 
-func (*DeltaAppend) Type() Type          { return TDeltaAppend }
-func (d *DeltaAppend) PayloadSize() int  { return 14 + 2 + 8 + 4 + len(d.Data) + 2 + spanSize }
-func (d *DeltaAppend) SpanRef() *SpanCtx { return &d.Span }
+func (*DeltaAppend) Type() Type             { return TDeltaAppend }
+func (d *DeltaAppend) PayloadSize() int     { return 14 + 2 + 8 + 4 + len(d.Data) + 2 + 4 + spanSize }
+func (d *DeltaAppend) SpanRef() *SpanCtx    { return &d.Span }
+func (d *DeltaAppend) VerifyPayload() error { return VerifySum(d.Data, d.Sum) }
 
 // ParixAppend carries a PARIX speculative record: the new data and, on the
 // first overwrite of a location, the original data.
@@ -368,14 +399,16 @@ type ParixAppend struct {
 	Off       int64
 	New       []byte
 	Orig      []byte // nil except on first overwrite
+	Sum       uint32 // ChecksumPair(New, Orig), verified before any engine side effect
 	Span      SpanCtx
 }
 
 func (*ParixAppend) Type() Type { return TParixAppend }
 func (p *ParixAppend) PayloadSize() int {
-	return 14 + 2 + 8 + 4 + len(p.New) + 4 + len(p.Orig) + spanSize
+	return 14 + 2 + 8 + 4 + len(p.New) + 4 + len(p.Orig) + 4 + spanSize
 }
-func (p *ParixAppend) SpanRef() *SpanCtx { return &p.Span }
+func (p *ParixAppend) SpanRef() *SpanCtx    { return &p.Span }
+func (p *ParixAppend) VerifyPayload() error { return VerifySumPair(p.New, p.Orig, p.Sum) }
 
 // ParityDelta carries a ready-to-XOR parity delta for the given parity
 // block (TSUE DeltaLog recycle output, CoRD collector output).
@@ -383,12 +416,14 @@ type ParityDelta struct {
 	Blk  BlockID // the parity block
 	Off  int64
 	Data []byte
+	Sum  uint32 // CRC-32C of Data, verified before any engine side effect
 	Span SpanCtx
 }
 
-func (*ParityDelta) Type() Type          { return TParityDelta }
-func (p *ParityDelta) PayloadSize() int  { return 14 + 8 + 4 + len(p.Data) + spanSize }
-func (p *ParityDelta) SpanRef() *SpanCtx { return &p.Span }
+func (*ParityDelta) Type() Type             { return TParityDelta }
+func (p *ParityDelta) PayloadSize() int     { return 14 + 8 + 4 + len(p.Data) + 4 + spanSize }
+func (p *ParityDelta) SpanRef() *SpanCtx    { return &p.Span }
+func (p *ParityDelta) VerifyPayload() error { return VerifySum(p.Data, p.Sum) }
 
 // LogReplica replicates one DataLog append to the replica holder.
 type LogReplica struct {
@@ -398,12 +433,14 @@ type LogReplica struct {
 	Blk     BlockID
 	Off     int64
 	Data    []byte
+	Sum     uint32 // CRC-32C of Data, verified before any engine side effect
 	Span    SpanCtx
 }
 
-func (*LogReplica) Type() Type          { return TLogReplica }
-func (l *LogReplica) PayloadSize() int  { return 4 + 2 + 8 + 14 + 8 + 4 + len(l.Data) + spanSize }
-func (l *LogReplica) SpanRef() *SpanCtx { return &l.Span }
+func (*LogReplica) Type() Type             { return TLogReplica }
+func (l *LogReplica) PayloadSize() int     { return 4 + 2 + 8 + 14 + 8 + 4 + len(l.Data) + 4 + spanSize }
+func (l *LogReplica) SpanRef() *SpanCtx    { return &l.Span }
+func (l *LogReplica) VerifyPayload() error { return VerifySum(l.Data, l.Sum) }
 
 // UnitDone tells the replica holder that a replicated unit was recycled and
 // its copy can be dropped.
@@ -590,12 +627,14 @@ type ReplayUpdate struct {
 	Blk  BlockID
 	Off  int64
 	Data []byte
+	Sum  uint32 // CRC-32C of Data, verified before the replay hook runs
 	Span SpanCtx
 }
 
-func (*ReplayUpdate) Type() Type          { return TReplayUpdate }
-func (r *ReplayUpdate) PayloadSize() int  { return 14 + 8 + 4 + len(r.Data) + spanSize }
-func (r *ReplayUpdate) SpanRef() *SpanCtx { return &r.Span }
+func (*ReplayUpdate) Type() Type             { return TReplayUpdate }
+func (r *ReplayUpdate) PayloadSize() int     { return 14 + 8 + 4 + len(r.Data) + 4 + spanSize }
+func (r *ReplayUpdate) SpanRef() *SpanCtx    { return &r.Span }
+func (r *ReplayUpdate) VerifyPayload() error { return VerifySum(r.Data, r.Sum) }
 
 // ---- placement epochs / rebalance ----
 

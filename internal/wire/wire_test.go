@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -27,12 +28,12 @@ func sampleMessages() []Msg {
 		&ReadResp{Data: []byte{1, 2}, Err: "", Sum: Checksum([]byte{1, 2})},
 		&Update{Blk: BlockID{5, 6, 7}, Off: 123, Data: []byte{0xde, 0xad}},
 		&Update{Blk: BlockID{5, 6, 7}, Off: 123, Data: []byte{0xde, 0xad}, Sum: Checksum([]byte{0xde, 0xad})},
-		&DeltaAppend{Blk: BlockID{1, 1, 0}, ParityIdx: 2, Off: 64, Data: []byte{1}, Kind: KindDataDelta, Replica: true},
+		&DeltaAppend{Blk: BlockID{1, 1, 0}, ParityIdx: 2, Off: 64, Data: []byte{1}, Kind: KindDataDelta, Replica: true, Sum: Checksum([]byte{1})},
 		&DeltaAppend{Blk: BlockID{1, 1, 0}, ParityIdx: 0, Off: 0, Data: nil, Kind: KindParityDelta},
-		&ParixAppend{Blk: BlockID{2, 3, 1}, ParityIdx: 1, Off: 8, New: []byte{5, 5}, Orig: []byte{4, 4}},
-		&ParixAppend{Blk: BlockID{2, 3, 1}, ParityIdx: 1, Off: 8, New: []byte{5}, Orig: nil},
-		&ParityDelta{Blk: BlockID{2, 3, 8}, Off: 16, Data: []byte{1, 2, 3, 4}},
-		&LogReplica{SrcNode: 3, Pool: 1, UnitSeq: 99, Blk: BlockID{1, 0, 2}, Off: 77, Data: []byte{6}},
+		&ParixAppend{Blk: BlockID{2, 3, 1}, ParityIdx: 1, Off: 8, New: []byte{5, 5}, Orig: []byte{4, 4}, Sum: ChecksumPair([]byte{5, 5}, []byte{4, 4})},
+		&ParixAppend{Blk: BlockID{2, 3, 1}, ParityIdx: 1, Off: 8, New: []byte{5}, Orig: nil, Sum: ChecksumPair([]byte{5}, nil)},
+		&ParityDelta{Blk: BlockID{2, 3, 8}, Off: 16, Data: []byte{1, 2, 3, 4}, Sum: Checksum([]byte{1, 2, 3, 4})},
+		&LogReplica{SrcNode: 3, Pool: 1, UnitSeq: 99, Blk: BlockID{1, 0, 2}, Off: 77, Data: []byte{6}, Sum: Checksum([]byte{6})},
 		&UnitDone{SrcNode: 3, Pool: 2, UnitSeq: 100},
 		&Drain{},
 		&RecoverBlock{Blk: BlockID{4, 4, 4}},
@@ -51,7 +52,7 @@ func sampleMessages() []Msg {
 			{Seq: 5, Blk: BlockID{1, 3, 1}, Off: 0, Data: []byte{9}},
 		}},
 		&JournalFetchResp{Err: "not a holder"},
-		&ReplayUpdate{Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{9, 9, 9}},
+		&ReplayUpdate{Blk: BlockID{1, 2, 0}, Off: 512, Data: []byte{9, 9, 9}, Sum: Checksum([]byte{9, 9, 9})},
 		&Settle{Failed: 3},
 		&LookupResp{OSDs: []NodeID{4, 5}, PG: 3, Epoch: 2, Err: ""},
 		&ReadBlock{Blk: BlockID{1, 2, 3}, Off: 64, Size: 32, Epoch: 7},
@@ -65,6 +66,12 @@ func sampleMessages() []Msg {
 		&MigrateBlock{Blk: BlockID{2, 9, 4}, From: 6, Reconstruct: true, Reencode: true},
 		&PGCutover{PG: 41, Epoch: 2},
 		&MigrateLog{Blk: BlockID{2, 9, 4}},
+		&ReplicaFetch{Node: 6},
+		&ReplicaResp{},
+		&ReplicaResp{Items: []ReplicaItem{
+			{Blk: BlockID{2, 9, 4}, Off: 128, Data: []byte{3, 1}},
+			{Blk: BlockID{2, 9, 5}, Off: 0, Data: []byte{4}},
+		}},
 		&ReplicaRetire{Node: 6, Blk: BlockID{2, 9, 4}},
 		&PGAbort{PG: 41, Epoch: 2},
 		&TransitionStatus{},
@@ -303,7 +310,7 @@ func TestChecksum(t *testing.T) {
 	for i := range data {
 		c := append([]byte(nil), data...)
 		c[i] ^= 0x01
-		if err := VerifySum(c, sum); err != ErrChecksum {
+		if err := VerifySum(c, sum); !errors.Is(err, ErrChecksum) {
 			t.Fatalf("flip at %d: err=%v, want ErrChecksum", i, err)
 		}
 	}
